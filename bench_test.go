@@ -1,0 +1,253 @@
+// Benchmarks regenerating every table and figure of the paper as
+// testing.B targets (see DESIGN.md §4 for the experiment index). Each
+// benchmark runs the corresponding experiment and reports its headline
+// quantities via b.ReportMetric:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute values are simulator-relative; the shapes (scaling exponents,
+// who wins, crossovers) are the reproduction targets recorded in
+// EXPERIMENTS.md. cmd/lumiere-bench renders the same experiments as
+// paper-style tables.
+package lumiere_test
+
+import (
+	"testing"
+	"time"
+
+	"lumiere"
+	"lumiere/internal/crypto"
+	"lumiere/internal/harness"
+	"lumiere/internal/msg"
+	"lumiere/internal/types"
+)
+
+const benchSeed = 42
+
+// benchWorstCase reports W_{GST+Δ} (messages) and worst-case latency.
+func benchWorstCase(b *testing.B, p harness.Protocol, f int) {
+	b.Helper()
+	var msgs int64
+	var lat time.Duration
+	for i := 0; i < b.N; i++ {
+		r := harness.WorstCase(p, f, benchSeed)
+		msgs, lat = r.Msgs, r.Latency
+	}
+	b.ReportMetric(float64(msgs), "msgs/window")
+	b.ReportMetric(lat.Seconds()*1000, "latency_ms")
+}
+
+// BenchmarkTable1WorstCaseComm regenerates Table 1 row "Worst-case
+// Communication" (and latency alongside): max over the implemented
+// adversary strategies of honest messages between GST+Δ and the next
+// honest-leader decision.
+func BenchmarkTable1WorstCaseComm(b *testing.B) {
+	for _, p := range harness.AllProtocols {
+		for _, f := range []int{1, 3, 5} {
+			b.Run(string(p)+"/f="+itoa(f), func(b *testing.B) { benchWorstCase(b, p, f) })
+		}
+	}
+}
+
+// BenchmarkTable1WorstCaseLatency isolates the latency row at the largest
+// bench size.
+func BenchmarkTable1WorstCaseLatency(b *testing.B) {
+	for _, p := range harness.AllProtocols {
+		b.Run(string(p), func(b *testing.B) { benchWorstCase(b, p, 5) })
+	}
+}
+
+// benchEventual reports steady-state per-decision-window maxima.
+func benchEventual(b *testing.B, p harness.Protocol, f, fa int) {
+	b.Helper()
+	var r harness.EventualResult
+	for i := 0; i < b.N; i++ {
+		r = harness.Eventual(p, f, fa, benchSeed)
+	}
+	b.ReportMetric(r.MaxMsgs, "max_msgs/decision")
+	b.ReportMetric(r.MeanMsgs, "mean_msgs/decision")
+	b.ReportMetric(r.MaxGap.Seconds()*1000, "max_gap_ms")
+	b.ReportMetric(float64(r.HeavySync), "heavy_syncs")
+}
+
+// BenchmarkTable1EventualComm regenerates Table 1 row "Eventual
+// Worst-case Communication": f_a sweep at n = 16.
+func BenchmarkTable1EventualComm(b *testing.B) {
+	for _, p := range harness.AllProtocols {
+		for _, fa := range []int{0, 1, 3, 5} {
+			b.Run(string(p)+"/fa="+itoa(fa), func(b *testing.B) { benchEventual(b, p, 5, fa) })
+		}
+	}
+}
+
+// BenchmarkTable1EventualLatency regenerates Table 1 row "Eventual
+// Worst-case Latency" at f_a = 1.
+func BenchmarkTable1EventualLatency(b *testing.B) {
+	for _, p := range harness.AllProtocols {
+		b.Run(string(p), func(b *testing.B) { benchEventual(b, p, 5, 1) })
+	}
+}
+
+// benchFigure1 reports the single-fault stall in units of Γ.
+func benchFigure1(b *testing.B, p harness.Protocol, f int) {
+	b.Helper()
+	var r harness.Figure1Result
+	for i := 0; i < b.N; i++ {
+		r = harness.Figure1(p, f, benchSeed, false)
+	}
+	b.ReportMetric(r.StallGammas, "stall_gammas")
+	b.ReportMetric(r.MaxStall.Seconds()*1000, "stall_ms")
+}
+
+// BenchmarkFigure1LP22Timeline regenerates Figure 1's subject: LP22's
+// stall after fast QCs grows with n.
+func BenchmarkFigure1LP22Timeline(b *testing.B) {
+	for _, f := range []int{1, 3, 5, 10} {
+		b.Run("f="+itoa(f), func(b *testing.B) { benchFigure1(b, harness.ProtoLP22, f) })
+	}
+}
+
+// BenchmarkFigure1LumiereTimeline is the counterpoint: Lumiere's stall is
+// O(Γ) independent of n.
+func BenchmarkFigure1LumiereTimeline(b *testing.B) {
+	for _, f := range []int{1, 3, 5, 10} {
+		b.Run("f="+itoa(f), func(b *testing.B) { benchFigure1(b, harness.ProtoLumiere, f) })
+	}
+}
+
+// BenchmarkSmoothResponsiveness regenerates Theorem 1.1(3)'s δ-sweep:
+// mean decision gap vs actual delay at f_a = 0.
+func BenchmarkSmoothResponsiveness(b *testing.B) {
+	for _, d := range []time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond} {
+		b.Run(d.String(), func(b *testing.B) {
+			var pts []harness.ResponsivenessPoint
+			for i := 0; i < b.N; i++ {
+				pts = harness.SmoothResponsiveness(harness.ProtoLumiere, 3, []time.Duration{d}, benchSeed)
+			}
+			b.ReportMetric(pts[0].MeanGap.Seconds()*1000, "mean_gap_ms")
+			b.ReportMetric(float64(pts[0].MeanGap)/float64(d), "gap_over_delta")
+		})
+	}
+}
+
+// BenchmarkHeavySyncCount regenerates Theorem 1.1(4)'s mechanism: heavy
+// Θ(n²) synchronizations after warmup (Lumiere: expected O(1); LP22 and
+// Basic Lumiere: one per epoch forever).
+func BenchmarkHeavySyncCount(b *testing.B) {
+	for _, p := range []harness.Protocol{harness.ProtoLP22, harness.ProtoBasic, harness.ProtoLumiere} {
+		b.Run(string(p), func(b *testing.B) {
+			var heavy int
+			var epochs float64
+			for i := 0; i < b.N; i++ {
+				heavy, epochs = harness.HeavySyncCount(p, 3, 1, 240*time.Second, benchSeed)
+			}
+			b.ReportMetric(float64(heavy), "heavy_syncs")
+			b.ReportMetric(epochs, "epochs_elapsed")
+		})
+	}
+}
+
+// BenchmarkHonestGapShrinkage regenerates §3.5's gap-trajectory claim.
+func BenchmarkHonestGapShrinkage(b *testing.B) {
+	var r harness.GapShrinkageResult
+	for i := 0; i < b.N; i++ {
+		r = harness.GapShrinkage(3, benchSeed)
+	}
+	b.ReportMetric(r.MaxGapPre.Seconds()*1000, "pre_gst_gap_ms")
+	b.ReportMetric(r.TimeToBelow.Seconds()*1000, "time_to_below_gamma_ms")
+	b.ReportMetric(r.MaxGapSteady.Seconds()*1000, "steady_gap_ms")
+}
+
+// BenchmarkAdversarialSuccessCriterion regenerates §3.5's
+// adversarial-success scenario: late-proposing Byzantine leaders keep the
+// success criterion alive; Lumiere keeps deciding.
+func BenchmarkAdversarialSuccessCriterion(b *testing.B) {
+	var r harness.EventualResult
+	for i := 0; i < b.N; i++ {
+		r = harness.AdversarialSuccess(3, benchSeed)
+	}
+	b.ReportMetric(float64(r.Decisions), "decisions")
+	b.ReportMetric(r.MaxGap.Seconds()*1000, "max_gap_ms")
+	b.ReportMetric(float64(r.HeavySync), "heavy_syncs")
+}
+
+// BenchmarkDeltaWaitAblation regenerates the Δ-wait design-choice
+// ablation of §3.5.
+func BenchmarkDeltaWaitAblation(b *testing.B) {
+	var with, without int
+	for i := 0; i < b.N; i++ {
+		with, without = harness.DeltaWaitAblation(3, benchSeed)
+	}
+	b.ReportMetric(float64(with), "heavy_with_wait")
+	b.ReportMetric(float64(without), "heavy_without_wait")
+}
+
+// BenchmarkSMREndToEnd measures full chained-HotStuff SMR throughput
+// under each pacemaker with one crashed replica (E2E-smr).
+func BenchmarkSMREndToEnd(b *testing.B) {
+	for _, p := range []harness.Protocol{harness.ProtoLumiere, harness.ProtoFever, harness.ProtoLP22, harness.ProtoCogsworth} {
+		b.Run(string(p), func(b *testing.B) {
+			var perSec float64
+			for i := 0; i < b.N; i++ {
+				res := lumiere.Run(lumiere.Scenario{
+					Protocol:     p,
+					F:            2,
+					Delta:        100 * time.Millisecond,
+					DeltaActual:  5 * time.Millisecond,
+					Corruptions:  lumiere.CrashFirst(1),
+					Duration:     60 * time.Second,
+					Seed:         benchSeed,
+					SMR:          true,
+					WorkloadRate: 500,
+				})
+				stats := res.Collector.Stats(types.Time(0).Add(10*time.Second), 5)
+				perSec = stats.DecisionsPerSecSimed
+			}
+			b.ReportMetric(perSec, "decisions/virt_sec")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator performance:
+// simulated protocol events executed per wall second (n = 31 Lumiere).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := lumiere.Run(lumiere.Scenario{
+			Protocol:    lumiere.ProtoLumiere,
+			F:           10,
+			Delta:       50 * time.Millisecond,
+			DeltaActual: 5 * time.Millisecond,
+			Duration:    20 * time.Second,
+			Seed:        benchSeed,
+		})
+		b.ReportMetric(float64(res.Events), "events/op")
+	}
+}
+
+// BenchmarkCryptoAggregate measures certificate assembly cost (2f+1
+// signatures, n = 31) for both suites.
+func BenchmarkCryptoAggregate(b *testing.B) {
+	data := msg.ViewStatement(7)
+	run := func(b *testing.B, suite crypto.Suite) {
+		sigs := make([]crypto.Signature, 21)
+		for i := range sigs {
+			sigs[i] = suite.SignerFor(types.NodeID(i)).Sign(data)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			agg, err := suite.Aggregate(data, sigs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := suite.VerifyAggregate(data, agg, 21); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("sim-hmac", func(b *testing.B) { run(b, crypto.NewSimSuite(31, 1)) })
+	b.Run("ed25519", func(b *testing.B) { run(b, crypto.NewEd25519Suite(31, 1)) })
+}
+
+func itoa(i int) string {
+	return string(rune('0'+i/10%10)) + string(rune('0'+i%10))
+}

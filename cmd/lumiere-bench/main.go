@@ -1,0 +1,86 @@
+// Command lumiere-bench regenerates every table and figure of the paper
+// (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
+// recorded results). Text tables go to stdout; pass -csv DIR to also
+// write machine-readable CSVs.
+//
+//	lumiere-bench             # quick sweep (minutes)
+//	lumiere-bench -full       # full sweep including n=61
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lumiere"
+)
+
+func main() {
+	var (
+		full   = flag.Bool("full", false, "run the full sweep (larger n; slower)")
+		seed   = flag.Int64("seed", 42, "randomness seed")
+		csvDir = flag.String("csv", "", "directory for CSV output (optional)")
+	)
+	flag.Parse()
+
+	fs := []int{1, 3, 5, 10}
+	if *full {
+		fs = append(fs, 20)
+	}
+	evF := 5
+	fas := []int{0, 1, 2, 3, 5}
+
+	emit := func(name string, t *lumiere.Table) {
+		fmt.Println(t.Render())
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, name+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+			}
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "mkdir %s: %v\n", *csvDir, err)
+			os.Exit(1)
+		}
+	}
+
+	start := time.Now()
+	fmt.Printf("regenerating the paper's evaluation (seed %d)\n\n", *seed)
+
+	comm, lat := lumiere.Table1WorstCase(fs, *seed)
+	emit("table1_worst_comm", comm)
+	emit("table1_worst_latency", lat)
+
+	evComm, evLat := lumiere.Table1Eventual(evF, fas, *seed)
+	emit("table1_eventual_comm", evComm)
+	emit("table1_eventual_latency", evLat)
+
+	scaling := lumiere.EventualScalingData(fs, 1, *seed)
+	emit("eventual_scaling", lumiere.EventualScalingTableF(scaling, fs, 1))
+	fmt.Println(lumiere.EventualScalingPlot(scaling))
+	emit("figure1_stalls", lumiere.Figure1Table(fs, *seed))
+	emit("responsiveness", lumiere.ResponsivenessTable(3, *seed))
+	emit("heavy_syncs", lumiere.HeavySyncTable(3, *seed))
+
+	g := lumiere.GapShrinkage(3, *seed)
+	fmt.Printf("== §3.5 honest-gap shrinkage under the desync adversary (n=10) ==\n")
+	fmt.Printf("Γ=%v  pre-GST max: hg_{f+1}=%v (never exceeds Γ — Lemma 5.9), hg_{2f+1}=%v\n",
+		g.Gamma, g.MaxGapPre, g.MaxWideGapPre)
+	fmt.Printf("time to hg_{f+1} ≤ Γ after GST: %v (converged=%v)\n", g.TimeToBelow, g.Converged)
+	fmt.Printf("steady-state max: hg_{f+1}=%v, hg_{2f+1}=%v\n\n", g.MaxGapSteady, g.MaxWideGapSteady)
+
+	adv := lumiere.AdversarialSuccess(3, *seed)
+	fmt.Printf("== §3.5 adversarial success criterion (n=10, f late-proposing Byzantine leaders) ==\n")
+	fmt.Printf("decisions=%d  mean gap=%v  max gap=%v  heavy syncs=%d\n\n",
+		adv.Decisions, adv.MeanGap.Round(time.Millisecond), adv.MaxGap.Round(time.Millisecond), adv.HeavySync)
+
+	w, wo := lumiere.DeltaWaitAblation(3, *seed)
+	fmt.Printf("== §3.5 Δ-wait ablation (n=10, fast QC bursts) ==\n")
+	fmt.Printf("heavy syncs after warmup: with Δ-wait=%d, without=%d\n\n", w, wo)
+
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Second))
+}

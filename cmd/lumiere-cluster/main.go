@@ -1,0 +1,147 @@
+// Command lumiere-cluster runs Lumiere over real TCP.
+//
+// Single-process demo cluster (n nodes in one process, real sockets):
+//
+//	lumiere-cluster -local -f 1 -smr -rate 50 -duration 20s
+//
+// Multi-process deployment — run one per node with a shared peer list:
+//
+//	lumiere-cluster -id 0 -peers "h0:7000,h1:7000,h2:7000,h3:7000" -f 1 -smr
+//	lumiere-cluster -id 1 -peers ... (etc.)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"lumiere"
+	"lumiere/internal/types"
+)
+
+func main() {
+	var (
+		id       = flag.Int("id", 0, "this node's index into -peers")
+		peers    = flag.String("peers", "", "comma-separated node addresses, indexed by id")
+		f        = flag.Int("f", 1, "fault tolerance f (n = 3f+1)")
+		delta    = flag.Duration("delta", 200*time.Millisecond, "Δ")
+		seed     = flag.Int64("seed", 42, "shared PKI seed (must match across nodes)")
+		smr      = flag.Bool("smr", false, "run chained HotStuff SMR with a KV store")
+		rate     = flag.Int("rate", 0, "client commands per second submitted by this node")
+		duration = flag.Duration("duration", 30*time.Second, "how long to run (0 = forever)")
+		local    = flag.Bool("local", false, "run the whole cluster in-process on localhost")
+	)
+	flag.Parse()
+
+	base := types.NewConfig(*f, *delta)
+	if *local {
+		runLocal(base, *seed, *smr, *rate, *duration)
+		return
+	}
+	addrs := strings.Split(*peers, ",")
+	if len(addrs) != base.N {
+		fmt.Fprintf(os.Stderr, "need %d peer addresses for f=%d, got %d\n", base.N, *f, len(addrs))
+		os.Exit(1)
+	}
+	node, err := lumiere.StartClusterNode(lumiere.ClusterConfig{
+		ID:    lumiere.NodeID(*id),
+		Addrs: addrs,
+		Base:  base,
+		Seed:  *seed,
+		SMR:   *smr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer node.Close()
+	fmt.Printf("node %d listening on %s (n=%d f=%d smr=%v)\n", *id, node.Addr(), base.N, base.F, *smr)
+	runWorkloadAndReport(base, []*lumiere.ClusterNode{node}, *smr, *rate, *duration)
+}
+
+// runLocal boots the full cluster in one process over real sockets.
+func runLocal(base types.Config, seed int64, smr bool, rate int, duration time.Duration) {
+	addrs := make([]string, base.N)
+	lns := make([]net.Listener, base.N)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	nodes := make([]*lumiere.ClusterNode, base.N)
+	for i := 0; i < base.N; i++ {
+		n, err := lumiere.StartClusterNode(lumiere.ClusterConfig{
+			ID:    lumiere.NodeID(i),
+			Addrs: addrs,
+			Base:  base,
+			Seed:  seed,
+			SMR:   smr,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		nodes[i] = n
+		defer n.Close()
+	}
+	fmt.Printf("local cluster up: n=%d f=%d smr=%v\n", base.N, base.F, smr)
+	runWorkloadAndReport(base, nodes, smr, rate, duration)
+}
+
+func runWorkloadAndReport(base types.Config, nodes []*lumiere.ClusterNode, smr bool, rate int, duration time.Duration) {
+	stop := make(chan struct{})
+	if smr && rate > 0 {
+		go func() {
+			tick := time.NewTicker(time.Second / time.Duration(rate))
+			defer tick.Stop()
+			i := 0
+			for {
+				select {
+				case <-tick.C:
+					target := nodes[i%len(nodes)]
+					cmd := fmt.Sprintf("SET key%d value%d", i%100, i)
+					if err := target.Submit([]byte(cmd)); err != nil {
+						fmt.Fprintln(os.Stderr, "submit:", err)
+					}
+					i++
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	report := time.NewTicker(2 * time.Second)
+	defer report.Stop()
+	var end <-chan time.Time
+	if duration > 0 {
+		end = time.After(duration)
+	}
+	for {
+		select {
+		case <-report.C:
+			for i, n := range nodes {
+				v, e, committed := n.Status()
+				if smr {
+					fmt.Printf("node %d: view=%v epoch=%v committed=%d kv=%d\n", i, v, e, committed, n.KV().Len())
+				} else {
+					fmt.Printf("node %d: view=%v epoch=%v\n", i, v, e)
+				}
+			}
+			fmt.Println("--")
+		case <-end:
+			close(stop)
+			fmt.Println("done")
+			return
+		}
+	}
+}

@@ -1,0 +1,36 @@
+// Package lumiere is a complete implementation of "Lumiere: Making
+// Optimal BFT for Partial Synchrony Practical" (Lewis-Pye, Malkhi, Naor,
+// Nayak — PODC 2024): an optimistically responsive Byzantine View
+// Synchronization protocol with O(n²) worst-case communication, O(nΔ)
+// worst-case latency, smooth optimistic responsiveness, and eventual
+// worst-case communication linear in the number of actual faults.
+//
+// The repository contains, from scratch on the standard library:
+//
+//   - the Lumiere pacemaker (full §4 protocol and Basic Lumiere §3.4);
+//   - every baseline it is compared against: LP22, Fever, Cogsworth and
+//     NK20;
+//   - the underlying view-based protocol ((⋄1)/(⋄2) of §2) and a full
+//     chained HotStuff SMR with replicated state machines;
+//   - a deterministic discrete-event simulator of the partial synchrony
+//     model (adversarial GST, delays, corruptions, pausable/bumpable
+//     local clocks);
+//   - a real TCP runtime running the same protocol code as actual
+//     processes;
+//   - the benchmark harness that regenerates the paper's Table 1 and
+//     Figure 1 (see EXPERIMENTS.md).
+//
+// This package is the public facade: it re-exports the simulation
+// harness, the experiment drivers and the TCP cluster API. A minimal
+// simulated run:
+//
+//	res := lumiere.Run(lumiere.Scenario{
+//		Protocol: lumiere.ProtoLumiere,
+//		F:        3,                       // n = 10
+//		Delta:    100 * time.Millisecond,  // Δ
+//		Duration: 30 * time.Second,        // virtual time
+//	})
+//	fmt.Println("decisions:", res.DecisionCount())
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture.
+package lumiere

@@ -1,0 +1,79 @@
+package lumiere_test
+
+import (
+	"testing"
+	"time"
+
+	"lumiere"
+)
+
+// TestFacadeQuickstart exercises the public API exactly as the README's
+// quickstart does.
+func TestFacadeQuickstart(t *testing.T) {
+	res := lumiere.Run(lumiere.Scenario{
+		Protocol: lumiere.ProtoLumiere,
+		F:        1,
+		Delta:    100 * time.Millisecond,
+		Duration: 10 * time.Second,
+		Seed:     1,
+	})
+	if res.DecisionCount() == 0 {
+		t.Fatal("no decisions through the facade")
+	}
+	if res.Cfg.N != 4 {
+		t.Fatalf("n = %d", res.Cfg.N)
+	}
+}
+
+// TestFacadeAllProtocolsListed keeps the exported protocol list in sync.
+func TestFacadeAllProtocolsListed(t *testing.T) {
+	want := map[lumiere.Protocol]bool{
+		lumiere.ProtoLumiere: true, lumiere.ProtoBasic: true, lumiere.ProtoLP22: true,
+		lumiere.ProtoFever: true, lumiere.ProtoCogsworth: true, lumiere.ProtoNK20: true,
+	}
+	if len(lumiere.AllProtocols) != len(want) {
+		t.Fatalf("AllProtocols = %v", lumiere.AllProtocols)
+	}
+	for _, p := range lumiere.AllProtocols {
+		if !want[p] {
+			t.Fatalf("unexpected protocol %q", p)
+		}
+	}
+}
+
+// TestFacadeCorruptionHelpers checks the corruption constructors.
+func TestFacadeCorruptionHelpers(t *testing.T) {
+	res := lumiere.Run(lumiere.Scenario{
+		Protocol:    lumiere.ProtoLumiere,
+		F:           1,
+		Delta:       100 * time.Millisecond,
+		Duration:    15 * time.Second,
+		Corruptions: lumiere.CrashFirst(1),
+		Seed:        2,
+	})
+	if res.DecisionCount() == 0 {
+		t.Fatal("no decisions with one crash")
+	}
+	if res.Collector.ByzantineSends() != 0 {
+		t.Fatal("crashed node sent messages")
+	}
+}
+
+// TestFacadeSMR runs the SMR path through the facade.
+func TestFacadeSMR(t *testing.T) {
+	res := lumiere.Run(lumiere.Scenario{
+		Protocol:     lumiere.ProtoLumiere,
+		F:            1,
+		Delta:        100 * time.Millisecond,
+		Duration:     15 * time.Second,
+		Seed:         3,
+		SMR:          true,
+		WorkloadRate: 50,
+	})
+	if res.Injected == 0 {
+		t.Fatal("no workload")
+	}
+	if res.SMs[0] == nil {
+		t.Fatal("no state machine")
+	}
+}

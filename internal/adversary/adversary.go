@@ -1,0 +1,135 @@
+// Package adversary models corruptions: which processors are Byzantine
+// and how they misbehave. Combined with network.DelayPolicy (the
+// adversary's control over message scheduling) this realizes the §2
+// adversary for the worst-case scenarios the experiments measure.
+package adversary
+
+import (
+	"time"
+
+	"lumiere/internal/clock"
+	"lumiere/internal/pacemaker"
+	"lumiere/internal/types"
+)
+
+// Behavior is a Byzantine strategy.
+type Behavior int
+
+// Byzantine behaviors. Honest is the zero-ish default (explicit, per
+// style: enums start at one).
+const (
+	// BehaviorHonest follows the protocol.
+	BehaviorHonest Behavior = iota + 1
+	// BehaviorCrash never participates at all (silent from the start):
+	// the canonical "actual fault" f_a of the latency/communication
+	// experiments.
+	BehaviorCrash
+	// BehaviorNonProposing participates in view synchronization and
+	// voting but never proposes as leader, wasting its views while
+	// keeping everyone else synchronized — the cheapest way for a
+	// single Byzantine processor to exercise issue (i) of §1.
+	BehaviorNonProposing
+	// BehaviorLateProposing proposes after an extra delay and ignores
+	// the honest-leader QC deadline, producing QCs "just in time" to
+	// keep the success criterion alive while slowing every one of its
+	// views (§3.5's adversarial-success-criterion discussion).
+	BehaviorLateProposing
+	// BehaviorCrashAt behaves honestly until Corruption.At, then goes
+	// completely silent — the desynchronization adversary: Byzantine
+	// votes advance a quorum's clocks far ahead of blocked honest
+	// processors, then the help stops.
+	BehaviorCrashAt
+	// BehaviorEquivocating proposes conflicting blocks to different
+	// halves of the cluster as leader (SMR safety attack; see
+	// Equivocator). Requires the HotStuff engine.
+	BehaviorEquivocating
+)
+
+// String implements fmt.Stringer.
+func (b Behavior) String() string {
+	switch b {
+	case BehaviorHonest:
+		return "honest"
+	case BehaviorCrash:
+		return "crash"
+	case BehaviorNonProposing:
+		return "non-proposing"
+	case BehaviorLateProposing:
+		return "late-proposing"
+	case BehaviorCrashAt:
+		return "crash-at"
+	case BehaviorEquivocating:
+		return "equivocating"
+	default:
+		return "unknown"
+	}
+}
+
+// Corruption assigns a behavior to one processor.
+type Corruption struct {
+	Node     types.NodeID
+	Behavior Behavior
+	// Lag is the extra proposing delay for BehaviorLateProposing.
+	Lag time.Duration
+	// At is the crash time for BehaviorCrashAt.
+	At time.Duration
+}
+
+// CrashSet returns crash corruptions for the given nodes.
+func CrashSet(nodes ...types.NodeID) []Corruption {
+	out := make([]Corruption, len(nodes))
+	for i, n := range nodes {
+		out[i] = Corruption{Node: n, Behavior: BehaviorCrash}
+	}
+	return out
+}
+
+// CrashFirst returns crash corruptions for processors 0..k-1.
+func CrashFirst(k int) []Corruption {
+	nodes := make([]types.NodeID, k)
+	for i := range nodes {
+		nodes[i] = types.NodeID(i)
+	}
+	return CrashSet(nodes...)
+}
+
+// NonProposingSet returns non-proposing corruptions for the given nodes.
+func NonProposingSet(nodes ...types.NodeID) []Corruption {
+	out := make([]Corruption, len(nodes))
+	for i, n := range nodes {
+		out[i] = Corruption{Node: n, Behavior: BehaviorNonProposing}
+	}
+	return out
+}
+
+// WrapDriver applies a behavior to an underlying-protocol driver: the
+// returned driver is what the pacemaker actually controls.
+func WrapDriver(d pacemaker.Driver, b Behavior, lag time.Duration, rt clock.Runtime) pacemaker.Driver {
+	switch b {
+	case BehaviorNonProposing:
+		return nonProposing{d}
+	case BehaviorLateProposing:
+		return &lateProposing{d: d, lag: lag, rt: rt}
+	default:
+		return d
+	}
+}
+
+type nonProposing struct{ d pacemaker.Driver }
+
+func (n nonProposing) EnterView(v types.View)             { n.d.EnterView(v) }
+func (n nonProposing) LeaderStart(types.View, types.Time) {}
+
+type lateProposing struct {
+	d   pacemaker.Driver
+	lag time.Duration
+	rt  clock.Runtime
+}
+
+func (l *lateProposing) EnterView(v types.View) { l.d.EnterView(v) }
+
+// LeaderStart delays the proposal and discards the QC deadline (Byzantine
+// leaders are not bound by the honest-leader discipline).
+func (l *lateProposing) LeaderStart(v types.View, _ types.Time) {
+	l.rt.After(l.lag, func() { l.d.LeaderStart(v, types.TimeInf) })
+}

@@ -1,0 +1,84 @@
+package adversary
+
+import (
+	"testing"
+	"time"
+
+	"lumiere/internal/pacemaker"
+	"lumiere/internal/sim"
+	"lumiere/internal/types"
+)
+
+type recDriver struct {
+	entered []types.View
+	started []types.View
+	dls     []types.Time
+}
+
+func (r *recDriver) EnterView(v types.View) { r.entered = append(r.entered, v) }
+func (r *recDriver) LeaderStart(v types.View, dl types.Time) {
+	r.started = append(r.started, v)
+	r.dls = append(r.dls, dl)
+}
+
+func TestWrapDriverHonestPassThrough(t *testing.T) {
+	d := &recDriver{}
+	w := WrapDriver(d, BehaviorHonest, 0, sim.New(1))
+	if _, same := w.(*recDriver); !same {
+		t.Fatal("honest wrap should be identity")
+	}
+}
+
+func TestNonProposingSwallowsLeaderStart(t *testing.T) {
+	d := &recDriver{}
+	w := WrapDriver(d, BehaviorNonProposing, 0, sim.New(1))
+	w.EnterView(3)
+	w.LeaderStart(3, 100)
+	if len(d.entered) != 1 || d.entered[0] != 3 {
+		t.Fatal("EnterView not forwarded")
+	}
+	if len(d.started) != 0 {
+		t.Fatal("LeaderStart not swallowed")
+	}
+}
+
+func TestLateProposingDelaysAndDropsDeadline(t *testing.T) {
+	s := sim.New(1)
+	d := &recDriver{}
+	w := WrapDriver(d, BehaviorLateProposing, 50*time.Nanosecond, s)
+	w.LeaderStart(4, 100)
+	if len(d.started) != 0 {
+		t.Fatal("LeaderStart not delayed")
+	}
+	s.RunUntil(50)
+	if len(d.started) != 1 || d.started[0] != 4 {
+		t.Fatalf("LeaderStart lost: %v", d.started)
+	}
+	if d.dls[0] != types.TimeInf {
+		t.Fatalf("deadline not discarded: %v", d.dls[0])
+	}
+}
+
+func TestCorruptionConstructors(t *testing.T) {
+	cs := CrashFirst(3)
+	if len(cs) != 3 || cs[2].Node != 2 || cs[0].Behavior != BehaviorCrash {
+		t.Fatalf("CrashFirst = %+v", cs)
+	}
+	np := NonProposingSet(5, 7)
+	if len(np) != 2 || np[1].Node != 7 || np[0].Behavior != BehaviorNonProposing {
+		t.Fatalf("NonProposingSet = %+v", np)
+	}
+}
+
+func TestBehaviorStrings(t *testing.T) {
+	for _, b := range []Behavior{BehaviorHonest, BehaviorCrash, BehaviorNonProposing, BehaviorLateProposing, BehaviorCrashAt} {
+		if b.String() == "unknown" || b.String() == "" {
+			t.Errorf("behavior %d has no name", b)
+		}
+	}
+	if Behavior(99).String() != "unknown" {
+		t.Error("unknown behavior name")
+	}
+}
+
+var _ pacemaker.Driver = (*recDriver)(nil)

@@ -1,0 +1,70 @@
+package adversary
+
+import (
+	"fmt"
+
+	"lumiere/internal/hotstuff"
+	"lumiere/internal/msg"
+	"lumiere/internal/network"
+	"lumiere/internal/replica"
+	"lumiere/internal/types"
+)
+
+// Equivocator is a Byzantine SMR engine: it participates honestly as a
+// follower (voting, forwarding) but, as leader, proposes two *different*
+// blocks — one to each half of the processors. This is the canonical
+// safety attack on chained HotStuff; the 2f+1 vote quorum ensures at most
+// one of the conflicting blocks can ever be certified, so honest commit
+// logs must never diverge (asserted by the SMR safety tests).
+type Equivocator struct {
+	inner *hotstuff.Core
+	ep    network.Endpoint
+	cfg   types.Config
+	seq   uint64
+}
+
+var _ replica.Engine = (*Equivocator)(nil)
+
+// NewEquivocator wraps a HotStuff core with equivocating leader behavior.
+func NewEquivocator(inner *hotstuff.Core, ep network.Endpoint, cfg types.Config) *Equivocator {
+	return &Equivocator{inner: inner, ep: ep, cfg: cfg}
+}
+
+// EnterView implements replica.Engine.
+func (e *Equivocator) EnterView(v types.View) { e.inner.EnterView(v) }
+
+// Handle implements replica.Engine.
+func (e *Equivocator) Handle(from types.NodeID, m msg.Message) { e.inner.Handle(from, m) }
+
+// LeaderStart implements replica.Engine: send conflicting proposals to
+// the two halves of the cluster instead of one honest proposal.
+func (e *Equivocator) LeaderStart(v types.View, _ types.Time) {
+	justify := e.inner.HighQC()
+	e.seq++
+	mk := func(tag string) *msg.Proposal {
+		block := &hotstuff.Block{
+			View:   v,
+			Parent: justify.BlockHash,
+			Cmds: []hotstuff.Command{{
+				ID:      uint64(e.ep.ID())<<40 | e.seq,
+				Payload: []byte(fmt.Sprintf("EQUIVOCATE %s %d", tag, e.seq)),
+			}},
+		}
+		return &msg.Proposal{
+			V:       v,
+			Leader:  e.ep.ID(),
+			Justify: justify,
+			Block:   block.Encode(),
+			Hash:    block.HashOf(),
+		}
+	}
+	a, b := mk("left"), mk("right")
+	for i := 0; i < e.cfg.N; i++ {
+		to := types.NodeID(i)
+		if i < e.cfg.N/2 {
+			e.ep.Send(to, a)
+		} else {
+			e.ep.Send(to, b)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Package fever implements the Fever view synchronization protocol as
+// described in §3.3 of the Lumiere paper. Fever operates in a stronger
+// model than partial synchrony: it assumes that at the start of the
+// execution the (f+1)st honest clock gap is at most Γ (the simulator
+// provides this by seeding initial clock offsets; see the harness).
+//
+// Mechanics: leaders get two consecutive views; even ("initial") views are
+// entered when lc reaches c_v, whereupon processors send a view message to
+// the leader, who combines f+1 of them into a VC; odd views are entered on
+// a QC for the previous view; clocks are bumped forward by QCs and VCs,
+// which preserves hg_{f+1} ≤ Γ forever and makes the protocol smoothly
+// optimistically responsive with O(n) messages per view.
+package fever
+
+import (
+	"fmt"
+	"time"
+
+	"lumiere/internal/clock"
+	"lumiere/internal/crypto"
+	"lumiere/internal/msg"
+	"lumiere/internal/network"
+	"lumiere/internal/pacemaker"
+	"lumiere/internal/trace"
+	"lumiere/internal/types"
+)
+
+// Config parameterizes Fever.
+type Config struct {
+	// Base is the execution-model configuration.
+	Base types.Config
+	// GammaOverride overrides Γ = 2(x+1)Δ (§3.3).
+	GammaOverride time.Duration
+}
+
+// Gamma returns the view duration Γ = 2(x+1)Δ unless overridden.
+func (c Config) Gamma() time.Duration {
+	if c.GammaOverride > 0 {
+		return c.GammaOverride
+	}
+	return 2 * time.Duration(c.Base.X+1) * c.Base.Delta
+}
+
+// Pacemaker is one processor's Fever instance.
+type Pacemaker struct {
+	cfg    Config
+	id     types.NodeID
+	ep     network.Endpoint
+	rt     clock.Runtime
+	clk    *clock.Clock
+	ticker *clock.Ticker
+	suite  crypto.Suite
+	signer crypto.Signer
+	driver pacemaker.Driver
+	obs    pacemaker.Observer
+	tr     *trace.Tracer
+
+	gamma time.Duration
+	view  types.View
+
+	sentView map[types.View]bool
+	viewMsgs map[types.View]map[types.NodeID]crypto.Signature
+	vcFormed map[types.View]bool
+	vcSeen   map[types.View]bool
+	qcDone   map[types.View]bool
+}
+
+var _ pacemaker.Pacemaker = (*Pacemaker)(nil)
+
+// New creates a Fever pacemaker.
+func New(cfg Config, ep network.Endpoint, rt clock.Runtime, clk *clock.Clock,
+	suite crypto.Suite, driver pacemaker.Driver, obs pacemaker.Observer, tr *trace.Tracer) *Pacemaker {
+	if err := cfg.Base.Validate(); err != nil {
+		panic(fmt.Sprintf("fever: invalid config: %v", err))
+	}
+	if obs == nil {
+		obs = pacemaker.NopObserver{}
+	}
+	if driver == nil {
+		driver = pacemaker.NopDriver{}
+	}
+	return &Pacemaker{
+		cfg:      cfg,
+		id:       ep.ID(),
+		ep:       ep,
+		rt:       rt,
+		clk:      clk,
+		suite:    suite,
+		signer:   suite.SignerFor(ep.ID()),
+		driver:   driver,
+		obs:      obs,
+		tr:       tr,
+		gamma:    cfg.Gamma(),
+		view:     types.NoView,
+		sentView: make(map[types.View]bool),
+		viewMsgs: make(map[types.View]map[types.NodeID]crypto.Signature),
+		vcFormed: make(map[types.View]bool),
+		vcSeen:   make(map[types.View]bool),
+		qcDone:   make(map[types.View]bool),
+	}
+}
+
+// Gamma returns the view duration Γ in effect.
+func (p *Pacemaker) Gamma() time.Duration { return p.gamma }
+
+// Start boots the protocol. The clock's initial value encodes the model's
+// bounded initial skew.
+func (p *Pacemaker) Start() {
+	p.ticker = clock.NewTicker(p.clk, p.gamma, p.onBoundary)
+	p.ticker.StartInclusive()
+}
+
+// CurrentView implements pacemaker.Pacemaker.
+func (p *Pacemaker) CurrentView() types.View { return p.view }
+
+// CurrentEpoch implements pacemaker.Pacemaker; Fever has no epochs.
+func (p *Pacemaker) CurrentEpoch() types.Epoch { return 0 }
+
+// Leader implements pacemaker.Pacemaker: lead(v) = ⌊v/2⌋ mod n (§3.3).
+func (p *Pacemaker) Leader(v types.View) types.NodeID {
+	if v < 0 {
+		return types.NoNode
+	}
+	return types.NodeID((v / 2) % types.View(p.cfg.Base.N))
+}
+
+func (p *Pacemaker) clockTime(v types.View) types.Time {
+	return types.Time(v) * types.Time(p.gamma)
+}
+
+// Handle implements pacemaker.Pacemaker.
+func (p *Pacemaker) Handle(from types.NodeID, m msg.Message) {
+	switch mm := m.(type) {
+	case *msg.ViewMsg:
+		p.onViewMsg(from, mm)
+	case *msg.VC:
+		p.onVC(mm)
+	case *msg.QC:
+		p.onQC(mm)
+	}
+}
+
+// onBoundary implements "if v is initial, p enters view v when lc = c_v".
+func (p *Pacemaker) onBoundary(w types.View) {
+	if !w.Initial() || w <= p.view {
+		return
+	}
+	p.enterView(w)
+}
+
+func (p *Pacemaker) enterView(w types.View) {
+	if w <= p.view {
+		return
+	}
+	p.view = w
+	p.tr.Emit(p.rt.Now(), p.id, trace.EnterView, w, "")
+	p.obs.OnEnterView(w, p.rt.Now())
+	p.driver.EnterView(w)
+	if w.Initial() {
+		p.sendViewMsg(w)
+		p.maybeLeaderStart(w)
+	} else if p.Leader(w) == p.id {
+		p.driver.LeaderStart(w, types.TimeInf)
+	}
+	p.prune()
+}
+
+func (p *Pacemaker) sendViewMsg(w types.View) {
+	if p.sentView[w] {
+		return
+	}
+	p.sentView[w] = true
+	p.tr.Emit(p.rt.Now(), p.id, trace.SendView, w, "")
+	p.ep.Send(p.Leader(w), &msg.ViewMsg{V: w, Sig: p.signer.Sign(msg.ViewStatement(w))})
+}
+
+func (p *Pacemaker) onViewMsg(from types.NodeID, vm *msg.ViewMsg) {
+	w := vm.V
+	if !w.Initial() || p.Leader(w) != p.id || w < p.view || p.vcFormed[w] {
+		return
+	}
+	if vm.Sig.Signer != from || p.suite.Verify(msg.ViewStatement(w), vm.Sig) != nil {
+		return
+	}
+	sigs := p.viewMsgs[w]
+	if sigs == nil {
+		sigs = make(map[types.NodeID]crypto.Signature, p.cfg.Base.Majority())
+		p.viewMsgs[w] = sigs
+	}
+	sigs[from] = vm.Sig
+	if len(sigs) < p.cfg.Base.Majority() {
+		return
+	}
+	flat := make([]crypto.Signature, 0, len(sigs))
+	for _, s := range sigs {
+		flat = append(flat, s)
+	}
+	agg, err := p.suite.Aggregate(msg.ViewStatement(w), flat)
+	if err != nil {
+		return
+	}
+	p.vcFormed[w] = true
+	p.tr.Emit(p.rt.Now(), p.id, trace.FormVC, w, "")
+	p.ep.Broadcast(&msg.VC{V: w, Agg: agg})
+	p.maybeLeaderStart(w)
+}
+
+func (p *Pacemaker) maybeLeaderStart(w types.View) {
+	if p.Leader(w) == p.id && p.view == w && p.vcFormed[w] {
+		p.driver.LeaderStart(w, types.TimeInf)
+	}
+}
+
+// onVC implements the bump rule: a VC for view v with lc < c_v bumps the
+// clock to c_v; the landing enters the view via the clock trigger.
+func (p *Pacemaker) onVC(vc *msg.VC) {
+	w := vc.V
+	if !w.Initial() || p.vcSeen[w] {
+		return
+	}
+	if p.suite.VerifyAggregate(msg.ViewStatement(w), vc.Agg, p.cfg.Base.Majority()) != nil {
+		return
+	}
+	p.vcSeen[w] = true
+	if target := p.clockTime(w); p.clk.BumpTo(target) {
+		p.tr.Emit(p.rt.Now(), p.id, trace.Bump, w, "vc")
+		p.ticker.Jumped(target)
+	}
+}
+
+// onQC implements the bump rule for QCs and non-initial view entry.
+func (p *Pacemaker) onQC(qc *msg.QC) {
+	v := qc.V
+	if p.qcDone[v] {
+		return
+	}
+	if p.suite.VerifyAggregate(msg.VoteStatement(v, qc.BlockHash), qc.Agg, p.cfg.Base.Quorum()) != nil {
+		return
+	}
+	p.qcDone[v] = true
+	next := v + 1
+	if !next.Initial() && next > p.view {
+		p.enterView(next)
+		if p.Leader(next) == p.id {
+			p.driver.LeaderStart(next, types.TimeInf)
+		}
+	}
+	if target := p.clockTime(next); p.clk.BumpTo(target) {
+		p.tr.Emit(p.rt.Now(), p.id, trace.Bump, next, "qc")
+		p.ticker.Jumped(target)
+	}
+}
+
+func (p *Pacemaker) prune() {
+	low := p.view - 2
+	for _, m := range []map[types.View]bool{p.sentView, p.vcFormed, p.vcSeen, p.qcDone} {
+		for w := range m {
+			if w < low {
+				delete(m, w)
+			}
+		}
+	}
+	for w := range p.viewMsgs {
+		if w < low {
+			delete(p.viewMsgs, w)
+		}
+	}
+}

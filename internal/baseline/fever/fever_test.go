@@ -1,0 +1,203 @@
+package fever
+
+import (
+	"testing"
+	"time"
+
+	"lumiere/internal/clock"
+	"lumiere/internal/crypto"
+	"lumiere/internal/msg"
+	"lumiere/internal/network"
+	"lumiere/internal/pacemaker"
+	"lumiere/internal/sim"
+	"lumiere/internal/types"
+)
+
+type fakeEP struct {
+	id     types.NodeID
+	bcasts []msg.Message
+	sends  []sent
+}
+
+type sent struct {
+	to types.NodeID
+	m  msg.Message
+}
+
+func (f *fakeEP) ID() types.NodeID                    { return f.id }
+func (f *fakeEP) Send(to types.NodeID, m msg.Message) { f.sends = append(f.sends, sent{to, m}) }
+func (f *fakeEP) Broadcast(m msg.Message)             { f.bcasts = append(f.bcasts, m) }
+
+var _ network.Endpoint = (*fakeEP)(nil)
+
+type recDriver struct {
+	entered []types.View
+	started []types.View
+}
+
+func (r *recDriver) EnterView(v types.View)                 { r.entered = append(r.entered, v) }
+func (r *recDriver) LeaderStart(v types.View, _ types.Time) { r.started = append(r.started, v) }
+
+var _ pacemaker.Driver = (*recDriver)(nil)
+
+type unit struct {
+	sched *sim.Scheduler
+	suite *crypto.SimSuite
+	ep    *fakeEP
+	clk   *clock.Clock
+	drv   *recDriver
+	pm    *Pacemaker
+}
+
+func newUnit(id types.NodeID, initial types.Time) *unit {
+	u := &unit{sched: sim.New(1)}
+	u.suite = crypto.NewSimSuite(4, 5)
+	u.ep = &fakeEP{id: id}
+	u.clk = clock.New(u.sched, initial)
+	u.drv = &recDriver{}
+	u.pm = New(Config{Base: types.NewConfig(1, 100*time.Millisecond)}, u.ep, u.sched, u.clk, u.suite, u.drv, nil, nil)
+	return u
+}
+
+func (u *unit) viewMsgFrom(from types.NodeID, v types.View) *msg.ViewMsg {
+	return &msg.ViewMsg{V: v, Sig: u.suite.SignerFor(from).Sign(msg.ViewStatement(v))}
+}
+
+func (u *unit) vcFor(v types.View) *msg.VC {
+	var sigs []crypto.Signature
+	for i := 0; i < 2; i++ {
+		sigs = append(sigs, u.suite.SignerFor(types.NodeID(i)).Sign(msg.ViewStatement(v)))
+	}
+	agg, _ := u.suite.Aggregate(msg.ViewStatement(v), sigs)
+	return &msg.VC{V: v, Agg: agg}
+}
+
+func (u *unit) qcFor(v types.View) *msg.QC {
+	var h [32]byte
+	var sigs []crypto.Signature
+	for i := 0; i < 3; i++ {
+		sigs = append(sigs, u.suite.SignerFor(types.NodeID(i)).Sign(msg.VoteStatement(v, h)))
+	}
+	agg, _ := u.suite.Aggregate(msg.VoteStatement(v, h), sigs)
+	return &msg.QC{V: v, BlockHash: h, Agg: agg}
+}
+
+func TestGamma(t *testing.T) {
+	c := Config{Base: types.NewConfig(1, 100*time.Millisecond)}
+	if c.Gamma() != 800*time.Millisecond {
+		t.Fatalf("Γ = %v, want 2(x+1)Δ = 800ms", c.Gamma())
+	}
+}
+
+// TestClockEntryAndViewMsg: entering an initial view on the clock sends a
+// view message to lead(v) = ⌊v/2⌋ mod n.
+func TestClockEntryAndViewMsg(t *testing.T) {
+	u := newUnit(3, 0)
+	u.pm.Start()
+	u.sched.RunUntil(0)
+	if u.pm.CurrentView() != 0 {
+		t.Fatalf("view = %v, want 0 at lc = c_0", u.pm.CurrentView())
+	}
+	if len(u.ep.sends) != 1 || u.ep.sends[0].to != 0 || u.ep.sends[0].m.Kind() != msg.KindView {
+		t.Fatalf("sends = %+v", u.ep.sends)
+	}
+	u.sched.RunFor(2 * u.pm.Gamma())
+	if u.pm.CurrentView() != 2 {
+		t.Fatalf("view = %v, want 2 (odd views are not clock-entered)", u.pm.CurrentView())
+	}
+}
+
+// TestInitialSkewRespected: a clock starting at an offset enters the
+// matching view.
+func TestInitialSkewRespected(t *testing.T) {
+	u := newUnit(3, types.Time(800*time.Millisecond)) // c_1
+	u.pm.Start()
+	u.sched.RunFor(800 * time.Millisecond) // reach c_2
+	if u.pm.CurrentView() != 2 {
+		t.Fatalf("view = %v, want 2", u.pm.CurrentView())
+	}
+}
+
+// TestLeaderVC: the leader aggregates f+1 view messages, broadcasts the
+// VC and starts driving.
+func TestLeaderVC(t *testing.T) {
+	u := newUnit(0, 0)
+	u.pm.Start()
+	u.sched.RunUntil(0) // enter view 0 (p0 leads 0,1)
+	u.pm.Handle(1, u.viewMsgFrom(1, 0))
+	u.pm.Handle(2, u.viewMsgFrom(2, 0))
+	var vcs int
+	for _, m := range u.ep.bcasts {
+		if m.Kind() == msg.KindVC {
+			vcs++
+		}
+	}
+	if vcs != 1 {
+		t.Fatalf("VC broadcasts = %d", vcs)
+	}
+	if len(u.drv.started) != 1 || u.drv.started[0] != 0 {
+		t.Fatalf("started = %v", u.drv.started)
+	}
+}
+
+// TestVCBumpsIntoView: a VC for a future initial view bumps the clock to
+// c_v, and the landing enters the view.
+func TestVCBumpsIntoView(t *testing.T) {
+	u := newUnit(3, 0)
+	u.pm.Start()
+	u.sched.RunUntil(0)
+	u.pm.Handle(0, u.vcFor(4))
+	if u.pm.CurrentView() != 4 {
+		t.Fatalf("view = %v, want 4", u.pm.CurrentView())
+	}
+	if u.clk.Read() != types.Time(4)*types.Time(u.pm.Gamma()) {
+		t.Fatalf("lc = %v, want c_4", u.clk.Read())
+	}
+}
+
+// TestQCEntersOddViewAndBumps: a QC for an even view enters its odd
+// successor and bumps the clock to c_{v+1}.
+func TestQCEntersOddViewAndBumps(t *testing.T) {
+	u := newUnit(3, 0)
+	u.pm.Start()
+	u.sched.RunUntil(0)
+	u.pm.Handle(0, u.qcFor(0))
+	if u.pm.CurrentView() != 1 {
+		t.Fatalf("view = %v, want 1", u.pm.CurrentView())
+	}
+	if u.clk.Read() != types.Time(u.pm.Gamma()) {
+		t.Fatalf("lc = %v, want c_1", u.clk.Read())
+	}
+	// QC for the odd view bumps to the next even boundary, entering it
+	// via the clock trigger.
+	u.pm.Handle(0, u.qcFor(1))
+	if u.pm.CurrentView() != 2 {
+		t.Fatalf("view = %v, want 2", u.pm.CurrentView())
+	}
+}
+
+// TestBumpNeverBackwards: stale certificates cannot regress the clock.
+func TestBumpNeverBackwards(t *testing.T) {
+	u := newUnit(3, 0)
+	u.pm.Start()
+	u.pm.Handle(0, u.qcFor(9))
+	lc := u.clk.Read()
+	u.pm.Handle(0, u.vcFor(2))
+	u.pm.Handle(0, u.qcFor(3))
+	if u.clk.Read() != lc {
+		t.Fatal("stale certificate moved the clock")
+	}
+}
+
+// TestBadVCRejected: an unverifiable VC is ignored.
+func TestBadVCRejected(t *testing.T) {
+	u := newUnit(3, 0)
+	u.pm.Start()
+	vc := u.vcFor(4)
+	vc.Agg.Bytes[0] = append([]byte(nil), vc.Agg.Bytes[0]...)
+	vc.Agg.Bytes[0][0] ^= 1
+	u.pm.Handle(0, vc)
+	if u.clk.Read() != 0 {
+		t.Fatal("tampered VC bumped the clock")
+	}
+}

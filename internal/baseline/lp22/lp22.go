@@ -1,0 +1,322 @@
+// Package lp22 implements the LP22 view synchronization protocol as
+// described in §3.2 of the Lumiere paper: views are batched into epochs of
+// f+1 views; a heavy Θ(n²) all-to-all synchronization starts every epoch;
+// non-epoch views are entered when the local clock reaches c_v or when a
+// QC for the previous view arrives — but clocks are never bumped, which is
+// exactly the weakness Figure 1 illustrates: after a burst of fast QCs a
+// single faulty leader stalls progress until the unbumped clocks catch up,
+// up to Θ(nΔ).
+package lp22
+
+import (
+	"fmt"
+	"time"
+
+	"lumiere/internal/clock"
+	"lumiere/internal/crypto"
+	"lumiere/internal/msg"
+	"lumiere/internal/network"
+	"lumiere/internal/pacemaker"
+	"lumiere/internal/trace"
+	"lumiere/internal/types"
+)
+
+// Config parameterizes LP22.
+type Config struct {
+	// Base is the execution-model configuration.
+	Base types.Config
+	// GammaOverride overrides Γ = (x+1)Δ (§3.2).
+	GammaOverride time.Duration
+	// EpochLenOverride overrides the epoch length f+1.
+	EpochLenOverride types.View
+}
+
+// Gamma returns the view duration Γ = (x+1)Δ unless overridden.
+func (c Config) Gamma() time.Duration {
+	if c.GammaOverride > 0 {
+		return c.GammaOverride
+	}
+	return time.Duration(c.Base.X+1) * c.Base.Delta
+}
+
+// EpochLen returns the views per epoch (f+1 in the paper).
+func (c Config) EpochLen() types.View {
+	if c.EpochLenOverride > 0 {
+		return c.EpochLenOverride
+	}
+	return types.View(c.Base.F + 1)
+}
+
+// Pacemaker is one processor's LP22 instance.
+type Pacemaker struct {
+	cfg    Config
+	id     types.NodeID
+	ep     network.Endpoint
+	rt     clock.Runtime
+	clk    *clock.Clock
+	ticker *clock.Ticker
+	suite  crypto.Suite
+	signer crypto.Signer
+	driver pacemaker.Driver
+	obs    pacemaker.Observer
+	tr     *trace.Tracer
+
+	gamma    time.Duration
+	epochLen types.View
+
+	view     types.View
+	epoch    types.Epoch
+	pausedAt types.View
+
+	sentEpochView map[types.View]bool
+	pauseSeen     map[types.View]bool
+	epochViewMsgs map[types.View]map[types.NodeID]crypto.Signature
+	ecDone        map[types.View]bool
+	qcDone        map[types.View]bool
+}
+
+var _ pacemaker.Pacemaker = (*Pacemaker)(nil)
+
+// New creates an LP22 pacemaker.
+func New(cfg Config, ep network.Endpoint, rt clock.Runtime, clk *clock.Clock,
+	suite crypto.Suite, driver pacemaker.Driver, obs pacemaker.Observer, tr *trace.Tracer) *Pacemaker {
+	if err := cfg.Base.Validate(); err != nil {
+		panic(fmt.Sprintf("lp22: invalid config: %v", err))
+	}
+	if obs == nil {
+		obs = pacemaker.NopObserver{}
+	}
+	if driver == nil {
+		driver = pacemaker.NopDriver{}
+	}
+	return &Pacemaker{
+		cfg:           cfg,
+		id:            ep.ID(),
+		ep:            ep,
+		rt:            rt,
+		clk:           clk,
+		suite:         suite,
+		signer:        suite.SignerFor(ep.ID()),
+		driver:        driver,
+		obs:           obs,
+		tr:            tr,
+		gamma:         cfg.Gamma(),
+		epochLen:      cfg.EpochLen(),
+		view:          types.NoView,
+		epoch:         types.NoEpoch,
+		pausedAt:      types.NoView,
+		sentEpochView: make(map[types.View]bool),
+		pauseSeen:     make(map[types.View]bool),
+		epochViewMsgs: make(map[types.View]map[types.NodeID]crypto.Signature),
+		ecDone:        make(map[types.View]bool),
+		qcDone:        make(map[types.View]bool),
+	}
+}
+
+// Gamma returns the view duration Γ in effect.
+func (p *Pacemaker) Gamma() time.Duration { return p.gamma }
+
+// Start boots the protocol; lc(p) = 0 triggers the epoch-0 heavy sync.
+func (p *Pacemaker) Start() {
+	p.ticker = clock.NewTicker(p.clk, p.gamma, p.onBoundary)
+	p.ticker.StartInclusive()
+}
+
+// CurrentView implements pacemaker.Pacemaker.
+func (p *Pacemaker) CurrentView() types.View { return p.view }
+
+// CurrentEpoch implements pacemaker.Pacemaker.
+func (p *Pacemaker) CurrentEpoch() types.Epoch { return p.epoch }
+
+// Leader implements pacemaker.Pacemaker: lead(v) = v mod n (§3.2).
+func (p *Pacemaker) Leader(v types.View) types.NodeID {
+	if v < 0 {
+		return types.NoNode
+	}
+	return types.NodeID(v % types.View(p.cfg.Base.N))
+}
+
+func (p *Pacemaker) epochOf(v types.View) types.Epoch {
+	if v < 0 {
+		return types.NoEpoch
+	}
+	return types.Epoch(v / p.epochLen)
+}
+
+func (p *Pacemaker) isEpochView(v types.View) bool { return v >= 0 && v%p.epochLen == 0 }
+
+func (p *Pacemaker) clockTime(v types.View) types.Time {
+	return types.Time(v) * types.Time(p.gamma)
+}
+
+// Handle implements pacemaker.Pacemaker.
+func (p *Pacemaker) Handle(from types.NodeID, m msg.Message) {
+	switch mm := m.(type) {
+	case *msg.EpochViewMsg:
+		p.onEpochViewMsg(from, mm)
+	case *msg.EC:
+		p.onECMessage(mm)
+	case *msg.QC:
+		p.onQC(mm)
+	}
+}
+
+// onBoundary fires when lc attains c_w.
+func (p *Pacemaker) onBoundary(w types.View) {
+	if w <= p.view {
+		return
+	}
+	if p.isEpochView(w) {
+		// Pause and start the heavy synchronization (§3.2 "The
+		// instructions for entering epoch views"). LP22 has no
+		// success criterion and no Δ-wait.
+		if p.pauseSeen[w] {
+			return
+		}
+		p.pauseSeen[w] = true
+		p.clk.Pause()
+		p.pausedAt = w
+		p.tr.Emit(p.rt.Now(), p.id, trace.PauseClock, w, "epoch boundary")
+		p.sendEpochViewMsg(w)
+		return
+	}
+	if p.epochOf(w) != p.epoch {
+		return
+	}
+	p.enterView(w)
+}
+
+func (p *Pacemaker) sendEpochViewMsg(w types.View) {
+	if p.sentEpochView[w] {
+		return
+	}
+	p.sentEpochView[w] = true
+	p.obs.OnHeavySync(w, p.rt.Now())
+	p.tr.Emit(p.rt.Now(), p.id, trace.SendEpoch, w, "")
+	p.ep.Broadcast(&msg.EpochViewMsg{V: w, Sig: p.signer.Sign(msg.EpochViewStatement(w))})
+}
+
+func (p *Pacemaker) onEpochViewMsg(from types.NodeID, em *msg.EpochViewMsg) {
+	w := em.V
+	if !p.isEpochView(w) || p.ecDone[w] || w <= p.view {
+		return
+	}
+	if em.Sig.Signer != from || p.suite.Verify(msg.EpochViewStatement(w), em.Sig) != nil {
+		return
+	}
+	sigs := p.epochViewMsgs[w]
+	if sigs == nil {
+		sigs = make(map[types.NodeID]crypto.Signature, p.cfg.Base.Quorum())
+		p.epochViewMsgs[w] = sigs
+	}
+	sigs[from] = em.Sig
+	if len(sigs) < p.cfg.Base.Quorum() {
+		return
+	}
+	flat := make([]crypto.Signature, 0, len(sigs))
+	for _, s := range sigs {
+		flat = append(flat, s)
+	}
+	agg, err := p.suite.Aggregate(msg.EpochViewStatement(w), flat)
+	if err != nil {
+		return
+	}
+	// §3.2: the assembler sends the EC to all processors, then enters.
+	p.ep.Broadcast(&msg.EC{V: w, Agg: agg})
+	p.enterEpoch(w)
+}
+
+func (p *Pacemaker) onECMessage(ec *msg.EC) {
+	w := ec.V
+	if !p.isEpochView(w) || w <= p.view {
+		return
+	}
+	if p.suite.VerifyAggregate(msg.EpochViewStatement(w), ec.Agg, p.cfg.Base.Quorum()) != nil {
+		return
+	}
+	p.enterEpoch(w)
+}
+
+// enterEpoch implements "upon seeing an EC for view v while in any lower
+// view: set lc(p) := c_v, unpause, enter epoch e and view v".
+func (p *Pacemaker) enterEpoch(w types.View) {
+	if p.ecDone[w] || w <= p.view {
+		return
+	}
+	p.ecDone[w] = true
+	p.tr.Emit(p.rt.Now(), p.id, trace.SeeEC, w, "")
+	if p.clk.Paused() {
+		p.clk.Unpause()
+		p.pausedAt = types.NoView
+		p.tr.Emit(p.rt.Now(), p.id, trace.Unpause, w, "ec")
+	}
+	p.enterView(w)
+	if target := p.clockTime(w); p.clk.BumpTo(target) {
+		p.tr.Emit(p.rt.Now(), p.id, trace.Bump, w, "ec")
+		p.ticker.Jumped(target)
+	} else {
+		p.ticker.Rearm()
+	}
+}
+
+// onQC implements responsive entry: enter non-epoch view v+1 upon a QC
+// for v. Clocks are NOT bumped — LP22's defining weakness.
+func (p *Pacemaker) onQC(qc *msg.QC) {
+	v := qc.V
+	if v < p.view || p.qcDone[v] {
+		return
+	}
+	if p.suite.VerifyAggregate(msg.VoteStatement(v, qc.BlockHash), qc.Agg, p.cfg.Base.Quorum()) != nil {
+		return
+	}
+	p.qcDone[v] = true
+	next := v + 1
+	if p.isEpochView(next) {
+		// Epoch entry requires the heavy synchronization; processors
+		// wait for their clocks to reach the boundary.
+		return
+	}
+	if next > p.view {
+		p.enterView(next)
+	}
+}
+
+func (p *Pacemaker) enterView(w types.View) {
+	if w <= p.view {
+		return
+	}
+	p.view = w
+	e := p.epochOf(w)
+	if e > p.epoch {
+		p.epoch = e
+		p.obs.OnEnterEpoch(e, p.rt.Now())
+	}
+	p.tr.Emit(p.rt.Now(), p.id, trace.EnterView, w, "")
+	p.obs.OnEnterView(w, p.rt.Now())
+	p.driver.EnterView(w)
+	if p.Leader(w) == p.id {
+		p.driver.LeaderStart(w, types.TimeInf)
+	}
+	p.prune()
+}
+
+func (p *Pacemaker) prune() {
+	lowEpochView := types.View(p.epoch-1) * p.epochLen
+	for _, m := range []map[types.View]bool{p.sentEpochView, p.pauseSeen, p.ecDone} {
+		for w := range m {
+			if w < lowEpochView {
+				delete(m, w)
+			}
+		}
+	}
+	for w := range p.epochViewMsgs {
+		if w < lowEpochView {
+			delete(p.epochViewMsgs, w)
+		}
+	}
+	for w := range p.qcDone {
+		if w < p.view-2 {
+			delete(p.qcDone, w)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package nk20 implements the Naor-Keidar round synchronization protocol
+// (DISC 2020), reconstructed from its summary in the Lumiere paper's
+// Table 1 (see DESIGN.md §8 for fidelity notes).
+//
+// Mechanics: on a view timeout, each processor sends a signed timeout
+// message for each of the next f+1 views to those views' leaders — at
+// least one of which is honest. A leader holding f+1 timeout messages for
+// a view it leads broadcasts a certificate that synchronizes everyone into
+// that view. A single synchronization therefore costs up to O(n·f) = O(n²)
+// messages, both in the worst case and whenever faults recur (the table's
+// eventual O(n²)).
+package nk20
+
+import (
+	"fmt"
+	"time"
+
+	"lumiere/internal/clock"
+	"lumiere/internal/crypto"
+	"lumiere/internal/msg"
+	"lumiere/internal/network"
+	"lumiere/internal/pacemaker"
+	"lumiere/internal/trace"
+	"lumiere/internal/types"
+)
+
+// Config parameterizes NK20.
+type Config struct {
+	// Base is the execution-model configuration.
+	Base types.Config
+	// ViewTimeout overrides the per-view progress timeout ((x+1)Δ).
+	ViewTimeout time.Duration
+	// Fanout overrides the number of future views wished for (f+1).
+	Fanout int
+}
+
+func (c Config) viewTimeout() time.Duration {
+	if c.ViewTimeout > 0 {
+		return c.ViewTimeout
+	}
+	return time.Duration(c.Base.X+1) * c.Base.Delta
+}
+
+func (c Config) fanout() int {
+	if c.Fanout > 0 {
+		return c.Fanout
+	}
+	return c.Base.F + 1
+}
+
+// Pacemaker is one processor's NK20 instance.
+type Pacemaker struct {
+	cfg    Config
+	id     types.NodeID
+	ep     network.Endpoint
+	rt     clock.Runtime
+	suite  crypto.Suite
+	signer crypto.Signer
+	driver pacemaker.Driver
+	obs    pacemaker.Observer
+	tr     *trace.Tracer
+
+	view       types.View
+	viewCancel func()
+
+	timeouts map[types.View]map[types.NodeID]crypto.Signature
+	tcSent   map[types.View]bool
+	tcSeen   map[types.View]bool
+	qcDone   map[types.View]bool
+}
+
+var _ pacemaker.Pacemaker = (*Pacemaker)(nil)
+
+// New creates an NK20 pacemaker.
+func New(cfg Config, ep network.Endpoint, rt clock.Runtime,
+	suite crypto.Suite, driver pacemaker.Driver, obs pacemaker.Observer, tr *trace.Tracer) *Pacemaker {
+	if err := cfg.Base.Validate(); err != nil {
+		panic(fmt.Sprintf("nk20: invalid config: %v", err))
+	}
+	if obs == nil {
+		obs = pacemaker.NopObserver{}
+	}
+	if driver == nil {
+		driver = pacemaker.NopDriver{}
+	}
+	return &Pacemaker{
+		cfg:      cfg,
+		id:       ep.ID(),
+		ep:       ep,
+		rt:       rt,
+		suite:    suite,
+		signer:   suite.SignerFor(ep.ID()),
+		driver:   driver,
+		obs:      obs,
+		tr:       tr,
+		view:     types.NoView,
+		timeouts: make(map[types.View]map[types.NodeID]crypto.Signature),
+		tcSent:   make(map[types.View]bool),
+		tcSeen:   make(map[types.View]bool),
+		qcDone:   make(map[types.View]bool),
+	}
+}
+
+// Start boots the protocol in view 0.
+func (p *Pacemaker) Start() { p.enterView(0) }
+
+// CurrentView implements pacemaker.Pacemaker.
+func (p *Pacemaker) CurrentView() types.View { return p.view }
+
+// CurrentEpoch implements pacemaker.Pacemaker; NK20 has no epochs.
+func (p *Pacemaker) CurrentEpoch() types.Epoch { return 0 }
+
+// Leader implements pacemaker.Pacemaker: round robin.
+func (p *Pacemaker) Leader(v types.View) types.NodeID {
+	if v < 0 {
+		return types.NoNode
+	}
+	return types.NodeID(v % types.View(p.cfg.Base.N))
+}
+
+// Handle implements pacemaker.Pacemaker.
+func (p *Pacemaker) Handle(from types.NodeID, m msg.Message) {
+	switch mm := m.(type) {
+	case *msg.Timeout:
+		p.onTimeout(from, mm)
+	case *msg.TC:
+		p.onTC(mm)
+	case *msg.QC:
+		p.onQC(mm)
+	}
+}
+
+func (p *Pacemaker) enterView(w types.View) {
+	if w <= p.view {
+		return
+	}
+	if p.viewCancel != nil {
+		p.viewCancel()
+		p.viewCancel = nil
+	}
+	p.view = w
+	p.tr.Emit(p.rt.Now(), p.id, trace.EnterView, w, "")
+	p.obs.OnEnterView(w, p.rt.Now())
+	p.driver.EnterView(w)
+	if p.Leader(w) == p.id {
+		p.driver.LeaderStart(w, types.TimeInf)
+	}
+	p.viewCancel = p.rt.After(p.cfg.viewTimeout(), func() { p.onViewExpired(w) })
+	p.prune()
+}
+
+// onViewExpired sends timeout messages for the next f+1 views to their
+// leaders — the O(n·f) fanout.
+func (p *Pacemaker) onViewExpired(w types.View) {
+	if p.view != w {
+		return
+	}
+	for k := 1; k <= p.cfg.fanout(); k++ {
+		t := w + types.View(k)
+		p.ep.Send(p.Leader(t), &msg.Timeout{V: t, Sig: p.signer.Sign(msg.TimeoutStatement(t))})
+	}
+	p.tr.Emitf(p.rt.Now(), p.id, trace.SendView, w+1, "timeout fanout %d", p.cfg.fanout())
+	// Re-arm: if synchronization fails (all f+1 leaders faulty cannot
+	// happen, but certificates can be delayed), try again.
+	p.viewCancel = p.rt.After(p.cfg.viewTimeout(), func() { p.onViewExpired(w) })
+}
+
+// onTimeout aggregates timeout messages for views this processor leads.
+func (p *Pacemaker) onTimeout(from types.NodeID, tm *msg.Timeout) {
+	t := tm.V
+	if t <= p.view || p.Leader(t) != p.id || p.tcSent[t] {
+		return
+	}
+	if tm.Sig.Signer != from || p.suite.Verify(msg.TimeoutStatement(t), tm.Sig) != nil {
+		return
+	}
+	sigs := p.timeouts[t]
+	if sigs == nil {
+		sigs = make(map[types.NodeID]crypto.Signature, p.cfg.Base.Majority())
+		p.timeouts[t] = sigs
+	}
+	sigs[from] = tm.Sig
+	if len(sigs) < p.cfg.Base.Majority() {
+		return
+	}
+	flat := make([]crypto.Signature, 0, len(sigs))
+	for _, s := range sigs {
+		flat = append(flat, s)
+	}
+	agg, err := p.suite.Aggregate(msg.TimeoutStatement(t), flat)
+	if err != nil {
+		return
+	}
+	p.tcSent[t] = true
+	p.tr.Emit(p.rt.Now(), p.id, trace.SeeTC, t, "aggregated")
+	p.ep.Broadcast(&msg.TC{V: t, Agg: agg})
+}
+
+func (p *Pacemaker) onTC(tc *msg.TC) {
+	t := tc.V
+	if t <= p.view || p.tcSeen[t] {
+		return
+	}
+	if p.suite.VerifyAggregate(msg.TimeoutStatement(t), tc.Agg, p.cfg.Base.Majority()) != nil {
+		return
+	}
+	p.tcSeen[t] = true
+	p.enterView(t)
+}
+
+// onQC implements responsive entry into the next view.
+func (p *Pacemaker) onQC(qc *msg.QC) {
+	v := qc.V
+	if v < p.view || p.qcDone[v] {
+		return
+	}
+	if p.suite.VerifyAggregate(msg.VoteStatement(v, qc.BlockHash), qc.Agg, p.cfg.Base.Quorum()) != nil {
+		return
+	}
+	p.qcDone[v] = true
+	p.enterView(v + 1)
+}
+
+func (p *Pacemaker) prune() {
+	low := p.view - 1
+	for w := range p.timeouts {
+		if w < low {
+			delete(p.timeouts, w)
+		}
+	}
+	for _, m := range []map[types.View]bool{p.tcSent, p.tcSeen, p.qcDone} {
+		for w := range m {
+			if w < low {
+				delete(m, w)
+			}
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Package raresync implements RareSync (Civit et al., DISC 2022), the
+// protocol that — concurrently with LP22 — first matched the
+// Dolev-Reischuk O(n²) bound for Byzantine view synchronization in
+// partial synchrony, as discussed in §6 of the Lumiere paper.
+//
+// Like LP22 it batches views into epochs of f+1 views and performs one
+// Θ(n²) all-to-all synchronization per epoch. Unlike LP22 it is *not*
+// optimistically responsive: views within an epoch advance purely on the
+// clock schedule (the paper: "RareSync is not optimistically
+// responsive"), so every consensus decision costs Θ(Γ) = Θ(Δ) even on a
+// fast network. It serves as the non-responsive end of the comparison
+// spectrum in this repository's experiments.
+package raresync
+
+import (
+	"fmt"
+	"time"
+
+	"lumiere/internal/clock"
+	"lumiere/internal/crypto"
+	"lumiere/internal/msg"
+	"lumiere/internal/network"
+	"lumiere/internal/pacemaker"
+	"lumiere/internal/trace"
+	"lumiere/internal/types"
+)
+
+// Config parameterizes RareSync.
+type Config struct {
+	// Base is the execution-model configuration.
+	Base types.Config
+	// GammaOverride overrides Γ = (x+1)Δ.
+	GammaOverride time.Duration
+}
+
+// Gamma returns the view duration Γ = (x+1)Δ unless overridden.
+func (c Config) Gamma() time.Duration {
+	if c.GammaOverride > 0 {
+		return c.GammaOverride
+	}
+	return time.Duration(c.Base.X+1) * c.Base.Delta
+}
+
+// EpochLen returns the views per epoch (f+1).
+func (c Config) EpochLen() types.View { return types.View(c.Base.F + 1) }
+
+// Pacemaker is one processor's RareSync instance.
+type Pacemaker struct {
+	cfg    Config
+	id     types.NodeID
+	ep     network.Endpoint
+	rt     clock.Runtime
+	clk    *clock.Clock
+	ticker *clock.Ticker
+	suite  crypto.Suite
+	signer crypto.Signer
+	driver pacemaker.Driver
+	obs    pacemaker.Observer
+	tr     *trace.Tracer
+
+	gamma    time.Duration
+	epochLen types.View
+
+	view     types.View
+	epoch    types.Epoch
+	pausedAt types.View
+
+	sentEpochView map[types.View]bool
+	pauseSeen     map[types.View]bool
+	epochViewMsgs map[types.View]map[types.NodeID]crypto.Signature
+	ecDone        map[types.View]bool
+}
+
+var _ pacemaker.Pacemaker = (*Pacemaker)(nil)
+
+// New creates a RareSync pacemaker.
+func New(cfg Config, ep network.Endpoint, rt clock.Runtime, clk *clock.Clock,
+	suite crypto.Suite, driver pacemaker.Driver, obs pacemaker.Observer, tr *trace.Tracer) *Pacemaker {
+	if err := cfg.Base.Validate(); err != nil {
+		panic(fmt.Sprintf("raresync: invalid config: %v", err))
+	}
+	if obs == nil {
+		obs = pacemaker.NopObserver{}
+	}
+	if driver == nil {
+		driver = pacemaker.NopDriver{}
+	}
+	return &Pacemaker{
+		cfg:           cfg,
+		id:            ep.ID(),
+		ep:            ep,
+		rt:            rt,
+		clk:           clk,
+		suite:         suite,
+		signer:        suite.SignerFor(ep.ID()),
+		driver:        driver,
+		obs:           obs,
+		tr:            tr,
+		gamma:         cfg.Gamma(),
+		epochLen:      cfg.EpochLen(),
+		view:          types.NoView,
+		epoch:         types.NoEpoch,
+		pausedAt:      types.NoView,
+		sentEpochView: make(map[types.View]bool),
+		pauseSeen:     make(map[types.View]bool),
+		epochViewMsgs: make(map[types.View]map[types.NodeID]crypto.Signature),
+		ecDone:        make(map[types.View]bool),
+	}
+}
+
+// Gamma returns the view duration Γ in effect.
+func (p *Pacemaker) Gamma() time.Duration { return p.gamma }
+
+// Start boots the protocol; lc = 0 triggers the epoch-0 synchronization.
+func (p *Pacemaker) Start() {
+	p.ticker = clock.NewTicker(p.clk, p.gamma, p.onBoundary)
+	p.ticker.StartInclusive()
+}
+
+// CurrentView implements pacemaker.Pacemaker.
+func (p *Pacemaker) CurrentView() types.View { return p.view }
+
+// CurrentEpoch implements pacemaker.Pacemaker.
+func (p *Pacemaker) CurrentEpoch() types.Epoch { return p.epoch }
+
+// Leader implements pacemaker.Pacemaker: round robin.
+func (p *Pacemaker) Leader(v types.View) types.NodeID {
+	if v < 0 {
+		return types.NoNode
+	}
+	return types.NodeID(v % types.View(p.cfg.Base.N))
+}
+
+func (p *Pacemaker) isEpochView(v types.View) bool { return v >= 0 && v%p.epochLen == 0 }
+
+func (p *Pacemaker) clockTime(v types.View) types.Time {
+	return types.Time(v) * types.Time(p.gamma)
+}
+
+// Handle implements pacemaker.Pacemaker. QCs are deliberately ignored for
+// view entry: RareSync is not responsive.
+func (p *Pacemaker) Handle(from types.NodeID, m msg.Message) {
+	switch mm := m.(type) {
+	case *msg.EpochViewMsg:
+		p.onEpochViewMsg(from, mm)
+	case *msg.EC:
+		p.onECMessage(mm)
+	}
+}
+
+func (p *Pacemaker) onBoundary(w types.View) {
+	if w <= p.view {
+		return
+	}
+	if p.isEpochView(w) {
+		if p.pauseSeen[w] {
+			return
+		}
+		p.pauseSeen[w] = true
+		p.clk.Pause()
+		p.pausedAt = w
+		p.tr.Emit(p.rt.Now(), p.id, trace.PauseClock, w, "epoch boundary")
+		p.sendEpochViewMsg(w)
+		return
+	}
+	p.enterView(w)
+}
+
+func (p *Pacemaker) sendEpochViewMsg(w types.View) {
+	if p.sentEpochView[w] {
+		return
+	}
+	p.sentEpochView[w] = true
+	p.obs.OnHeavySync(w, p.rt.Now())
+	p.tr.Emit(p.rt.Now(), p.id, trace.SendEpoch, w, "")
+	p.ep.Broadcast(&msg.EpochViewMsg{V: w, Sig: p.signer.Sign(msg.EpochViewStatement(w))})
+}
+
+func (p *Pacemaker) onEpochViewMsg(from types.NodeID, em *msg.EpochViewMsg) {
+	w := em.V
+	if !p.isEpochView(w) || p.ecDone[w] || w <= p.view {
+		return
+	}
+	if em.Sig.Signer != from || p.suite.Verify(msg.EpochViewStatement(w), em.Sig) != nil {
+		return
+	}
+	sigs := p.epochViewMsgs[w]
+	if sigs == nil {
+		sigs = make(map[types.NodeID]crypto.Signature, p.cfg.Base.Quorum())
+		p.epochViewMsgs[w] = sigs
+	}
+	sigs[from] = em.Sig
+	if len(sigs) < p.cfg.Base.Quorum() {
+		return
+	}
+	flat := make([]crypto.Signature, 0, len(sigs))
+	for _, s := range sigs {
+		flat = append(flat, s)
+	}
+	agg, err := p.suite.Aggregate(msg.EpochViewStatement(w), flat)
+	if err != nil {
+		return
+	}
+	p.ep.Broadcast(&msg.EC{V: w, Agg: agg})
+	p.enterEpoch(w)
+}
+
+func (p *Pacemaker) onECMessage(ec *msg.EC) {
+	w := ec.V
+	if !p.isEpochView(w) || w <= p.view {
+		return
+	}
+	if p.suite.VerifyAggregate(msg.EpochViewStatement(w), ec.Agg, p.cfg.Base.Quorum()) != nil {
+		return
+	}
+	p.enterEpoch(w)
+}
+
+func (p *Pacemaker) enterEpoch(w types.View) {
+	if p.ecDone[w] || w <= p.view {
+		return
+	}
+	p.ecDone[w] = true
+	if p.clk.Paused() {
+		p.clk.Unpause()
+		p.pausedAt = types.NoView
+		p.tr.Emit(p.rt.Now(), p.id, trace.Unpause, w, "ec")
+	}
+	p.enterView(w)
+	if target := p.clockTime(w); p.clk.BumpTo(target) {
+		p.ticker.Jumped(target)
+	} else {
+		p.ticker.Rearm()
+	}
+}
+
+func (p *Pacemaker) enterView(w types.View) {
+	if w <= p.view {
+		return
+	}
+	p.view = w
+	e := types.Epoch(w / p.epochLen)
+	if e > p.epoch {
+		p.epoch = e
+		p.obs.OnEnterEpoch(e, p.rt.Now())
+	}
+	p.tr.Emit(p.rt.Now(), p.id, trace.EnterView, w, "")
+	p.obs.OnEnterView(w, p.rt.Now())
+	p.driver.EnterView(w)
+	if p.Leader(w) == p.id {
+		p.driver.LeaderStart(w, types.TimeInf)
+	}
+	p.prune()
+}
+
+func (p *Pacemaker) prune() {
+	lowEpochView := types.View(p.epoch-1) * p.epochLen
+	for _, m := range []map[types.View]bool{p.sentEpochView, p.pauseSeen, p.ecDone} {
+		for w := range m {
+			if w < lowEpochView {
+				delete(m, w)
+			}
+		}
+	}
+	for w := range p.epochViewMsgs {
+		if w < lowEpochView {
+			delete(p.epochViewMsgs, w)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package clock
+
+import (
+	"time"
+
+	"lumiere/internal/types"
+)
+
+// Ticker turns a Clock into the stream of "lc(p) == c_v" triggers that
+// clock-driven pacemakers consume, where c_v = Γ·v. It enforces the
+// paper's exact-attainment semantics:
+//
+//   - values crossed by the passage of time fire their triggers in order;
+//   - a bump that lands exactly on c_v fires v's trigger (the owner
+//     reports the landing via Jumped, so real-time jitter between the
+//     bump and the observation cannot blur the target);
+//   - a bump that jumps over c_v silently skips it.
+//
+// The owner must call Jumped(target) after every BumpTo(target) it
+// performs, and Rearm after unpausing. Handlers may themselves bump or
+// pause the clock; re-entrancy is handled.
+type Ticker struct {
+	clk    *Clock
+	gamma  time.Duration
+	handle func(v types.View)
+
+	cursor  types.Time // lc value up to which triggers have been evaluated
+	syncing bool
+}
+
+// NewTicker creates a Ticker delivering triggers for view boundaries
+// c_v = gamma·v. gamma must be positive. Call Start or StartInclusive to
+// begin.
+func NewTicker(clk *Clock, gamma time.Duration, handle func(v types.View)) *Ticker {
+	if gamma <= 0 {
+		panic("clock: non-positive gamma")
+	}
+	return &Ticker{clk: clk, gamma: gamma, handle: handle}
+}
+
+// Start begins delivering triggers for boundaries strictly greater than
+// the clock's current value.
+func (t *Ticker) Start() {
+	t.cursor = t.clk.Read()
+	t.sync()
+}
+
+// StartInclusive begins delivering triggers, treating the most recent
+// boundary at or before the current clock value as not yet evaluated.
+// Lumiere and LP22 boot this way so that lc ≈ 0 triggers the epoch-view-0
+// handler — "≈" because under the wall clock a few nanoseconds elapse
+// between clock creation and Start.
+func (t *Ticker) StartInclusive() {
+	lc := t.clk.Read()
+	if lc < 0 {
+		t.cursor = lc
+		t.sync()
+		return
+	}
+	g := types.Time(t.gamma)
+	t.cursor = (lc/g)*g - 1
+	t.sync()
+}
+
+// Gamma returns the boundary spacing Γ.
+func (t *Ticker) Gamma() time.Duration { return t.gamma }
+
+// Jumped must be called after the owner bumps the clock to target. If the
+// bump landed exactly on a boundary, its trigger fires synchronously;
+// boundaries jumped over are dropped.
+func (t *Ticker) Jumped(target types.Time) {
+	if target > t.cursor {
+		fire := t.onBoundary(target)
+		t.cursor = target
+		if fire {
+			t.fire(t.viewAt(target))
+		}
+	}
+	t.sync()
+}
+
+// Rearm re-evaluates triggers and the physical alarm; call after
+// unpausing.
+func (t *Ticker) Rearm() { t.sync() }
+
+func (t *Ticker) onBoundary(lc types.Time) bool {
+	return lc >= 0 && lc%types.Time(t.gamma) == 0
+}
+
+func (t *Ticker) viewAt(lc types.Time) types.View {
+	return types.View(lc / types.Time(t.gamma))
+}
+
+func (t *Ticker) nextBoundaryAfter(lc types.Time) types.Time {
+	g := types.Time(t.gamma)
+	if lc < 0 {
+		return 0
+	}
+	return (lc/g + 1) * g
+}
+
+// sync fires triggers for every boundary the running clock has crossed
+// since the cursor, in order, then arms the clock alarm for the next one.
+// It is iterative and re-entrancy-guarded: handlers that pause or bump
+// the clock (via Jumped) interleave correctly, and under the wall clock —
+// where Read advances between statements — it terminates as soon as the
+// next boundary lies in the future.
+func (t *Ticker) sync() {
+	if t.syncing {
+		return
+	}
+	t.syncing = true
+	for {
+		lc := t.clk.Read()
+		if lc <= t.cursor {
+			break
+		}
+		next := t.nextBoundaryAfter(t.cursor)
+		if next > lc {
+			t.cursor = lc
+			break
+		}
+		t.cursor = next
+		t.fire(t.viewAt(next))
+	}
+	t.syncing = false
+	t.clk.SetAlarm(t.nextBoundaryAfter(t.cursor), func() { t.sync() })
+}
+
+func (t *Ticker) fire(v types.View) {
+	if t.handle != nil {
+		t.handle(v)
+	}
+}

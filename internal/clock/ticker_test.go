@@ -1,0 +1,174 @@
+package clock
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"lumiere/internal/sim"
+	"lumiere/internal/types"
+)
+
+const gamma = 10 * time.Nanosecond
+
+func tickerHarness(seed int64) (*sim.Scheduler, *Clock, *Ticker, *[]types.View) {
+	s := sim.New(seed)
+	c := New(s, 0)
+	var fired []types.View
+	tk := NewTicker(c, gamma, func(v types.View) { fired = append(fired, v) })
+	return s, c, tk, &fired
+}
+
+func TestTickerCrossingFiresInOrder(t *testing.T) {
+	s, _, tk, fired := tickerHarness(1)
+	tk.Start()
+	s.RunUntil(35)
+	want := []types.View{1, 2, 3}
+	if len(*fired) != len(want) {
+		t.Fatalf("fired = %v", *fired)
+	}
+	for i, v := range want {
+		if (*fired)[i] != v {
+			t.Fatalf("fired = %v", *fired)
+		}
+	}
+}
+
+func TestTickerStartInclusiveFiresBoundaryZero(t *testing.T) {
+	s, _, tk, fired := tickerHarness(1)
+	tk.StartInclusive()
+	if len(*fired) != 1 || (*fired)[0] != 0 {
+		t.Fatalf("fired = %v, want [0]", *fired)
+	}
+	s.RunUntil(10)
+	if len(*fired) != 2 || (*fired)[1] != 1 {
+		t.Fatalf("fired = %v, want [0 1]", *fired)
+	}
+}
+
+func TestTickerBumpLandingFires(t *testing.T) {
+	s, c, tk, fired := tickerHarness(1)
+	tk.Start()
+	s.RunUntil(5)
+	c.BumpTo(30) // lands exactly on boundary 3
+	tk.Jumped(30)
+	if len(*fired) != 1 || (*fired)[0] != 3 {
+		t.Fatalf("fired = %v, want [3]", *fired)
+	}
+}
+
+func TestTickerBumpOverSkips(t *testing.T) {
+	s, c, tk, fired := tickerHarness(1)
+	tk.Start()
+	s.RunUntil(5)
+	c.BumpTo(35) // jumps over boundaries 1,2,3, lands between 3 and 4
+	tk.Jumped(35)
+	if len(*fired) != 0 {
+		t.Fatalf("fired = %v, want none", *fired)
+	}
+	s.RunUntil(12) // lc = 35 + (12-5) = 42: crossed boundary 4 only
+	if len(*fired) != 1 || (*fired)[0] != 4 {
+		t.Fatalf("fired = %v, want [4]", *fired)
+	}
+}
+
+func TestTickerPauseSuppressesAndResumes(t *testing.T) {
+	s, c, tk, fired := tickerHarness(1)
+	tk.Start()
+	s.RunUntil(15)
+	c.Pause()
+	s.RunUntil(100)
+	if len(*fired) != 1 {
+		t.Fatalf("fired during pause: %v", *fired)
+	}
+	c.Unpause()
+	tk.Rearm()
+	s.RunUntil(106) // lc: 15 paused; resumes at t=100, lc=20 at t=105
+	if len(*fired) != 2 || (*fired)[1] != 2 {
+		t.Fatalf("fired = %v", *fired)
+	}
+}
+
+func TestTickerHandlerMayPauseAtBoundary(t *testing.T) {
+	s := sim.New(1)
+	c := New(s, 0)
+	var fired []types.View
+	var tk *Ticker
+	tk = NewTicker(c, gamma, func(v types.View) {
+		fired = append(fired, v)
+		if v == 2 {
+			c.Pause()
+		}
+	})
+	tk.Start()
+	s.RunUntil(100)
+	if len(fired) != 2 || fired[1] != 2 || c.Read() != 20 {
+		t.Fatalf("fired = %v lc = %v", fired, c.Read())
+	}
+}
+
+func TestTickerHandlerMayBumpAtBoundary(t *testing.T) {
+	s := sim.New(1)
+	c := New(s, 0)
+	var fired []types.View
+	var tk *Ticker
+	tk = NewTicker(c, gamma, func(v types.View) {
+		fired = append(fired, v)
+		if v == 1 {
+			c.BumpTo(30) // lands on boundary 3 from within the handler
+			tk.Jumped(30)
+		}
+	})
+	tk.Start()
+	s.RunUntil(10)
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
+		t.Fatalf("fired = %v, want [1 3]", fired)
+	}
+}
+
+// TestTickerExactlyOncePerBoundary checks the core guarantee under random
+// interleavings: every boundary value the clock attains fires exactly
+// once, and jumped-over boundaries never fire.
+func TestTickerExactlyOncePerBoundary(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		s := sim.New(seed)
+		c := New(s, 0)
+		seen := make(map[types.View]int)
+		var tk *Ticker
+		tk = NewTicker(c, gamma, func(v types.View) { seen[v]++ })
+		tk.Start()
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 300; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				s.RunFor(time.Duration(rng.Intn(25)))
+			case 1:
+				c.Pause()
+			case 2:
+				c.Unpause()
+				tk.Rearm()
+			case 3:
+				target := c.Read() + types.Time(rng.Intn(35))
+				if c.BumpTo(target) {
+					tk.Jumped(target)
+				}
+			}
+		}
+		for v, n := range seen {
+			if n != 1 {
+				t.Fatalf("seed %d: boundary %v fired %d times", seed, v, n)
+			}
+		}
+	}
+}
+
+func TestTickerZeroGammaPanics(t *testing.T) {
+	s := sim.New(1)
+	c := New(s, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewTicker(c, 0, nil)
+}

@@ -1,0 +1,65 @@
+package clock
+
+import (
+	"sync"
+	"time"
+
+	"lumiere/internal/types"
+)
+
+// Wall is a Runtime over the operating-system monotonic clock. All
+// callbacks (timers and, by convention, message deliveries) are serialized
+// by a single mutex supplied by the owning node, so protocol state
+// machines written for the single-threaded simulator run unchanged.
+type Wall struct {
+	mu    *sync.Mutex
+	start time.Time
+}
+
+var _ Runtime = (*Wall)(nil)
+
+// NewWall creates a wall-clock runtime. mu is the owning node's big lock;
+// every timer callback runs with mu held. Run message deliveries under the
+// same lock.
+func NewWall(mu *sync.Mutex) *Wall {
+	return &Wall{mu: mu, start: time.Now()}
+}
+
+// Now implements Runtime using monotonic nanoseconds since creation.
+func (w *Wall) Now() types.Time { return types.Time(time.Since(w.start)) }
+
+// After implements Runtime. The callback acquires the node lock.
+func (w *Wall) After(d time.Duration, fn func()) func() {
+	if d < 0 {
+		d = 0
+	}
+	var once sync.Once
+	canceled := make(chan struct{})
+	timer := time.AfterFunc(d, func() {
+		select {
+		case <-canceled:
+			return
+		default:
+		}
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		select {
+		case <-canceled:
+			return
+		default:
+			fn()
+		}
+	})
+	return func() {
+		once.Do(func() {
+			close(canceled)
+			timer.Stop()
+		})
+	}
+}
+
+// Lock exposes the node lock for transports delivering messages.
+func (w *Wall) Lock() { w.mu.Lock() }
+
+// Unlock releases the node lock.
+func (w *Wall) Unlock() { w.mu.Unlock() }

@@ -1,0 +1,733 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"lumiere/internal/clock"
+	"lumiere/internal/crypto"
+	"lumiere/internal/msg"
+	"lumiere/internal/network"
+	"lumiere/internal/pacemaker"
+	"lumiere/internal/trace"
+	"lumiere/internal/types"
+)
+
+// Pacemaker is one processor's Lumiere instance (Algorithm 1). It is not
+// internally synchronized: the owning runtime serializes all entry points
+// (message deliveries, clock alarms, timer callbacks).
+type Pacemaker struct {
+	cfg      Config
+	id       types.NodeID
+	ep       network.Endpoint
+	rt       clock.Runtime
+	clk      *clock.Clock
+	ticker   *clock.Ticker
+	suite    crypto.Suite
+	signer   crypto.Signer
+	driver   pacemaker.Driver
+	schedule Schedule
+	obs      pacemaker.Observer
+	tr       *trace.Tracer
+
+	gamma    time.Duration
+	qcWindow time.Duration // <0 means no deadline
+	epochLen types.View
+
+	view  types.View  // view(p), Algorithm 1 line 3
+	epoch types.Epoch // epoch(p), Algorithm 1 line 4
+
+	// Pause state for epoch boundaries (lines 9-11).
+	pausedAt  types.View // epoch view at which the clock is paused; NoView when running
+	pauseSeen map[types.View]bool
+
+	// Send dedupe ("if not already sent").
+	sentView      map[types.View]bool
+	sentEpochView map[types.View]bool
+
+	// VC formation (leader side, lines 32-34).
+	viewMsgs map[types.View]map[types.NodeID]crypto.Signature
+	vcFormed map[types.View]bool
+	vcSentAt map[types.View]types.Time
+	vcSeen   map[types.View]bool
+
+	// EC / TC assembly from broadcast epoch-view messages.
+	epochViewMsgs map[types.View]map[types.NodeID]crypto.Signature
+	tcDone        map[types.View]bool
+	ecDone        map[types.View]bool
+
+	// QC processing (lines 44-49) and the success criterion (§4).
+	qcDone    map[types.View]bool
+	credited  map[types.View]bool
+	leaderQCs map[types.Epoch]map[types.NodeID]int
+	success   map[types.Epoch]bool
+
+	violations []string
+	lastLC     types.Time
+}
+
+var _ pacemaker.Pacemaker = (*Pacemaker)(nil)
+
+// New creates a Lumiere pacemaker. clk must have been created on rt;
+// driver receives view-entry and leader-start notifications; obs and tr
+// may be nil.
+func New(cfg Config, ep network.Endpoint, rt clock.Runtime, clk *clock.Clock,
+	suite crypto.Suite, driver pacemaker.Driver, obs pacemaker.Observer, tr *trace.Tracer) *Pacemaker {
+	cfg = cfg.normalized()
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("core: invalid config: %v", err))
+	}
+	var sched Schedule
+	if cfg.RoundRobin {
+		sched = RoundRobin{N: cfg.Base.N}
+	} else {
+		sched = NewPermSchedule(cfg.Base.N, cfg.ScheduleSeed)
+	}
+	if obs == nil {
+		obs = pacemaker.NopObserver{}
+	}
+	if driver == nil {
+		driver = pacemaker.NopDriver{}
+	}
+	return &Pacemaker{
+		cfg:           cfg,
+		id:            ep.ID(),
+		ep:            ep,
+		rt:            rt,
+		clk:           clk,
+		suite:         suite,
+		signer:        suite.SignerFor(ep.ID()),
+		driver:        driver,
+		schedule:      sched,
+		obs:           obs,
+		tr:            tr,
+		gamma:         cfg.Gamma(),
+		qcWindow:      cfg.QCWindow(),
+		epochLen:      cfg.EpochLen(),
+		view:          types.NoView,
+		epoch:         types.NoEpoch,
+		pausedAt:      types.NoView,
+		pauseSeen:     make(map[types.View]bool),
+		sentView:      make(map[types.View]bool),
+		sentEpochView: make(map[types.View]bool),
+		viewMsgs:      make(map[types.View]map[types.NodeID]crypto.Signature),
+		vcFormed:      make(map[types.View]bool),
+		vcSentAt:      make(map[types.View]types.Time),
+		vcSeen:        make(map[types.View]bool),
+		epochViewMsgs: make(map[types.View]map[types.NodeID]crypto.Signature),
+		tcDone:        make(map[types.View]bool),
+		ecDone:        make(map[types.View]bool),
+		qcDone:        make(map[types.View]bool),
+		credited:      make(map[types.View]bool),
+		leaderQCs:     make(map[types.Epoch]map[types.NodeID]int),
+		success:       make(map[types.Epoch]bool),
+	}
+}
+
+// SetSchedule replaces the leader schedule (all replicas must share one).
+func (p *Pacemaker) SetSchedule(s Schedule) { p.schedule = s }
+
+// Gamma returns the view duration Γ in effect.
+func (p *Pacemaker) Gamma() time.Duration { return p.gamma }
+
+// Start boots the protocol: processors join with lc(p) = 0 and the
+// epoch-view-0 trigger fires (success(-1) = 0, so the execution begins
+// with a heavy synchronization into epoch 0).
+func (p *Pacemaker) Start() {
+	p.ticker = clock.NewTicker(p.clk, p.gamma, p.onBoundary)
+	p.ticker.StartInclusive()
+	p.checkInvariants("start")
+}
+
+// CurrentView implements pacemaker.Pacemaker.
+func (p *Pacemaker) CurrentView() types.View { return p.view }
+
+// CurrentEpoch implements pacemaker.Pacemaker.
+func (p *Pacemaker) CurrentEpoch() types.Epoch { return p.epoch }
+
+// Leader implements pacemaker.Pacemaker.
+func (p *Pacemaker) Leader(v types.View) types.NodeID { return p.schedule.Leader(v) }
+
+// Paused reports whether the local clock is paused at an epoch boundary.
+func (p *Pacemaker) Paused() bool { return p.clk.Paused() }
+
+// LocalClock returns lc(p).
+func (p *Pacemaker) LocalClock() types.Time { return p.clk.Read() }
+
+// SuccessOf reports success(e) (§4).
+func (p *Pacemaker) SuccessOf(e types.Epoch) bool { return p.success[e] }
+
+// Violations returns recorded invariant violations (empty in correct
+// executions; populated only with Config.CheckInvariants).
+func (p *Pacemaker) Violations() []string { return p.violations }
+
+// Handle implements pacemaker.Pacemaker.
+func (p *Pacemaker) Handle(from types.NodeID, m msg.Message) {
+	switch mm := m.(type) {
+	case *msg.ViewMsg:
+		p.onViewMsg(from, mm)
+	case *msg.VC:
+		p.onVC(mm)
+	case *msg.EpochViewMsg:
+		p.onEpochViewMsg(from, mm)
+	case *msg.TC:
+		p.onTCMessage(mm)
+	case *msg.EC:
+		p.onECMessage(mm)
+	case *msg.QC:
+		p.onQC(mm)
+	}
+	p.checkInvariants(fmt.Sprintf("handle %v", m.Kind()))
+}
+
+// ---------------------------------------------------------------------------
+// Clock boundary triggers ("Upon lc(p) == c_v ...")
+// ---------------------------------------------------------------------------
+
+func (p *Pacemaker) onBoundary(w types.View) {
+	switch {
+	case p.cfg.IsEpochView(w):
+		p.onEpochBoundary(w)
+	case w.Initial():
+		p.onInitialBoundary(w)
+	}
+	p.checkInvariants(fmt.Sprintf("boundary %v", w))
+}
+
+// onEpochBoundary implements lines 9-14: the clock attained c_w for an
+// epoch view w.
+func (p *Pacemaker) onEpochBoundary(w types.View) {
+	if w <= p.view || p.pauseSeen[w] {
+		return
+	}
+	p.pauseSeen[w] = true
+	if p.successOf(p.cfg.EpochOf(w) - 1) {
+		// Lines 13-14: enter the epoch treating w as a standard
+		// initial view.
+		p.enterInitial(w)
+		return
+	}
+	// Lines 9-11: pause; after Δ, if still paused, start the heavy
+	// synchronization.
+	p.clk.Pause()
+	p.pausedAt = w
+	p.tr.Emit(p.rt.Now(), p.id, trace.PauseClock, w, "epoch boundary, success=0")
+	if p.cfg.Variant == VariantBasic || p.cfg.DisableDeltaWait {
+		p.sendEpochViewMsg(w)
+		return
+	}
+	p.rt.After(p.cfg.Base.Delta, func() {
+		if p.clk.Paused() && p.pausedAt == w {
+			p.sendEpochViewMsg(w)
+		}
+		p.checkInvariants("delta-wait")
+	})
+}
+
+// onInitialBoundary implements lines 28-30: the clock attained c_w for an
+// initial non-epoch view w.
+func (p *Pacemaker) onInitialBoundary(w types.View) {
+	if p.epoch != p.cfg.EpochOf(w) || w < p.view {
+		return
+	}
+	if w > p.view {
+		p.setPosition(w, p.cfg.EpochOf(w))
+		p.driver.EnterView(w)
+	}
+	p.sendViewMsg(w)
+	p.maybeLeaderStartInitial(w)
+}
+
+// enterInitial enters epoch view w as a standard initial view (lines
+// 13-14 followed by the line-28 trigger, whose condition lc == c_w ∧
+// epoch(p) == E(w) becomes true at this instant).
+func (p *Pacemaker) enterInitial(w types.View) {
+	p.unpauseIfAt(w)
+	p.setPosition(w, p.cfg.EpochOf(w))
+	p.driver.EnterView(w)
+	p.sendViewMsg(w)
+	p.maybeLeaderStartInitial(w)
+}
+
+// ---------------------------------------------------------------------------
+// View messages and VCs (lines 28-40)
+// ---------------------------------------------------------------------------
+
+// onViewMsg implements the leader side (lines 32-34).
+func (p *Pacemaker) onViewMsg(from types.NodeID, vm *msg.ViewMsg) {
+	w := vm.V
+	if !w.Initial() || p.schedule.Leader(w) != p.id || w < p.view || p.vcFormed[w] {
+		return
+	}
+	if vm.Sig.Signer != from || p.suite.Verify(msg.ViewStatement(w), vm.Sig) != nil {
+		return
+	}
+	sigs := p.viewMsgs[w]
+	if sigs == nil {
+		sigs = make(map[types.NodeID]crypto.Signature, p.cfg.Base.Majority())
+		p.viewMsgs[w] = sigs
+	}
+	sigs[from] = vm.Sig
+	if len(sigs) < p.cfg.Base.Majority() {
+		return
+	}
+	flat := make([]crypto.Signature, 0, len(sigs))
+	for _, s := range sigs {
+		flat = append(flat, s)
+	}
+	agg, err := p.suite.Aggregate(msg.ViewStatement(w), flat)
+	if err != nil {
+		return
+	}
+	p.vcFormed[w] = true
+	p.vcSentAt[w] = p.rt.Now()
+	p.tr.Emit(p.rt.Now(), p.id, trace.FormVC, w, "")
+	p.ep.Broadcast(&msg.VC{V: w, Agg: agg})
+	// If the leader is already in view w, start driving it now; if not,
+	// the self-delivered VC (same instant) enters the view first.
+	p.maybeLeaderStartInitial(w)
+}
+
+// onVC implements lines 36-40.
+func (p *Pacemaker) onVC(vc *msg.VC) {
+	w := vc.V
+	if !w.Initial() || w <= p.view || p.vcSeen[w] {
+		return
+	}
+	if p.suite.VerifyAggregate(msg.ViewStatement(w), vc.Agg, p.cfg.Base.Majority()) != nil {
+		return
+	}
+	p.vcSeen[w] = true
+	// Line 10: a VC for a view ≥ the pause view unpauses.
+	if p.pausedAt != types.NoView && w >= p.pausedAt {
+		p.unpause("vc")
+	}
+	if p.clk.Read() < p.clockTime(w) {
+		p.sendPendingViewMsgs(w) // line 38
+	}
+	p.setPosition(w, p.cfg.EpochOf(w)) // line 40
+	p.driver.EnterView(w)
+	p.bumpTo(w) // line 39 (fires the line-28 trigger on landing)
+	p.sendViewMsg(w)
+	p.maybeLeaderStartInitial(w)
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-view messages, TCs and ECs (lines 9-24, §3.5)
+// ---------------------------------------------------------------------------
+
+// onEpochViewMsg assembles TCs (f+1) and ECs (2f+1) from broadcast
+// epoch-view messages.
+func (p *Pacemaker) onEpochViewMsg(from types.NodeID, em *msg.EpochViewMsg) {
+	w := em.V
+	if !p.cfg.IsEpochView(w) || p.cfg.EpochOf(w) <= p.epoch-1 {
+		return
+	}
+	if em.Sig.Signer != from || p.suite.Verify(msg.EpochViewStatement(w), em.Sig) != nil {
+		return
+	}
+	sigs := p.epochViewMsgs[w]
+	if sigs == nil {
+		sigs = make(map[types.NodeID]crypto.Signature, p.cfg.Base.Quorum())
+		p.epochViewMsgs[w] = sigs
+	}
+	sigs[from] = em.Sig
+	if p.cfg.Variant == VariantFull && len(sigs) >= p.cfg.Base.Majority() && !p.tcDone[w] {
+		p.onTC(w)
+	}
+	if len(sigs) >= p.cfg.Base.Quorum() && !p.ecDone[w] {
+		if p.cfg.Variant == VariantBasic {
+			// §3.4 / LP22: broadcast the combined EC.
+			if agg, err := p.aggregateEpochViews(w); err == nil {
+				p.ep.Broadcast(&msg.EC{V: w, Agg: agg})
+			}
+		}
+		p.onEC(w)
+	}
+}
+
+func (p *Pacemaker) aggregateEpochViews(w types.View) (crypto.Aggregate, error) {
+	sigs := p.epochViewMsgs[w]
+	flat := make([]crypto.Signature, 0, len(sigs))
+	for _, s := range sigs {
+		flat = append(flat, s)
+	}
+	return p.suite.Aggregate(msg.EpochViewStatement(w), flat)
+}
+
+// onTCMessage verifies a relayed compact TC.
+func (p *Pacemaker) onTCMessage(tc *msg.TC) {
+	w := tc.V
+	if p.cfg.Variant != VariantFull || !p.cfg.IsEpochView(w) || p.tcDone[w] {
+		return
+	}
+	if p.suite.VerifyAggregate(msg.EpochViewStatement(w), tc.Agg, p.cfg.Base.Majority()) != nil {
+		return
+	}
+	p.onTC(w)
+}
+
+// onECMessage verifies a relayed compact EC.
+func (p *Pacemaker) onECMessage(ec *msg.EC) {
+	w := ec.V
+	if !p.cfg.IsEpochView(w) || p.ecDone[w] {
+		return
+	}
+	if p.suite.VerifyAggregate(msg.EpochViewStatement(w), ec.Agg, p.cfg.Base.Quorum()) != nil {
+		return
+	}
+	if p.cfg.Variant == VariantFull && !p.tcDone[w] {
+		p.onTC(w)
+	}
+	p.onEC(w)
+}
+
+// onTC implements lines 16-21 ("Upon first seeing a TC for epoch view v
+// with E(v) ≥ epoch(p)").
+func (p *Pacemaker) onTC(w types.View) {
+	if p.tcDone[w] || p.cfg.EpochOf(w) < p.epoch {
+		return
+	}
+	p.tcDone[w] = true
+	p.tr.Emit(p.rt.Now(), p.id, trace.SeeTC, w, "")
+	// Line 10: a TC for a view strictly greater than the pause view
+	// unpauses.
+	if p.pausedAt != types.NoView && w > p.pausedAt {
+		p.unpause("tc")
+	}
+	below := p.clk.Read() < p.clockTime(w)
+	if below {
+		p.sendPendingViewMsgs(w) // line 18
+	}
+	if p.view < w-1 { // line 20
+		p.setPosition(w-1, p.cfg.EpochOf(w)-1)
+		p.driver.EnterView(w - 1)
+	}
+	p.sendEpochViewMsg(w) // line 21
+	if below {
+		p.bumpTo(w) // line 19; landing fires the epoch-boundary trigger
+	}
+}
+
+// onEC implements lines 23-24 ("Upon first seeing an EC for epoch view v
+// with E(v) > epoch(p)"). Seeing an EC implies seeing a TC, which the
+// callers have already processed.
+func (p *Pacemaker) onEC(w types.View) {
+	if p.ecDone[w] {
+		return
+	}
+	p.ecDone[w] = true
+	p.tr.Emit(p.rt.Now(), p.id, trace.SeeEC, w, "")
+	if p.cfg.EpochOf(w) <= p.epoch {
+		return
+	}
+	// Line 10: an EC for a view ≥ the pause view unpauses; entering the
+	// epoch unpauses unconditionally (§3.4).
+	if p.pausedAt != types.NoView && w >= p.pausedAt {
+		p.unpause("ec")
+	}
+	p.bumpTo(w)
+	p.enterInitial(w) // line 24 + the line-28 trigger
+}
+
+// ---------------------------------------------------------------------------
+// QCs (lines 44-49) and the success criterion (§4)
+// ---------------------------------------------------------------------------
+
+// onQC implements lines 44-49 plus success-criterion accounting. QCs
+// routed up from the view core are already verified; re-verification here
+// keeps Handle safe for directly injected certificates, skipped for views
+// whose QC was already accepted.
+func (p *Pacemaker) onQC(qc *msg.QC) {
+	v := qc.V
+	if !p.credited[v] && !p.qcDone[v] {
+		if p.suite.VerifyAggregate(msg.VoteStatement(v, qc.BlockHash), qc.Agg, p.cfg.Base.Quorum()) != nil {
+			return
+		}
+	}
+	p.creditQC(v)
+	if v < p.view || p.qcDone[v] {
+		return
+	}
+	p.qcDone[v] = true
+	p.tr.Emit(p.rt.Now(), p.id, trace.QCSeen, v, "")
+	// Line 10: a QC for a view ≥ the pause view unpauses.
+	if p.pausedAt != types.NoView && v >= p.pausedAt {
+		p.unpause("qc")
+	}
+	below := p.clk.Read() < p.clockTime(v+1)
+	if below {
+		p.sendPendingViewMsgs(v) // line 46
+	}
+	next := v + 1
+	if !p.cfg.IsEpochView(next) { // line 48
+		p.setPosition(next, p.cfg.EpochOf(next))
+		p.driver.EnterView(next)
+		if !next.Initial() && p.schedule.Leader(next) == p.id {
+			// The leader of the pair (v, v+1) just produced the
+			// QC for v; the deadline is anchored at its send
+			// time, which is this instant.
+			p.driver.LeaderStart(next, p.deadlineFrom(p.rt.Now()))
+		}
+	} else if p.view < v { // line 49
+		p.setPosition(v, p.cfg.EpochOf(v))
+		p.driver.EnterView(v)
+	}
+	if below {
+		p.bumpTo(next) // line 47; landing fires boundary triggers
+	}
+}
+
+// creditQC updates the success criterion: success(e) flips once 2f+1
+// distinct leaders have each produced QCsPerLeaderForSuccess QCs for
+// views in epoch e.
+func (p *Pacemaker) creditQC(v types.View) {
+	if p.cfg.Variant != VariantFull || p.credited[v] {
+		return
+	}
+	e := p.cfg.EpochOf(v)
+	if e < p.epoch-1 || p.success[e] {
+		return
+	}
+	p.credited[v] = true
+	leaders := p.leaderQCs[e]
+	if leaders == nil {
+		leaders = make(map[types.NodeID]int)
+		p.leaderQCs[e] = leaders
+	}
+	leader := p.schedule.Leader(v)
+	leaders[leader]++
+	if leaders[leader] != p.cfg.QCsPerLeaderForSuccess {
+		return
+	}
+	met := 0
+	for _, c := range leaders {
+		if c >= p.cfg.QCsPerLeaderForSuccess {
+			met++
+		}
+	}
+	if met < p.cfg.Base.Quorum() {
+		return
+	}
+	p.success[e] = true
+	p.tr.Emit(p.rt.Now(), p.id, trace.Success, p.cfg.FirstView(e), fmt.Sprintf("success(%d)=1", e))
+	// Line 10 / line 13: if paused at c_{V(e+1)}, the success flip ends
+	// the pause and the processor enters the epoch as an initial view.
+	if p.pausedAt == p.cfg.FirstView(e+1) {
+		p.enterInitial(p.pausedAt)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Shared transitions
+// ---------------------------------------------------------------------------
+
+// successOf reports success(e), with success(-1) = 0 (line 5).
+func (p *Pacemaker) successOf(e types.Epoch) bool {
+	if p.cfg.Variant != VariantFull {
+		return false
+	}
+	return p.success[e]
+}
+
+func (p *Pacemaker) clockTime(v types.View) types.Time {
+	return types.Time(v) * types.Time(p.gamma)
+}
+
+// bumpTo advances the clock to c_w and lets the ticker fire the trigger if
+// the bump lands exactly on a boundary.
+func (p *Pacemaker) bumpTo(w types.View) {
+	target := p.clockTime(w)
+	if p.clk.BumpTo(target) {
+		p.tr.Emit(p.rt.Now(), p.id, trace.Bump, w, "")
+		p.ticker.Jumped(target)
+	}
+}
+
+// setPosition updates (view(p), epoch(p)) maintaining Lemmas 5.1-5.2.
+func (p *Pacemaker) setPosition(v types.View, e types.Epoch) {
+	if v < p.view || e < p.epoch {
+		p.violate(fmt.Sprintf("position would regress: (%v,%v) -> (%v,%v)", p.view, p.epoch, v, e))
+		return
+	}
+	if v > p.view {
+		p.view = v
+		p.tr.Emit(p.rt.Now(), p.id, trace.EnterView, v, "")
+		p.obs.OnEnterView(v, p.rt.Now())
+	}
+	if e > p.epoch {
+		p.epoch = e
+		p.tr.Emit(p.rt.Now(), p.id, trace.EnterEpoch, p.cfg.FirstView(e), fmt.Sprintf("epoch %v", e))
+		p.obs.OnEnterEpoch(e, p.rt.Now())
+		p.prune()
+	}
+}
+
+func (p *Pacemaker) unpause(reason string) {
+	if !p.clk.Paused() {
+		p.pausedAt = types.NoView
+		return
+	}
+	p.clk.Unpause()
+	p.pausedAt = types.NoView
+	p.ticker.Rearm()
+	p.tr.Emit(p.rt.Now(), p.id, trace.Unpause, p.view, reason)
+}
+
+func (p *Pacemaker) unpauseIfAt(w types.View) {
+	if p.pausedAt == w {
+		p.unpause("enter")
+	}
+}
+
+// sendViewMsg sends a view-w message to lead(w) (line 30), deduped.
+func (p *Pacemaker) sendViewMsg(w types.View) {
+	if p.sentView[w] || !w.Initial() {
+		return
+	}
+	p.sentView[w] = true
+	sig := p.signer.Sign(msg.ViewStatement(w))
+	p.tr.Emit(p.rt.Now(), p.id, trace.SendView, w, "")
+	p.ep.Send(p.schedule.Leader(w), &msg.ViewMsg{V: w, Sig: sig})
+}
+
+// sendPendingViewMsgs implements lines 18/38/46: view messages for every
+// initial view in [view(p), w) not already sent.
+func (p *Pacemaker) sendPendingViewMsgs(w types.View) {
+	start := p.view
+	if start < 0 {
+		start = 0
+	}
+	if !start.Initial() {
+		start++
+	}
+	for v := start; v < w; v += 2 {
+		p.sendViewMsg(v)
+	}
+}
+
+// sendEpochViewMsg broadcasts an epoch-view-w message (heavy sync), deduped.
+func (p *Pacemaker) sendEpochViewMsg(w types.View) {
+	if p.sentEpochView[w] {
+		return
+	}
+	p.sentEpochView[w] = true
+	sig := p.signer.Sign(msg.EpochViewStatement(w))
+	p.tr.Emit(p.rt.Now(), p.id, trace.SendEpoch, w, "")
+	p.obs.OnHeavySync(w, p.rt.Now())
+	p.ep.Broadcast(&msg.EpochViewMsg{V: w, Sig: sig})
+}
+
+// maybeLeaderStartInitial starts driving an initial view once the leader
+// is in it and has sent the VC; the QC deadline is anchored at the VC send
+// time (§4).
+func (p *Pacemaker) maybeLeaderStartInitial(w types.View) {
+	if p.schedule.Leader(w) != p.id || p.view != w || !p.vcFormed[w] {
+		return
+	}
+	p.driver.LeaderStart(w, p.deadlineFrom(p.vcSentAt[w]))
+}
+
+func (p *Pacemaker) deadlineFrom(t types.Time) types.Time {
+	if p.qcWindow < 0 {
+		return types.TimeInf
+	}
+	return t.Add(p.qcWindow)
+}
+
+// prune discards per-view state that can no longer matter, bounding
+// memory over unbounded executions.
+func (p *Pacemaker) prune() {
+	lowView := p.view - 2
+	for _, m := range []map[types.View]bool{p.vcFormed, p.vcSeen, p.qcDone} {
+		for w := range m {
+			if w < lowView {
+				delete(m, w)
+			}
+		}
+	}
+	for w := range p.viewMsgs {
+		if w < lowView {
+			delete(p.viewMsgs, w)
+		}
+	}
+	for w := range p.vcSentAt {
+		if w < lowView {
+			delete(p.vcSentAt, w)
+		}
+	}
+	for w := range p.sentView {
+		if w < lowView {
+			delete(p.sentView, w)
+		}
+	}
+	lowEpochView := p.cfg.FirstView(p.epoch - 1)
+	for _, m := range []map[types.View]bool{p.sentEpochView, p.tcDone, p.ecDone, p.pauseSeen} {
+		for w := range m {
+			if w < lowEpochView {
+				delete(m, w)
+			}
+		}
+	}
+	for w := range p.epochViewMsgs {
+		if w < lowEpochView {
+			delete(p.epochViewMsgs, w)
+		}
+	}
+	lowCredit := p.cfg.FirstView(p.epoch - 1)
+	for w := range p.credited {
+		if w < lowCredit {
+			delete(p.credited, w)
+		}
+	}
+	for e := range p.leaderQCs {
+		if e < p.epoch-1 {
+			delete(p.leaderQCs, e)
+		}
+	}
+	for e := range p.success {
+		if e < p.epoch-1 {
+			delete(p.success, e)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Invariants (Lemmas 5.1-5.3)
+// ---------------------------------------------------------------------------
+
+func (p *Pacemaker) violate(s string) {
+	if len(p.violations) < 64 {
+		p.violations = append(p.violations, fmt.Sprintf("%v %v: %s", p.rt.Now(), p.id, s))
+	}
+}
+
+func (p *Pacemaker) checkInvariants(ctx string) {
+	if !p.cfg.CheckInvariants {
+		return
+	}
+	lc := p.clk.Read()
+	if lc < p.lastLC {
+		p.violate(fmt.Sprintf("%s: clock regressed %v -> %v (Lemma 5.2)", ctx, p.lastLC, lc))
+	}
+	p.lastLC = lc
+	if p.view >= 0 && p.cfg.EpochOf(p.view) != p.epoch {
+		p.violate(fmt.Sprintf("%s: E(%v)=%v != epoch %v (Lemma 5.1)", ctx, p.view, p.cfg.EpochOf(p.view), p.epoch))
+	}
+	// Lemma 5.3: in initial view v0, lc ∈ [c_v0, c_v0+2]; in view v0+1,
+	// lc ∈ [c_v0+1, c_v0+2].
+	switch {
+	case p.view < 0:
+		if lc > p.clockTime(0) {
+			p.violate(fmt.Sprintf("%s: lc=%v beyond c_0 before entering any view (Lemma 5.3)", ctx, lc))
+		}
+	case p.view.Initial():
+		if lc < p.clockTime(p.view) || lc > p.clockTime(p.view+2) {
+			p.violate(fmt.Sprintf("%s: lc=%v outside [c_%d, c_%d] (Lemma 5.3i)", ctx, lc, p.view, p.view+2))
+		}
+	default:
+		if lc < p.clockTime(p.view) || lc > p.clockTime(p.view+1) {
+			p.violate(fmt.Sprintf("%s: lc=%v outside [c_%d, c_%d] (Lemma 5.3ii)", ctx, lc, p.view, p.view+1))
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package crypto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"lumiere/internal/types"
+)
+
+func suites(t *testing.T, n int) map[string]Suite {
+	t.Helper()
+	return map[string]Suite{
+		"sim":     NewSimSuite(n, 7),
+		"ed25519": NewEd25519Suite(n, 7),
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	for name, s := range suites(t, 4) {
+		t.Run(name, func(t *testing.T) {
+			data := []byte("hello world")
+			sig := s.SignerFor(2).Sign(data)
+			if sig.Signer != 2 {
+				t.Fatalf("signer = %v", sig.Signer)
+			}
+			if err := s.Verify(data, sig); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			if err := s.Verify([]byte("other"), sig); err == nil {
+				t.Fatal("verified wrong data")
+			}
+			forged := Signature{Signer: 1, Bytes: sig.Bytes}
+			if err := s.Verify(data, forged); err == nil {
+				t.Fatal("verified forged signer")
+			}
+			if err := s.Verify(data, Signature{Signer: 99, Bytes: sig.Bytes}); err == nil {
+				t.Fatal("verified unknown signer")
+			}
+		})
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	for name, s := range suites(t, 7) {
+		t.Run(name, func(t *testing.T) {
+			data := []byte("statement")
+			var sigs []Signature
+			for i := 0; i < 5; i++ {
+				sigs = append(sigs, s.SignerFor(types.NodeID(i)).Sign(data))
+			}
+			agg, err := s.Aggregate(data, sigs)
+			if err != nil {
+				t.Fatalf("aggregate: %v", err)
+			}
+			if agg.Count() != 5 {
+				t.Fatalf("count = %d", agg.Count())
+			}
+			if err := s.VerifyAggregate(data, agg, 5); err != nil {
+				t.Fatalf("verify agg: %v", err)
+			}
+			if err := s.VerifyAggregate(data, agg, 6); err == nil {
+				t.Fatal("threshold not enforced")
+			}
+			if err := s.VerifyAggregate([]byte("x"), agg, 5); err == nil {
+				t.Fatal("verified agg over wrong data")
+			}
+			// Duplicate signers rejected.
+			if _, err := s.Aggregate(data, append(sigs, sigs[0])); err == nil {
+				t.Fatal("duplicate signer accepted")
+			}
+			// Truncation keeps validity at the lower threshold.
+			tc := agg.Truncate(3)
+			if err := s.VerifyAggregate(data, tc, 3); err != nil {
+				t.Fatalf("truncated agg: %v", err)
+			}
+		})
+	}
+}
+
+func TestAggregateHasAndClone(t *testing.T) {
+	s := NewSimSuite(5, 1)
+	data := []byte("d")
+	sigs := []Signature{s.SignerFor(3).Sign(data), s.SignerFor(1).Sign(data)}
+	agg, err := s.Aggregate(data, sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !agg.Has(1) || !agg.Has(3) || agg.Has(2) {
+		t.Fatalf("Has wrong: %v", agg.Signers)
+	}
+	cl := agg.Clone()
+	cl.Bytes[0][0] ^= 0xff
+	if bytes.Equal(cl.Bytes[0], agg.Bytes[0]) {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestAggregateTamperedComponent(t *testing.T) {
+	for name, s := range suites(t, 4) {
+		t.Run(name, func(t *testing.T) {
+			data := []byte("d")
+			sigs := []Signature{s.SignerFor(0).Sign(data), s.SignerFor(1).Sign(data)}
+			agg, err := s.Aggregate(data, sigs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg.Bytes[1] = append([]byte(nil), agg.Bytes[1]...)
+			agg.Bytes[1][0] ^= 1
+			if err := s.VerifyAggregate(data, agg, 2); err == nil {
+				t.Fatal("tampered aggregate accepted")
+			}
+		})
+	}
+}
+
+func TestDeterministicKeys(t *testing.T) {
+	a := NewEd25519Suite(4, 42)
+	b := NewEd25519Suite(4, 42)
+	data := []byte("same keys")
+	sa := a.SignerFor(0).Sign(data)
+	if err := b.Verify(data, sa); err != nil {
+		t.Fatalf("seeded suites disagree: %v", err)
+	}
+	c := NewEd25519Suite(4, 43)
+	if err := c.Verify(data, sa); err == nil {
+		t.Fatal("different seeds produced same keys")
+	}
+}
+
+func TestStatementEncoding(t *testing.T) {
+	a := Statement("dom", 5, []byte{1, 2})
+	b := Statement("dom", 5, []byte{1, 2})
+	if !bytes.Equal(a, b) {
+		t.Fatal("statement not deterministic")
+	}
+	if bytes.Equal(Statement("dom", 5, nil), Statement("dom", 6, nil)) {
+		t.Fatal("views collide")
+	}
+	if bytes.Equal(Statement("a", 5, nil), Statement("b", 5, nil)) {
+		t.Fatal("domains collide")
+	}
+}
+
+func TestStatementInjectiveQuick(t *testing.T) {
+	// Property: distinct (domain, view) pairs yield distinct statements
+	// when the domain contains no NUL byte (the separator).
+	f := func(v1, v2 uint32) bool {
+		a := Statement("x", types.View(v1), nil)
+		b := Statement("x", types.View(v2), nil)
+		return (v1 == v2) == bytes.Equal(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimSuiteSignerPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown signer")
+		}
+	}()
+	NewSimSuite(3, 1).SignerFor(9)
+}

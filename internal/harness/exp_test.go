@@ -1,0 +1,12 @@
+package harness
+
+import (
+	"testing"
+)
+
+func TestExperimentQuick(t *testing.T) {
+	for _, p := range AllProtocols {
+		r := WorstCase(p, 3, 42)
+		t.Logf("%-14s worst f=3: msgs=%-6d lat=%-8v strat=%s", p, r.Msgs, r.Latency, r.Strategy)
+	}
+}

@@ -1,0 +1,447 @@
+// Package harness builds and runs complete simulated executions: n
+// replicas of a chosen view-synchronization protocol over the partial-
+// synchrony network, with corruptions, adversarial delay policies,
+// staggered joins, metrics, gap tracking and tracing. The experiment
+// definitions that regenerate the paper's table and figures live in
+// experiments.go.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"lumiere/internal/adversary"
+	"lumiere/internal/baseline/cogsworth"
+	"lumiere/internal/baseline/fever"
+	"lumiere/internal/baseline/lp22"
+	"lumiere/internal/baseline/nk20"
+	"lumiere/internal/baseline/raresync"
+	"lumiere/internal/clock"
+	"lumiere/internal/core"
+	"lumiere/internal/crypto"
+	"lumiere/internal/hotstuff"
+	"lumiere/internal/metrics"
+	"lumiere/internal/msg"
+	"lumiere/internal/network"
+	"lumiere/internal/pacemaker"
+	"lumiere/internal/replica"
+	"lumiere/internal/sim"
+	"lumiere/internal/statemachine"
+	"lumiere/internal/trace"
+	"lumiere/internal/types"
+	"lumiere/internal/viewcore"
+)
+
+// Protocol selects the view-synchronization protocol under test.
+type Protocol string
+
+// Supported protocols.
+const (
+	ProtoLumiere   Protocol = "lumiere"
+	ProtoBasic     Protocol = "basic-lumiere"
+	ProtoLP22      Protocol = "lp22"
+	ProtoFever     Protocol = "fever"
+	ProtoCogsworth Protocol = "cogsworth"
+	ProtoNK20      Protocol = "nk20"
+	// ProtoRareSync is not part of Table 1 but is discussed in §6 as
+	// the other Dolev-Reischuk-optimal protocol; it is available in
+	// scenarios and tests but excluded from the Table 1 sweeps.
+	ProtoRareSync Protocol = "raresync"
+)
+
+// AllProtocols lists every protocol in Table 1 order plus Basic Lumiere.
+var AllProtocols = []Protocol{ProtoCogsworth, ProtoNK20, ProtoLP22, ProtoFever, ProtoBasic, ProtoLumiere}
+
+// Scenario describes one simulated execution.
+type Scenario struct {
+	Name     string
+	Protocol Protocol
+
+	// F is the fault tolerance; N defaults to 3F+1.
+	F int
+	N int
+
+	// Delta is Δ (default 100ms); DeltaActual is the actual message
+	// delay δ used by the default Fixed policy (default Δ/10).
+	Delta       time.Duration
+	DeltaActual time.Duration
+	// Delay overrides the post-GST delay policy.
+	Delay network.DelayPolicy
+	// PreGSTChaos delays all pre-GST traffic to the model bound GST+Δ.
+	PreGSTChaos bool
+
+	// GST is the global stabilization time (default 0).
+	GST time.Duration
+	// Duration is the virtual run length (default 60s).
+	Duration time.Duration
+	// Seed drives all randomness (delays, schedules, keys).
+	Seed int64
+
+	// Corruptions marks Byzantine processors and their behaviors.
+	Corruptions []adversary.Corruption
+
+	// InitialOffsets sets each processor's initial local-clock value
+	// (Fever's bounded initial skew); nil means all zero.
+	InitialOffsets []time.Duration
+	// StartStagger delays each processor's join uniformly at random in
+	// [0, StartStagger] (processors join with lc = 0 before GST, §2).
+	StartStagger time.Duration
+
+	// TraceLimit enables event tracing, keeping at most this many
+	// events (0 disables tracing).
+	TraceLimit int
+	// CheckInvariants enables Lemma 5.1-5.3 runtime checks (Lumiere).
+	CheckInvariants bool
+	// SampleGaps enables honest-gap sampling every Δ/2.
+	SampleGaps bool
+
+	// Lumiere-specific knobs (zero values = paper defaults).
+	CoreBlocksPerEpoch   int
+	CoreQCsPerLeader     int
+	CoreDisableDeltaWait bool
+	GammaOverride        time.Duration
+
+	// MaxEvents aborts runaway executions (default 200M events).
+	MaxEvents uint64
+
+	// SMR runs chained HotStuff instead of the plain view core, each
+	// replica executing a state machine built by NewStateMachine
+	// (default: the KV store).
+	SMR bool
+	// NewStateMachine builds each replica's state machine (SMR only).
+	NewStateMachine func() statemachine.StateMachine
+	// WorkloadRate injects this many client commands per second into
+	// every honest replica's mempool (SMR only).
+	WorkloadRate int
+	// WorkloadCommand builds the i-th command payload (default: KV
+	// SETs over a small key space).
+	WorkloadCommand func(i int) []byte
+	// SMRTwoPhase commits on two-chains (HotStuff-2 style) instead of
+	// three-chains.
+	SMRTwoPhase bool
+}
+
+// withDefaults fills derived defaults.
+func (s Scenario) withDefaults() Scenario {
+	if s.Delta <= 0 {
+		s.Delta = 100 * time.Millisecond
+	}
+	if s.DeltaActual <= 0 {
+		s.DeltaActual = s.Delta / 10
+	}
+	if s.N <= 0 {
+		s.N = 3*s.F + 1
+	}
+	if s.Duration <= 0 {
+		s.Duration = 60 * time.Second
+	}
+	if s.MaxEvents == 0 {
+		s.MaxEvents = 200_000_000
+	}
+	if s.Protocol == "" {
+		s.Protocol = ProtoLumiere
+	}
+	return s
+}
+
+// Result carries everything measurable about one execution.
+type Result struct {
+	Scenario  Scenario
+	Cfg       types.Config
+	GST       types.Time
+	Gamma     time.Duration
+	Collector *metrics.Collector
+	Tracer    *trace.Tracer
+	Gaps      *metrics.GapTracker
+	// Violations aggregates invariant violations across replicas.
+	Violations []string
+	// FinalViews holds each replica's final view (NoView for crashed).
+	FinalViews []types.View
+	// PMs exposes each replica's pacemaker for inspection (nil for
+	// crashed replicas).
+	PMs []pacemaker.Pacemaker
+	// Engines exposes each replica's consensus engine (SMR: the
+	// HotStuff core); nil for crashed replicas.
+	Engines []replica.Engine
+	// SMs exposes each replica's state machine (SMR only).
+	SMs []statemachine.StateMachine
+	// Injected is the number of workload commands injected (SMR only).
+	Injected int
+	// Events is the number of simulator events fired.
+	Events uint64
+	// Aborted reports whether the MaxEvents budget was exhausted.
+	Aborted bool
+}
+
+// DecisionCount returns the number of honest-leader decisions.
+func (r *Result) DecisionCount() int { return len(r.Collector.Decisions()) }
+
+// Run executes a scenario to completion.
+func Run(s Scenario) *Result {
+	s = s.withDefaults()
+	cfg := types.Config{N: s.N, F: s.F, Delta: s.Delta, X: types.DefaultX}
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
+	sched := sim.New(s.Seed)
+	gst := types.Time(0).Add(s.GST)
+
+	policy := s.Delay
+	if policy == nil {
+		policy = network.Fixed{D: s.DeltaActual}
+	}
+	if s.PreGSTChaos {
+		policy = network.PreGSTChaos{GST: gst, After: policy}
+	}
+	net := network.NewNet(sched, cfg, gst, policy)
+
+	behaviors := make(map[types.NodeID]adversary.Corruption, len(s.Corruptions))
+	for _, c := range s.Corruptions {
+		behaviors[c.Node] = c
+		if c.Behavior != adversary.BehaviorHonest {
+			net.SetByzantine(c.Node)
+		}
+	}
+	collector := metrics.NewCollector(net.Honest)
+	net.Observe(collector)
+
+	var tracer *trace.Tracer
+	if s.TraceLimit > 0 {
+		tracer = trace.New(s.TraceLimit)
+	}
+	suite := crypto.NewSimSuite(cfg.N, s.Seed+1)
+
+	replicas := make([]*replica.Replica, cfg.N)
+	clocks := make([]*clock.Clock, cfg.N)
+	honest := make([]bool, cfg.N)
+	sms := make([]statemachine.StateMachine, cfg.N)
+	var gamma time.Duration
+
+	for i := 0; i < cfg.N; i++ {
+		id := types.NodeID(i)
+		honest[i] = net.Honest(id)
+		r := replica.New(id, nil, nil)
+		replicas[i] = r
+		ep := net.Attach(id, r)
+		corr := behaviors[id]
+		if corr.Behavior == adversary.BehaviorCrash {
+			r.Crashed = true
+			continue
+		}
+		if corr.Behavior == adversary.BehaviorCrashAt {
+			at := types.Time(0).Add(corr.At)
+			sched.At(at, func() { net.Kill(id) })
+		}
+		startAt := types.Time(0)
+		if s.StartStagger > 0 {
+			startAt = types.Time(sched.Rand().Int63n(int64(s.StartStagger) + 1))
+		}
+		offset := types.Time(0)
+		if i < len(s.InitialOffsets) {
+			offset = types.Time(s.InitialOffsets[i])
+		}
+		if s.SMR {
+			if s.NewStateMachine != nil {
+				sms[i] = s.NewStateMachine()
+			} else {
+				sms[i] = statemachine.NewKV()
+			}
+		}
+		i := i
+		sched.At(startAt, func() {
+			clk := clock.New(sched, offset)
+			clocks[i] = clk
+			pm, engine, g := buildProtocol(s, cfg, ep, sched, clk, suite, corr, tracer, collector, sms[i])
+			gamma = g
+			r.PM = pm
+			r.Core = engine
+			r.Start()
+		})
+	}
+
+	injected := 0
+	if s.SMR && s.WorkloadRate > 0 {
+		interval := time.Second / time.Duration(s.WorkloadRate)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		cmdFor := s.WorkloadCommand
+		if cmdFor == nil {
+			cmdFor = func(i int) []byte {
+				return []byte(fmt.Sprintf("SET key%d value%d", i%64, i))
+			}
+		}
+		var inject func()
+		inject = func() {
+			req := &msg.Request{ID: uint64(1<<40) + uint64(injected), Payload: cmdFor(injected)}
+			injected++
+			for _, r := range replicas {
+				if !r.Crashed && r.Core != nil {
+					r.Core.Handle(r.ID, req)
+				}
+			}
+			sched.After(interval, inject)
+		}
+		sched.After(interval, inject)
+	}
+
+	gaps := metrics.NewGapTracker(nil, nil, cfg.F)
+	if s.SampleGaps {
+		gaps = newLazyGapTracker(clocks, honest, cfg.F)
+		var sample func()
+		sample = func() {
+			gaps.Sample(sched.Now())
+			sched.After(s.Delta/2, sample)
+		}
+		sched.After(s.Delta/2, sample)
+	}
+
+	// Run in chunks so the event budget is enforced.
+	end := types.Time(0).Add(s.Duration)
+	chunk := 100 * s.Delta
+	aborted := false
+	for sched.Now() < end {
+		next := types.MinTime(sched.Now().Add(chunk), end)
+		sched.RunUntil(next)
+		if sched.Events() > s.MaxEvents {
+			aborted = true
+			break
+		}
+	}
+	net.Stop()
+
+	res := &Result{
+		Scenario:   s,
+		Cfg:        cfg,
+		GST:        gst,
+		Gamma:      gamma,
+		Collector:  collector,
+		Tracer:     tracer,
+		Gaps:       gaps,
+		FinalViews: make([]types.View, cfg.N),
+		PMs:        make([]pacemaker.Pacemaker, cfg.N),
+		Engines:    make([]replica.Engine, cfg.N),
+		SMs:        sms,
+		Injected:   injected,
+		Events:     sched.Events(),
+		Aborted:    aborted,
+	}
+	for i, r := range replicas {
+		res.PMs[i] = r.PM
+		res.Engines[i] = r.Core
+		if r.PM != nil {
+			res.FinalViews[i] = r.PM.CurrentView()
+			if lum, ok := r.PM.(*core.Pacemaker); ok {
+				res.Violations = append(res.Violations, lum.Violations()...)
+			}
+		} else {
+			res.FinalViews[i] = types.NoView
+		}
+	}
+	return res
+}
+
+// newLazyGapTracker builds a tracker over a clock slice that is filled in
+// as replicas join; nil clocks and Byzantine owners are skipped at sample
+// time by filtering here.
+func newLazyGapTracker(clocks []*clock.Clock, honest []bool, f int) *metrics.GapTracker {
+	return metrics.NewGapTrackerLazy(func() ([]*clock.Clock, []bool) {
+		outC := make([]*clock.Clock, 0, len(clocks))
+		outH := make([]bool, 0, len(clocks))
+		for i, c := range clocks {
+			if c != nil {
+				outC = append(outC, c)
+				outH = append(outH, honest[i])
+			}
+		}
+		return outC, outH
+	}, f)
+}
+
+// qcObserver wires view-core QC events into metrics and tracing.
+type qcObserver struct {
+	id        types.NodeID
+	collector *metrics.Collector
+	tracer    *trace.Tracer
+	rtNow     func() types.Time
+}
+
+var _ viewcore.QCObserver = (*qcObserver)(nil)
+
+func (o *qcObserver) OnQCSeen(qc *msg.QC, at types.Time) {
+	o.tracer.Emit(at, o.id, trace.QCSeen, qc.V, "")
+}
+
+func (o *qcObserver) OnQCProduced(qc *msg.QC, at types.Time) {
+	o.tracer.Emit(at, o.id, trace.QCProduced, qc.V, "")
+	o.collector.RecordDecision(qc.V, o.id, at)
+}
+
+// buildProtocol constructs the pacemaker + consensus engine pair for one
+// node.
+func buildProtocol(s Scenario, cfg types.Config, ep network.Endpoint, sched *sim.Scheduler,
+	clk *clock.Clock, suite crypto.Suite, corr adversary.Corruption,
+	tracer *trace.Tracer, collector *metrics.Collector,
+	sm statemachine.StateMachine) (pacemaker.Pacemaker, replica.Engine, time.Duration) {
+
+	var pm pacemaker.Pacemaker
+	leaderFn := func(v types.View) types.NodeID { return pm.Leader(v) }
+	obs := &qcObserver{id: ep.ID(), collector: collector, tracer: tracer}
+	onQC := func(qc *msg.QC) { pm.Handle(ep.ID(), qc) }
+	var engine replica.Engine
+	if s.SMR {
+		hcfg := hotstuff.Config{Base: cfg, TwoPhase: s.SMRTwoPhase}
+		hs := hotstuff.New(hcfg, ep, sched, suite, leaderFn, onQC, sm, obs, nil)
+		engine = hs
+		if corr.Behavior == adversary.BehaviorEquivocating {
+			engine = adversary.NewEquivocator(hs, ep, cfg)
+		}
+	} else {
+		engine = viewcore.New(cfg, ep, sched, suite, leaderFn, onQC, obs)
+	}
+	driver := adversary.WrapDriver(engine, corr.Behavior, corr.Lag, sched)
+
+	var gamma time.Duration
+	switch s.Protocol {
+	case ProtoLumiere, ProtoBasic:
+		ccfg := core.Config{
+			Base:                   cfg,
+			Variant:                core.VariantFull,
+			BlocksPerEpoch:         s.CoreBlocksPerEpoch,
+			QCsPerLeaderForSuccess: s.CoreQCsPerLeader,
+			DisableDeltaWait:       s.CoreDisableDeltaWait,
+			GammaOverride:          s.GammaOverride,
+			ScheduleSeed:           s.Seed + 7,
+			CheckInvariants:        s.CheckInvariants,
+		}
+		if s.Protocol == ProtoBasic {
+			ccfg.Variant = core.VariantBasic
+		}
+		p := core.New(ccfg, ep, sched, clk, suite, driver, pacemaker.NopObserver{}, tracer)
+		gamma = p.Gamma()
+		pm = p
+	case ProtoLP22:
+		p := lp22.New(lp22.Config{Base: cfg, GammaOverride: s.GammaOverride}, ep, sched, clk, suite, driver, pacemaker.NopObserver{}, tracer)
+		gamma = p.Gamma()
+		pm = p
+	case ProtoRareSync:
+		p := raresync.New(raresync.Config{Base: cfg, GammaOverride: s.GammaOverride}, ep, sched, clk, suite, driver, pacemaker.NopObserver{}, tracer)
+		gamma = p.Gamma()
+		pm = p
+	case ProtoFever:
+		p := fever.New(fever.Config{Base: cfg, GammaOverride: s.GammaOverride}, ep, sched, clk, suite, driver, pacemaker.NopObserver{}, tracer)
+		gamma = p.Gamma()
+		pm = p
+	case ProtoCogsworth:
+		p := cogsworth.New(cogsworth.Config{Base: cfg}, ep, sched, suite, driver, pacemaker.NopObserver{}, tracer)
+		gamma = time.Duration(cfg.X+1) * cfg.Delta
+		pm = p
+	case ProtoNK20:
+		p := nk20.New(nk20.Config{Base: cfg}, ep, sched, suite, driver, pacemaker.NopObserver{}, tracer)
+		gamma = time.Duration(cfg.X+1) * cfg.Delta
+		pm = p
+	default:
+		panic(fmt.Sprintf("harness: unknown protocol %q", s.Protocol))
+	}
+	return pm, engine, gamma
+}

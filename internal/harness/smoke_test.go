@@ -1,0 +1,27 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSmokeAll(t *testing.T) {
+	for _, proto := range AllProtocols {
+		res := Run(Scenario{
+			Name:            string(proto),
+			Protocol:        proto,
+			F:               1,
+			Duration:        20 * time.Second,
+			Seed:            1,
+			CheckInvariants: true,
+		})
+		t.Logf("%s: decisions=%d finalViews=%v honestMsgs=%d events=%d violations=%d",
+			proto, res.DecisionCount(), res.FinalViews, res.Collector.HonestSends(), res.Events, len(res.Violations))
+		for _, v := range res.Violations {
+			t.Errorf("%s violation: %s", proto, v)
+		}
+		if res.DecisionCount() == 0 {
+			t.Errorf("%s: no decisions", proto)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package hotstuff implements chained HotStuff, the view-based BFT SMR
+// protocol the paper's view synchronization work targets (HotStuff
+// introduced the decoupled "PaceMaker" that Lumiere instantiates). One
+// block is proposed per view and certified by a QC of 2f+1 votes; a block
+// commits when it heads a three-chain of consecutive views. Any pacemaker
+// in this repository can drive it through the replica.Engine interface.
+package hotstuff
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"lumiere/internal/types"
+)
+
+// Hash is a block hash.
+type Hash = [32]byte
+
+// GenesisHash anchors every chain; the genesis block has view -1.
+var GenesisHash = sha256.Sum256([]byte("lumiere/hotstuff/genesis"))
+
+// Command is one client request carried in a block.
+type Command struct {
+	ID      uint64
+	Payload []byte
+}
+
+// Block is a proposal payload: a batch of commands extending a parent.
+type Block struct {
+	View   types.View
+	Parent Hash
+	Cmds   []Command
+}
+
+// ErrBadBlock reports a malformed block encoding.
+var ErrBadBlock = errors.New("hotstuff: malformed block")
+
+// Encode serializes the block canonically (length-prefixed fields), so
+// hashes are stable across runtimes.
+func (b *Block) Encode() []byte {
+	var buf bytes.Buffer
+	var scratch [8]byte
+	putU64 := func(v uint64) {
+		binary.BigEndian.PutUint64(scratch[:], v)
+		buf.Write(scratch[:])
+	}
+	putU64(uint64(b.View))
+	buf.Write(b.Parent[:])
+	putU64(uint64(len(b.Cmds)))
+	for _, c := range b.Cmds {
+		putU64(c.ID)
+		putU64(uint64(len(c.Payload)))
+		buf.Write(c.Payload)
+	}
+	return buf.Bytes()
+}
+
+// DecodeBlock parses an encoded block.
+func DecodeBlock(data []byte) (*Block, error) {
+	r := bytes.NewReader(data)
+	var scratch [8]byte
+	getU64 := func() (uint64, error) {
+		if _, err := r.Read(scratch[:]); err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrBadBlock, err)
+		}
+		return binary.BigEndian.Uint64(scratch[:]), nil
+	}
+	view, err := getU64()
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{View: types.View(view)}
+	if _, err := r.Read(b.Parent[:]); err != nil {
+		return nil, fmt.Errorf("%w: parent: %v", ErrBadBlock, err)
+	}
+	n, err := getU64()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<20 {
+		return nil, fmt.Errorf("%w: absurd command count %d", ErrBadBlock, n)
+	}
+	b.Cmds = make([]Command, 0, n)
+	for i := uint64(0); i < n; i++ {
+		id, err := getU64()
+		if err != nil {
+			return nil, err
+		}
+		plen, err := getU64()
+		if err != nil {
+			return nil, err
+		}
+		if plen > 1<<24 {
+			return nil, fmt.Errorf("%w: absurd payload size %d", ErrBadBlock, plen)
+		}
+		payload := make([]byte, plen)
+		if plen > 0 {
+			if _, err := r.Read(payload); err != nil {
+				return nil, fmt.Errorf("%w: payload: %v", ErrBadBlock, err)
+			}
+		}
+		b.Cmds = append(b.Cmds, Command{ID: id, Payload: payload})
+	}
+	return b, nil
+}
+
+// HashOf returns the block's hash.
+func (b *Block) HashOf() Hash { return sha256.Sum256(b.Encode()) }

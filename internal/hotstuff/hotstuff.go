@@ -1,0 +1,489 @@
+package hotstuff
+
+import (
+	"lumiere/internal/clock"
+	"lumiere/internal/crypto"
+	"lumiere/internal/msg"
+	"lumiere/internal/network"
+	"lumiere/internal/pacemaker"
+	"lumiere/internal/statemachine"
+	"lumiere/internal/types"
+	"lumiere/internal/viewcore"
+)
+
+// Config parameterizes a HotStuff core.
+type Config struct {
+	// Base is the execution-model configuration.
+	Base types.Config
+	// BatchSize caps commands per block (default 128).
+	BatchSize int
+	// TwoPhase commits on a two-chain of consecutive views instead of
+	// a three-chain, in the spirit of HotStuff-2 (Malkhi-Nayak 2023,
+	// cited in §6): one fewer round of confirmation latency. The full
+	// HotStuff-2 view-change optimism is out of scope; the two-chain
+	// rule is safe here because leaders always extend the highest QC
+	// they know and the lock tracks the parent of the newest certified
+	// block.
+	TwoPhase bool
+}
+
+func (c Config) batch() int {
+	if c.BatchSize > 0 {
+		return c.BatchSize
+	}
+	return 128
+}
+
+func (c Config) chainLen() int {
+	if c.TwoPhase {
+		return 2
+	}
+	return 3
+}
+
+// CommitObserver is notified of each committed block, in commit order.
+type CommitObserver func(b *Block, at types.Time)
+
+// Core is one replica's chained HotStuff instance. It implements
+// replica.Engine: the pacemaker drives views, Core produces QCs (which
+// double as the BVS layer's decision events) and commits blocks on
+// three-chains of consecutive views.
+type Core struct {
+	cfg      Config
+	id       types.NodeID
+	ep       network.Endpoint
+	rt       clock.Runtime
+	suite    crypto.Suite
+	signer   crypto.Signer
+	leader   func(types.View) types.NodeID
+	onQC     func(*msg.QC)
+	obs      viewcore.QCObserver
+	sm       statemachine.StateMachine
+	onCommit CommitObserver
+
+	view      types.View
+	blocks    map[Hash]*Block
+	qcByHash  map[Hash]*msg.QC
+	proposals map[types.View]*msg.Proposal
+	voted     map[types.View]bool
+	seenQC    map[types.View]bool
+
+	highQC   *msg.QC
+	lockedQC *msg.QC
+
+	leading  types.View
+	deadline types.Time
+	votes    map[types.NodeID]crypto.Signature
+	done     bool
+
+	mempool       []Command
+	inPool        map[uint64]bool
+	applied       map[uint64]bool
+	committed     []Hash
+	lastExec      types.View
+	nextReqID     uint64
+	pendingExec   map[Hash]*Block
+	pendingCommit map[Hash]*Block
+}
+
+var _ pacemaker.Driver = (*Core)(nil)
+
+// New creates a HotStuff core. sm receives committed commands; onQC
+// routes observed QCs to the pacemaker; obs and onCommit may be nil.
+func New(cfg Config, ep network.Endpoint, rt clock.Runtime, suite crypto.Suite,
+	leader func(types.View) types.NodeID, onQC func(*msg.QC),
+	sm statemachine.StateMachine, obs viewcore.QCObserver, onCommit CommitObserver) *Core {
+	genesis := &Block{View: types.NoView}
+	genesisQC := &msg.QC{V: types.NoView, BlockHash: GenesisHash}
+	c := &Core{
+		cfg:           cfg,
+		id:            ep.ID(),
+		ep:            ep,
+		rt:            rt,
+		suite:         suite,
+		signer:        suite.SignerFor(ep.ID()),
+		leader:        leader,
+		onQC:          onQC,
+		obs:           obs,
+		sm:            sm,
+		onCommit:      onCommit,
+		view:          types.NoView,
+		blocks:        map[Hash]*Block{GenesisHash: genesis},
+		qcByHash:      map[Hash]*msg.QC{GenesisHash: genesisQC},
+		proposals:     make(map[types.View]*msg.Proposal),
+		voted:         make(map[types.View]bool),
+		seenQC:        make(map[types.View]bool),
+		highQC:        genesisQC,
+		lockedQC:      genesisQC,
+		leading:       types.NoView,
+		inPool:        make(map[uint64]bool),
+		applied:       make(map[uint64]bool),
+		lastExec:      types.NoView,
+		nextReqID:     uint64(ep.ID())<<48 + 1,
+		pendingExec:   make(map[Hash]*Block),
+		pendingCommit: make(map[Hash]*Block),
+	}
+	return c
+}
+
+// Submit queues a client command locally (examples broadcast msg.Request
+// so every replica's mempool holds it; whichever leader proposes first
+// wins, and execution dedupes by request ID).
+func (c *Core) Submit(payload []byte) uint64 {
+	id := c.nextReqID
+	c.nextReqID++
+	c.enqueue(Command{ID: id, Payload: payload})
+	return id
+}
+
+func (c *Core) enqueue(cmd Command) {
+	if c.inPool[cmd.ID] || c.applied[cmd.ID] {
+		return
+	}
+	c.inPool[cmd.ID] = true
+	c.mempool = append(c.mempool, cmd)
+}
+
+// CommittedCount returns the number of committed blocks.
+func (c *Core) CommittedCount() int { return len(c.committed) }
+
+// CommittedHashes returns the commit sequence (for consistency checks).
+func (c *Core) CommittedHashes() []Hash { return append([]Hash(nil), c.committed...) }
+
+// HighView returns the view of the highest QC observed.
+func (c *Core) HighView() types.View { return c.highQC.V }
+
+// HighQC returns the highest QC observed (used by Byzantine behavior
+// harnesses to craft plausible equivocating proposals).
+func (c *Core) HighQC() *msg.QC { return c.highQC }
+
+// MempoolLen returns the number of pending commands.
+func (c *Core) MempoolLen() int { return len(c.mempool) }
+
+// EnterView implements pacemaker.Driver.
+func (c *Core) EnterView(v types.View) {
+	if v <= c.view {
+		return
+	}
+	c.view = v
+	c.pruneBelow(v)
+	if p, ok := c.proposals[v]; ok {
+		c.maybeVote(p)
+	}
+}
+
+// LeaderStart implements pacemaker.Driver: propose a block extending the
+// highest QC.
+func (c *Core) LeaderStart(v types.View, qcDeadline types.Time) {
+	if c.leader(v) != c.id || v < c.view || v <= c.leading {
+		return
+	}
+	c.leading = v
+	c.deadline = qcDeadline
+	c.votes = make(map[types.NodeID]crypto.Signature, c.cfg.Base.Quorum())
+	c.done = false
+	batch := c.mempool
+	if len(batch) > c.cfg.batch() {
+		batch = batch[:c.cfg.batch()]
+	}
+	block := &Block{View: v, Parent: c.highQC.BlockHash, Cmds: append([]Command(nil), batch...)}
+	hash := block.HashOf()
+	c.blocks[hash] = block
+	c.ep.Broadcast(&msg.Proposal{
+		V:       v,
+		Leader:  c.id,
+		Justify: c.highQC,
+		Block:   block.Encode(),
+		Hash:    hash,
+	})
+}
+
+// Handle implements replica.Engine.
+func (c *Core) Handle(from types.NodeID, m msg.Message) {
+	switch mm := m.(type) {
+	case *msg.Proposal:
+		c.handleProposal(from, mm)
+	case *msg.Vote:
+		c.handleVote(from, mm)
+	case *msg.QC:
+		c.observeQC(mm)
+	case *msg.Request:
+		c.enqueue(Command{ID: mm.ID, Payload: mm.Payload})
+	case *msg.NewView:
+		if mm.HighQC != nil {
+			c.observeQC(mm.HighQC)
+		}
+	}
+}
+
+func (c *Core) handleProposal(from types.NodeID, p *msg.Proposal) {
+	if p.Leader != from || c.leader(p.V) != from {
+		return
+	}
+	block, err := DecodeBlock(p.Block)
+	if err != nil || block.View != p.V || block.HashOf() != p.Hash {
+		return
+	}
+	if p.Justify == nil || block.Parent != p.Justify.BlockHash {
+		return
+	}
+	if !c.verifyQC(p.Justify) {
+		return
+	}
+	// Store the block even when the proposal arrives too late to vote:
+	// it may be an ancestor of a later commit, and dropping it would
+	// leave a hole in the executed chain.
+	if _, known := c.blocks[p.Hash]; !known {
+		c.blocks[p.Hash] = block
+		c.retryPending()
+	}
+	c.observeQC(p.Justify)
+	if p.V < c.view {
+		return
+	}
+	if _, dup := c.proposals[p.V]; dup {
+		return
+	}
+	c.proposals[p.V] = p
+	if p.V == c.view {
+		c.maybeVote(p)
+	}
+}
+
+// maybeVote applies the chained-HotStuff safety rule: vote if the block
+// extends the locked block, or its justify is newer than the lock.
+func (c *Core) maybeVote(p *msg.Proposal) {
+	if c.voted[p.V] {
+		return
+	}
+	if !c.extends(p.Hash, c.lockedQC.BlockHash) && p.Justify.V <= c.lockedQC.V {
+		return
+	}
+	c.voted[p.V] = true
+	sig := c.signer.Sign(msg.VoteStatement(p.V, p.Hash))
+	c.ep.Send(p.Leader, &msg.Vote{V: p.V, BlockHash: p.Hash, Sig: sig})
+}
+
+// extends reports whether the block with hash h has ancestor anc (walking
+// at most a bounded number of known parents).
+func (c *Core) extends(h, anc Hash) bool {
+	cur := h
+	for i := 0; i < 1024; i++ {
+		if cur == anc {
+			return true
+		}
+		b, ok := c.blocks[cur]
+		if !ok || b.View < 0 {
+			return false
+		}
+		cur = b.Parent
+	}
+	return false
+}
+
+func (c *Core) handleVote(from types.NodeID, v *msg.Vote) {
+	if v.Sig.Signer != from || c.leading != v.V || c.done {
+		return
+	}
+	if c.suite.Verify(msg.VoteStatement(v.V, v.BlockHash), v.Sig) != nil {
+		return
+	}
+	c.votes[from] = v.Sig
+	if len(c.votes) < c.cfg.Base.Quorum() {
+		return
+	}
+	if c.rt.Now() > c.deadline {
+		c.done = true // honest-leader QC discipline (§4)
+		return
+	}
+	sigs := make([]crypto.Signature, 0, len(c.votes))
+	for _, s := range c.votes {
+		sigs = append(sigs, s)
+	}
+	agg, err := c.suite.Aggregate(msg.VoteStatement(v.V, v.BlockHash), sigs)
+	if err != nil {
+		return
+	}
+	c.done = true
+	qc := &msg.QC{V: v.V, BlockHash: v.BlockHash, Agg: agg}
+	if c.obs != nil {
+		c.obs.OnQCProduced(qc, c.rt.Now())
+	}
+	c.ep.Broadcast(qc)
+}
+
+func (c *Core) verifyQC(qc *msg.QC) bool {
+	if qc.V == types.NoView && qc.BlockHash == GenesisHash {
+		return true
+	}
+	return c.suite.VerifyAggregate(msg.VoteStatement(qc.V, qc.BlockHash), qc.Agg, c.cfg.Base.Quorum()) == nil
+}
+
+// observeQC updates highQC/lockedQC and runs the three-chain commit rule.
+func (c *Core) observeQC(qc *msg.QC) {
+	if qc.V >= 0 && c.seenQC[qc.V] {
+		return
+	}
+	if !c.verifyQC(qc) {
+		return
+	}
+	if qc.V >= 0 {
+		c.seenQC[qc.V] = true
+		if c.obs != nil {
+			c.obs.OnQCSeen(qc, c.rt.Now())
+		}
+	}
+	if qc.V > c.highQC.V {
+		c.highQC = qc
+	}
+	c.qcByHash[qc.BlockHash] = qc
+	// Lock rule: lock the parent of a newly certified block.
+	b2, ok := c.blocks[qc.BlockHash]
+	if ok && b2.View >= 0 {
+		if pqc, ok := c.qcByHash[b2.Parent]; ok && pqc.V > c.lockedQC.V {
+			c.lockedQC = pqc
+		}
+		c.tryCommit(b2)
+	}
+	if c.onQC != nil && qc.V >= 0 {
+		c.onQC(qc)
+	}
+}
+
+// tryCommit applies the chain commit rule: with a certified block heading
+// a chain of chainLen blocks at consecutive views, the tail commits
+// (three-chain for classic chained HotStuff, two-chain for the HotStuff-2
+// style variant). If the rule walk hits a block not yet received, the
+// check is deferred until it arrives; if the rule fails definitively
+// (non-consecutive views), the head can never trigger a commit.
+func (c *Core) tryCommit(head *Block) {
+	tail := head
+	for i := 1; i < c.cfg.chainLen(); i++ {
+		parent, ok := c.blocks[tail.Parent]
+		if !ok {
+			if head.View > c.lastExec {
+				c.pendingCommit[head.HashOf()] = head
+			}
+			return
+		}
+		if parent.View < 0 || parent.View+1 != tail.View {
+			return
+		}
+		tail = parent
+	}
+	delete(c.pendingCommit, head.HashOf())
+	if tail.View <= c.lastExec {
+		return
+	}
+	c.execChain(tail)
+}
+
+// execChain commits b0 and any uncommitted ancestors, oldest first. If an
+// ancestor is not locally known yet (its proposal is still in flight),
+// execution is deferred rather than committing a gapped chain; the
+// arrival of any new block retries (retryPending).
+func (c *Core) execChain(b0 *Block) {
+	var chain []*Block
+	cur := b0
+	for cur != nil && cur.View > c.lastExec {
+		chain = append(chain, cur)
+		next, ok := c.blocks[cur.Parent]
+		if !ok {
+			c.pendingExec[b0.HashOf()] = b0
+			return
+		}
+		cur = next
+	}
+	delete(c.pendingExec, b0.HashOf())
+	for i := len(chain) - 1; i >= 0; i-- {
+		b := chain[i]
+		if b.View < 0 {
+			continue
+		}
+		c.lastExec = b.View
+		c.committed = append(c.committed, b.HashOf())
+		for _, cmd := range b.Cmds {
+			if c.applied[cmd.ID] {
+				continue
+			}
+			c.applied[cmd.ID] = true
+			delete(c.inPool, cmd.ID)
+			c.removeFromPool(cmd.ID)
+			if c.sm != nil {
+				// Execution errors (e.g. insufficient funds)
+				// are results, not failures: state machines
+				// must handle them deterministically.
+				_, _ = c.sm.Apply(cmd.Payload)
+			}
+		}
+		if c.onCommit != nil {
+			c.onCommit(b, c.rt.Now())
+		}
+	}
+}
+
+// retryPending re-attempts deferred commit checks and executions after a
+// new block arrives.
+func (c *Core) retryPending() {
+	for _, b := range c.pendingCommit {
+		if b.View > c.lastExec {
+			c.tryCommit(b)
+		}
+	}
+	for _, b := range c.pendingExec {
+		if b.View > c.lastExec {
+			c.execChain(b)
+		}
+	}
+	for h, b := range c.pendingCommit {
+		if b.View <= c.lastExec {
+			delete(c.pendingCommit, h)
+		}
+	}
+	for h, b := range c.pendingExec {
+		if b.View <= c.lastExec {
+			delete(c.pendingExec, h)
+		}
+	}
+}
+
+func (c *Core) removeFromPool(id uint64) {
+	for i, cmd := range c.mempool {
+		if cmd.ID == id {
+			c.mempool = append(c.mempool[:i], c.mempool[i+1:]...)
+			return
+		}
+	}
+}
+
+// pruneBelow bounds per-view bookkeeping; block/QC maps retain recent
+// history for parent walks and late commits.
+func (c *Core) pruneBelow(v types.View) {
+	low := v - 4
+	for w := range c.proposals {
+		if w < low {
+			delete(c.proposals, w)
+		}
+	}
+	for w := range c.voted {
+		if w < low {
+			delete(c.voted, w)
+		}
+	}
+	// Old blocks below the executed prefix can be dropped once far
+	// behind; keep a generous window for stragglers.
+	if len(c.blocks) > 4096 {
+		cut := c.lastExec - 1024
+		for h, b := range c.blocks {
+			if b.View >= 0 && b.View < cut {
+				delete(c.blocks, h)
+				delete(c.qcByHash, h)
+			}
+		}
+	}
+	for w := range c.seenQC {
+		if w < low-4 {
+			delete(c.seenQC, w)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package hotstuff
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"lumiere/internal/crypto"
+	"lumiere/internal/msg"
+	"lumiere/internal/network"
+	"lumiere/internal/sim"
+	"lumiere/internal/statemachine"
+	"lumiere/internal/types"
+)
+
+// rig wires n HotStuff cores over a simulated network with a trivial
+// chaining pacemaker: every observed QC enters the next view and starts
+// its leader immediately (pure responsiveness, no clocks).
+type rig struct {
+	sched *sim.Scheduler
+	cores []*Core
+	kvs   []*statemachine.KV
+	cfg   types.Config
+}
+
+func newRig(t *testing.T, f int, delay time.Duration, twoPhase bool) *rig {
+	t.Helper()
+	cfg := types.NewConfig(f, 100*time.Millisecond)
+	r := &rig{sched: sim.New(1), cfg: cfg}
+	net := network.NewNet(r.sched, cfg, 0, network.Fixed{D: delay})
+	suite := crypto.NewSimSuite(cfg.N, 2)
+	leader := func(v types.View) types.NodeID { return types.NodeID(v % types.View(cfg.N)) }
+	r.cores = make([]*Core, cfg.N)
+	r.kvs = make([]*statemachine.KV, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		i := i
+		ep := net.Attach(types.NodeID(i), network.HandlerFunc(func(from types.NodeID, m msg.Message) {
+			r.cores[i].Handle(from, m)
+		}))
+		r.kvs[i] = statemachine.NewKV()
+		r.cores[i] = New(Config{Base: cfg, TwoPhase: twoPhase}, ep, r.sched, suite, leader,
+			func(qc *msg.QC) {
+				next := qc.V + 1
+				r.cores[i].EnterView(next)
+				r.cores[i].LeaderStart(next, types.TimeInf)
+			}, r.kvs[i], nil, nil)
+	}
+	return r
+}
+
+func (r *rig) start() {
+	for _, c := range r.cores {
+		c.EnterView(0)
+	}
+	r.cores[0].LeaderStart(0, types.TimeInf)
+}
+
+func TestChainCommitsAndExecutes(t *testing.T) {
+	r := newRig(t, 1, time.Millisecond, false)
+	for i := 0; i < 10; i++ {
+		r.cores[0].Submit([]byte(fmt.Sprintf("SET k%d v%d", i, i)))
+	}
+	r.start()
+	r.sched.RunFor(time.Second)
+	for i, c := range r.cores {
+		if c.CommittedCount() < 10 {
+			t.Fatalf("core %d committed %d blocks", i, c.CommittedCount())
+		}
+	}
+	// Commands submitted at node 0 executed everywhere (node 0 was the
+	// first leader and batched them).
+	for i, kv := range r.kvs {
+		if v, ok := kv.Get("k9"); !ok || v != "v9" {
+			t.Fatalf("kv %d missing k9 (have %d keys)", i, kv.Len())
+		}
+	}
+	// Logs identical.
+	ref := r.cores[0].CommittedHashes()
+	for i := 1; i < len(r.cores); i++ {
+		l := r.cores[i].CommittedHashes()
+		n := len(ref)
+		if len(l) < n {
+			n = len(l)
+		}
+		for j := 0; j < n; j++ {
+			if l[j] != ref[j] {
+				t.Fatalf("logs diverge at %d", j)
+			}
+		}
+	}
+}
+
+func TestCommitLagThreeVsTwoChain(t *testing.T) {
+	run := func(twoPhase bool) (highView types.View, committed int) {
+		r := newRig(t, 1, time.Millisecond, twoPhase)
+		r.start()
+		r.sched.RunFor(200 * time.Millisecond)
+		return r.cores[0].HighView(), r.cores[0].CommittedCount()
+	}
+	h3, c3 := run(false)
+	h2, c2 := run(true)
+	// With a QC for view v, the three-chain rule has executed views
+	// 0..v-2 (v-1 blocks) and the two-chain rule 0..v-1 (v blocks).
+	if int(h3)-c3 != 1 {
+		t.Fatalf("three-chain: highView=%d committed=%d, want lag 1 block", h3, c3)
+	}
+	if int(h2)-c2 != 0 {
+		t.Fatalf("two-chain: highView=%d committed=%d, want lag 0 blocks", h2, c2)
+	}
+}
+
+func TestVoteRefusesNonExtendingOldJustify(t *testing.T) {
+	r := newRig(t, 1, time.Millisecond, false)
+	r.start()
+	r.sched.RunFor(time.Second) // locks well above genesis
+	core := r.cores[1]
+	locked := core.lockedQC
+	if locked.V < 1 {
+		t.Fatal("no lock formed")
+	}
+	// A proposal extending genesis with the genesis justify: violates
+	// the safety rule (doesn't extend the lock, justify not newer).
+	v := core.view + 1
+	core.EnterView(v)
+	block := &Block{View: v, Parent: GenesisHash}
+	genesisQC := &msg.QC{V: types.NoView, BlockHash: GenesisHash}
+	core.handleProposal(types.NodeID(v%types.View(r.cfg.N)), &msg.Proposal{
+		V:       v,
+		Leader:  types.NodeID(v % types.View(r.cfg.N)),
+		Justify: genesisQC,
+		Block:   block.Encode(),
+		Hash:    block.HashOf(),
+	})
+	if core.voted[v] {
+		t.Fatal("voted for a proposal violating the safety rule")
+	}
+}
+
+func TestLateProposalStoredButNotVoted(t *testing.T) {
+	r := newRig(t, 1, time.Millisecond, false)
+	r.start()
+	r.sched.RunFor(100 * time.Millisecond)
+	core := r.cores[1]
+	// Craft a valid proposal for an old view extending genesis (as the
+	// view-0 leader legitimately did); it must be stored, not voted.
+	old := &Block{View: 0, Parent: GenesisHash, Cmds: []Command{{ID: 42}}}
+	genesisQC := &msg.QC{V: types.NoView, BlockHash: GenesisHash}
+	before := core.voted[0]
+	core.handleProposal(0, &msg.Proposal{
+		V: 0, Leader: 0, Justify: genesisQC, Block: old.Encode(), Hash: old.HashOf(),
+	})
+	if _, ok := core.blocks[old.HashOf()]; !ok {
+		t.Fatal("late proposal's block not stored")
+	}
+	if !before && core.voted[0] {
+		t.Fatal("voted for a stale view")
+	}
+}
+
+func TestPendingExecDefersUntilAncestorArrives(t *testing.T) {
+	r := newRig(t, 1, time.Millisecond, false)
+	core := r.cores[0]
+	// Build a private 3-chain b0←b1←b2 of consecutive views with a QC
+	// for b2, but withhold b0 from the core.
+	suite := crypto.NewSimSuite(r.cfg.N, 2)
+	qcFor := func(b *Block) *msg.QC {
+		h := b.HashOf()
+		var sigs []crypto.Signature
+		for i := 0; i < r.cfg.Quorum(); i++ {
+			sigs = append(sigs, suite.SignerFor(types.NodeID(i)).Sign(msg.VoteStatement(b.View, h)))
+		}
+		agg, err := suite.Aggregate(msg.VoteStatement(b.View, h), sigs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &msg.QC{V: b.View, BlockHash: h, Agg: agg}
+	}
+	b0 := &Block{View: 0, Parent: GenesisHash, Cmds: []Command{{ID: 7, Payload: []byte("SET x 1")}}}
+	b1 := &Block{View: 1, Parent: b0.HashOf()}
+	b2 := &Block{View: 2, Parent: b1.HashOf()}
+	core.blocks[b1.HashOf()] = b1
+	core.blocks[b2.HashOf()] = b2
+	core.qcByHash[b0.HashOf()] = qcFor(b0)
+	core.qcByHash[b1.HashOf()] = qcFor(b1)
+	core.observeQC(qcFor(b2))
+	if core.CommittedCount() != 0 {
+		t.Fatal("committed a chain with a missing ancestor")
+	}
+	if len(core.pendingExec)+len(core.pendingCommit) == 0 {
+		t.Fatal("execution not deferred")
+	}
+	// The missing ancestor arrives (late proposal path).
+	core.blocks[b0.HashOf()] = b0
+	core.retryPending()
+	if core.CommittedCount() != 1 {
+		t.Fatalf("deferred commit not executed: %d", core.CommittedCount())
+	}
+	if v, ok := r.kvs[0].Get("x"); !ok || v != "1" {
+		t.Fatal("deferred command not applied")
+	}
+}
+
+func TestLeaderDeadlineDiscipline(t *testing.T) {
+	r := newRig(t, 1, 10*time.Millisecond, false)
+	for _, c := range r.cores {
+		c.EnterView(0)
+	}
+	// Deadline in the past relative to vote arrival (~2δ = 20ms).
+	r.cores[0].LeaderStart(0, r.sched.Now().Add(5*time.Millisecond))
+	r.sched.RunFor(time.Second)
+	if r.cores[0].CommittedCount() != 0 || r.cores[0].HighView() >= 0 {
+		t.Fatal("leader produced a QC past its deadline")
+	}
+}
+
+func TestMempoolDedupeAndDrainOnCommit(t *testing.T) {
+	r := newRig(t, 1, time.Millisecond, false)
+	core := r.cores[0]
+	core.Handle(1, &msg.Request{ID: 5, Payload: []byte("SET a 1")})
+	core.Handle(2, &msg.Request{ID: 5, Payload: []byte("SET a 1")}) // duplicate
+	if core.MempoolLen() != 1 {
+		t.Fatalf("mempool = %d, want deduped 1", core.MempoolLen())
+	}
+	r.start()
+	r.sched.RunFor(time.Second)
+	if core.MempoolLen() != 0 {
+		t.Fatalf("mempool not drained after commit: %d", core.MempoolLen())
+	}
+	// Re-submitting an applied command is a no-op.
+	core.Handle(1, &msg.Request{ID: 5, Payload: []byte("SET a 1")})
+	if core.MempoolLen() != 0 {
+		t.Fatal("applied command re-entered the mempool")
+	}
+}
+
+func TestForgedQCRejected(t *testing.T) {
+	r := newRig(t, 1, time.Millisecond, false)
+	core := r.cores[0]
+	var h Hash
+	core.observeQC(&msg.QC{V: 3, BlockHash: h}) // empty aggregate
+	if core.HighView() >= 0 {
+		t.Fatal("unverifiable QC accepted")
+	}
+}

@@ -1,0 +1,273 @@
+// Package metrics implements the complexity measures of §2 of the paper:
+// communication complexity W_T (messages sent by correct processors
+// between T and the next honest-leader consensus decision t*_T), worst-
+// case and eventual worst-case latency, and the honest clock gaps hg_i of
+// Definition 3.1.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"lumiere/internal/msg"
+	"lumiere/internal/network"
+	"lumiere/internal/types"
+)
+
+// SendRecord is one point-to-point transmission by an honest processor.
+type SendRecord struct {
+	At   types.Time
+	From types.NodeID
+	Kind msg.Kind
+	View types.View
+}
+
+// Decision is the paper's consensus-decision event: an honest lead(v)
+// produced a QC for view v.
+type Decision struct {
+	At     types.Time
+	View   types.View
+	Leader types.NodeID
+}
+
+// Collector observes network traffic and decision events for one
+// execution. It is safe for concurrent use (the TCP runtime delivers from
+// multiple goroutines); under the simulator the mutex is uncontended.
+type Collector struct {
+	mu          sync.Mutex
+	sends       []SendRecord
+	byKind      map[msg.Kind]int64
+	honestTotal int64
+	kappaTotal  int64
+	byzTotal    int64
+	decisions   []Decision
+	honest      func(types.NodeID) bool
+}
+
+var _ network.Observer = (*Collector)(nil)
+
+// NewCollector creates a Collector. honest classifies decision leaders; a
+// nil function treats every node as honest.
+func NewCollector(honest func(types.NodeID) bool) *Collector {
+	if honest == nil {
+		honest = func(types.NodeID) bool { return true }
+	}
+	return &Collector{byKind: make(map[msg.Kind]int64), honest: honest}
+}
+
+// OnSend implements network.Observer.
+func (c *Collector) OnSend(from, _ types.NodeID, m msg.Message, at types.Time, honestSender bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !honestSender {
+		c.byzTotal++
+		return
+	}
+	c.honestTotal++
+	c.kappaTotal += int64(msg.KappaSize(m))
+	c.byKind[m.Kind()]++
+	c.sends = append(c.sends, SendRecord{At: at, From: from, Kind: m.Kind(), View: m.View()})
+}
+
+// OnDeliver implements network.Observer.
+func (c *Collector) OnDeliver(types.NodeID, types.NodeID, msg.Message, types.Time) {}
+
+// RecordDecision registers a QC produced by a leader; only honest leaders
+// count as decisions per §2.
+func (c *Collector) RecordDecision(v types.View, leader types.NodeID, at types.Time) {
+	if !c.honest(leader) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.decisions = append(c.decisions, Decision{At: at, View: v, Leader: leader})
+}
+
+// HonestSends returns the total number of messages sent by honest
+// processors.
+func (c *Collector) HonestSends() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.honestTotal
+}
+
+// ByzantineSends returns the total number of messages sent by Byzantine
+// processors (not charged to the protocol's complexity).
+func (c *Collector) ByzantineSends() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byzTotal
+}
+
+// KindCount returns the number of honest sends of one message kind.
+func (c *Collector) KindCount(k msg.Kind) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byKind[k]
+}
+
+// Decisions returns a copy of the decision log, in time order.
+func (c *Collector) Decisions() []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := append([]Decision(nil), c.decisions...)
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Sends returns a copy of the honest send log, in time order.
+func (c *Collector) Sends() []SendRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]SendRecord(nil), c.sends...)
+}
+
+// sendsBetween counts honest sends with At in (a, b]. The send log is
+// appended in time order under the simulator.
+func (c *Collector) sendsBetween(a, b types.Time) int64 {
+	lo := sort.Search(len(c.sends), func(i int) bool { return c.sends[i].At > a })
+	hi := sort.Search(len(c.sends), func(i int) bool { return c.sends[i].At > b })
+	return int64(hi - lo)
+}
+
+// FirstDecisionAfter returns the first decision strictly after t.
+func (c *Collector) FirstDecisionAfter(t types.Time) (Decision, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range c.decisions {
+		if d.At > t {
+			return d, true
+		}
+	}
+	return Decision{}, false
+}
+
+// WindowAfter computes the paper's W_T and t*_T − T for a given T: the
+// number of honest messages and elapsed time from T to the first
+// honest-leader decision after T. ok is false when no decision follows T.
+func (c *Collector) WindowAfter(t types.Time) (msgs int64, latency time.Duration, ok bool) {
+	d, found := c.FirstDecisionAfter(t)
+	if !found {
+		return 0, 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sendsBetween(t, d.At), d.At.Sub(t), true
+}
+
+// Interval summarizes one window between consecutive decisions.
+type Interval struct {
+	From, To types.Time
+	Msgs     int64
+	Gap      time.Duration
+}
+
+// Intervals returns the per-decision windows strictly after t, skipping
+// the first skip decisions after t (the paper's "warmup"). The i-th
+// interval spans (d_i, d_{i+1}].
+func (c *Collector) Intervals(t types.Time, skip int) []Interval {
+	decs := c.Decisions()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Interval
+	prev := t
+	seen := 0
+	for _, d := range decs {
+		if d.At <= t {
+			continue
+		}
+		if seen >= skip {
+			out = append(out, Interval{
+				From: prev,
+				To:   d.At,
+				Msgs: c.sendsBetween(prev, d.At),
+				Gap:  d.At.Sub(prev),
+			})
+		}
+		prev = d.At
+		seen++
+	}
+	return out
+}
+
+// IntervalStats aggregates per-decision windows.
+type IntervalStats struct {
+	Count                int
+	MaxMsgs, MeanMsgs    float64
+	MaxGap, MeanGap      time.Duration
+	TotalMsgs            int64
+	TotalSpan            time.Duration
+	P99Msgs              float64
+	DecisionsPerSecSimed float64
+}
+
+// Stats summarizes the windows after t, skipping skip warmup decisions.
+func (c *Collector) Stats(t types.Time, skip int) IntervalStats {
+	ivs := c.Intervals(t, skip)
+	var s IntervalStats
+	s.Count = len(ivs)
+	if len(ivs) == 0 {
+		return s
+	}
+	msgs := make([]int64, 0, len(ivs))
+	var sumMsgs int64
+	var sumGap time.Duration
+	for _, iv := range ivs {
+		msgs = append(msgs, iv.Msgs)
+		sumMsgs += iv.Msgs
+		sumGap += iv.Gap
+		if float64(iv.Msgs) > s.MaxMsgs {
+			s.MaxMsgs = float64(iv.Msgs)
+		}
+		if iv.Gap > s.MaxGap {
+			s.MaxGap = iv.Gap
+		}
+	}
+	sort.Slice(msgs, func(i, j int) bool { return msgs[i] < msgs[j] })
+	s.P99Msgs = float64(msgs[(len(msgs)*99)/100])
+	s.MeanMsgs = float64(sumMsgs) / float64(len(ivs))
+	s.MeanGap = sumGap / time.Duration(len(ivs))
+	s.TotalMsgs = sumMsgs
+	s.TotalSpan = ivs[len(ivs)-1].To.Sub(ivs[0].From)
+	if s.TotalSpan > 0 {
+		s.DecisionsPerSecSimed = float64(len(ivs)) / s.TotalSpan.Seconds()
+	}
+	return s
+}
+
+// HeavySyncViews returns the distinct epoch views for which any honest
+// processor sent an epoch-view message strictly after t — the number of
+// heavy Θ(n²) synchronizations started after t.
+func (c *Collector) HeavySyncViews(t types.Time) []types.View {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set := make(map[types.View]bool)
+	for _, r := range c.sends {
+		if r.At > t && r.Kind == msg.KindEpochView {
+			set[r.View] = true
+		}
+	}
+	out := make([]types.View, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String summarizes the collector for logs.
+func (c *Collector) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fmt.Sprintf("metrics{honest=%d byz=%d decisions=%d}", c.honestTotal, c.byzTotal, len(c.decisions))
+}
+
+// KappaBytes returns the total honest communication in κ units (§2's bit
+// complexity: messages × O(κ)).
+func (c *Collector) KappaBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.kappaTotal
+}

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"lumiere/internal/msg"
+	"lumiere/internal/types"
+)
+
+func fill(c *Collector) {
+	// Honest sends at t = 1..10 (one per ns), plus Byzantine noise.
+	for i := 1; i <= 10; i++ {
+		c.OnSend(0, 1, &msg.ViewMsg{V: types.View(i)}, types.Time(i), true)
+	}
+	c.OnSend(2, 1, &msg.ViewMsg{V: 1}, 5, false)
+	// Decisions at t = 3 (v1, leader 0), t = 7 (v2, leader 1, byz),
+	// t = 9 (v3, leader 0).
+	c.RecordDecision(1, 0, 3)
+	c.RecordDecision(2, 9, 7) // leader 9 is Byzantine in this test
+	c.RecordDecision(3, 0, 9)
+}
+
+func newTestCollector() *Collector {
+	return NewCollector(func(id types.NodeID) bool { return id != 9 })
+}
+
+func TestCollectorCounts(t *testing.T) {
+	c := newTestCollector()
+	fill(c)
+	if c.HonestSends() != 10 {
+		t.Fatalf("honest = %d", c.HonestSends())
+	}
+	if c.ByzantineSends() != 1 {
+		t.Fatalf("byz = %d", c.ByzantineSends())
+	}
+	if c.KindCount(msg.KindView) != 10 {
+		t.Fatalf("kind count = %d", c.KindCount(msg.KindView))
+	}
+}
+
+func TestDecisionFiltering(t *testing.T) {
+	c := newTestCollector()
+	fill(c)
+	decs := c.Decisions()
+	if len(decs) != 2 {
+		t.Fatalf("decisions = %d (byzantine leader must not count)", len(decs))
+	}
+	if decs[0].At != 3 || decs[1].At != 9 {
+		t.Fatalf("decisions = %+v", decs)
+	}
+}
+
+func TestWindowAfter(t *testing.T) {
+	c := newTestCollector()
+	fill(c)
+	msgs, lat, ok := c.WindowAfter(0)
+	if !ok || msgs != 3 || lat != 3 {
+		t.Fatalf("window = (%d, %v, %v)", msgs, lat, ok)
+	}
+	msgs, lat, ok = c.WindowAfter(3)
+	if !ok || msgs != 6 || lat != 6 {
+		t.Fatalf("window after 3 = (%d, %v, %v)", msgs, lat, ok)
+	}
+	if _, _, ok := c.WindowAfter(100); ok {
+		t.Fatal("window past last decision should fail")
+	}
+}
+
+func TestIntervalsAndStats(t *testing.T) {
+	c := newTestCollector()
+	fill(c)
+	ivs := c.Intervals(0, 0)
+	if len(ivs) != 2 {
+		t.Fatalf("intervals = %d", len(ivs))
+	}
+	// (0,3]: 3 msgs; (3,9]: 6 msgs.
+	if ivs[0].Msgs != 3 || ivs[1].Msgs != 6 {
+		t.Fatalf("intervals = %+v", ivs)
+	}
+	if ivs[1].Gap != 6 {
+		t.Fatalf("gap = %v", ivs[1].Gap)
+	}
+	st := c.Stats(0, 0)
+	if st.Count != 2 || st.MaxMsgs != 6 || st.MaxGap != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MeanMsgs != 4.5 {
+		t.Fatalf("mean msgs = %v", st.MeanMsgs)
+	}
+	// Warmup skip drops the first decision's window.
+	st = c.Stats(0, 1)
+	if st.Count != 1 || st.MaxMsgs != 6 {
+		t.Fatalf("warmup stats = %+v", st)
+	}
+}
+
+func TestHeavySyncViews(t *testing.T) {
+	c := newTestCollector()
+	c.OnSend(0, 1, &msg.EpochViewMsg{V: 0}, 1, true)
+	c.OnSend(1, 2, &msg.EpochViewMsg{V: 0}, 2, true)
+	c.OnSend(0, 1, &msg.EpochViewMsg{V: 40}, 5, true)
+	c.OnSend(3, 1, &msg.EpochViewMsg{V: 80}, 9, false) // byzantine: ignored
+	got := c.HeavySyncViews(0)
+	if len(got) != 2 || got[0] != 0 || got[1] != 40 {
+		t.Fatalf("heavy = %v", got)
+	}
+	if got := c.HeavySyncViews(2); len(got) != 1 || got[0] != 40 {
+		t.Fatalf("heavy after 2 = %v", got)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	c := newTestCollector()
+	st := c.Stats(0, 0)
+	if st.Count != 0 || st.MaxMsgs != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}
+
+func TestNilHonestFunc(t *testing.T) {
+	c := NewCollector(nil)
+	c.RecordDecision(1, 5, 1)
+	if len(c.Decisions()) != 1 {
+		t.Fatal("nil honest func should accept all leaders")
+	}
+	_ = c.String()
+	_ = time.Second
+}
+
+func TestKappaAccounting(t *testing.T) {
+	c := newTestCollector()
+	c.OnSend(0, 1, &msg.ViewMsg{V: 1}, 1, true)
+	c.OnSend(0, 1, &msg.Proposal{V: 1}, 2, true)
+	c.OnSend(2, 1, &msg.QC{V: 1}, 3, false) // byzantine: not charged
+	if got := c.KappaBytes(); got != 3 {
+		t.Fatalf("kappa = %d, want 1 (view) + 2 (proposal)", got)
+	}
+}

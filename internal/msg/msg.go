@@ -1,0 +1,331 @@
+// Package msg defines every wire message exchanged by the view
+// synchronization protocols and the underlying consensus. All messages are
+// O(κ) in the paper's accounting: they carry at most a constant number of
+// signatures, certificates and hashes.
+package msg
+
+import (
+	"fmt"
+
+	"lumiere/internal/crypto"
+	"lumiere/internal/types"
+)
+
+// Kind discriminates message types.
+type Kind uint8
+
+// Message kinds. Enumeration starts at 1 so the zero value is invalid.
+const (
+	// KindView is a "view v" message: processor p's signed statement
+	// that its clock reached c_v, sent to lead(v) (§4 line 30).
+	KindView Kind = iota + 1
+	// KindVC is a View Certificate: f+1 view-v messages combined by
+	// lead(v) and broadcast (§4 lines 32-34).
+	KindVC
+	// KindEpochView is an "epoch view v" message broadcast when a
+	// processor wishes to perform a heavy epoch synchronization.
+	KindEpochView
+	// KindEC is an Epoch Certificate: 2f+1 epoch-view-v messages.
+	KindEC
+	// KindTC is a (Lumiere) epoch Timeout Certificate: f+1
+	// epoch-view-v messages (§3.5). Cogsworth and NK20 reuse it as
+	// their view-entry certificate with protocol-specific thresholds.
+	KindTC
+	// KindProposal is the underlying protocol's leader proposal.
+	KindProposal
+	// KindVote is a vote on a proposal, sent to the leader.
+	KindVote
+	// KindQC carries a Quorum Certificate for a completed view.
+	KindQC
+	// KindWish is Cogsworth's view-synchronization wish, sent to an
+	// aggregation leader.
+	KindWish
+	// KindTimeout is NK20's all-to-all view timeout message.
+	KindTimeout
+	// KindNewView carries a replica's highest QC to the next leader
+	// (chained HotStuff).
+	KindNewView
+	// KindRequest is a client command submitted to the SMR layer.
+	KindRequest
+)
+
+var kindNames = map[Kind]string{
+	KindView:      "VIEW",
+	KindVC:        "VC",
+	KindEpochView: "EPOCHVIEW",
+	KindEC:        "EC",
+	KindTC:        "TC",
+	KindProposal:  "PROPOSAL",
+	KindVote:      "VOTE",
+	KindQC:        "QC",
+	KindWish:      "WISH",
+	KindTimeout:   "TIMEOUT",
+	KindNewView:   "NEWVIEW",
+	KindRequest:   "REQUEST",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Message is the interface implemented by all wire messages.
+type Message interface {
+	// Kind returns the message discriminator.
+	Kind() Kind
+	// View returns the view the message refers to.
+	View() types.View
+}
+
+// Domain tags for signed statements, keeping signature domains disjoint.
+const (
+	DomainView      = "lumiere/view"
+	DomainEpochView = "lumiere/epochview"
+	DomainVote      = "lumiere/vote"
+	DomainWish      = "lumiere/wish"
+	DomainTimeout   = "lumiere/timeout"
+)
+
+// ---------------------------------------------------------------------------
+// View synchronization messages
+// ---------------------------------------------------------------------------
+
+// ViewMsg is the value v signed by From (§3.3, §4 line 30).
+type ViewMsg struct {
+	V   types.View
+	Sig crypto.Signature
+}
+
+// Kind implements Message.
+func (m *ViewMsg) Kind() Kind { return KindView }
+
+// View implements Message.
+func (m *ViewMsg) View() types.View { return m.V }
+
+// From returns the sender recorded in the signature.
+func (m *ViewMsg) From() types.NodeID { return m.Sig.Signer }
+
+// ViewStatement is the byte string a ViewMsg signs.
+func ViewStatement(v types.View) []byte { return crypto.Statement(DomainView, v, nil) }
+
+// VC is a View Certificate for an initial view: f+1 view-v messages
+// combined into a single threshold signature (§4 lines 32-34).
+type VC struct {
+	V   types.View
+	Agg crypto.Aggregate
+}
+
+// Kind implements Message.
+func (m *VC) Kind() Kind { return KindVC }
+
+// View implements Message.
+func (m *VC) View() types.View { return m.V }
+
+// EpochViewMsg is an epoch view v message (§4 "Forming ECs").
+type EpochViewMsg struct {
+	V   types.View
+	Sig crypto.Signature
+}
+
+// Kind implements Message.
+func (m *EpochViewMsg) Kind() Kind { return KindEpochView }
+
+// View implements Message.
+func (m *EpochViewMsg) View() types.View { return m.V }
+
+// From returns the sender recorded in the signature.
+func (m *EpochViewMsg) From() types.NodeID { return m.Sig.Signer }
+
+// EpochViewStatement is the byte string an EpochViewMsg signs.
+func EpochViewStatement(v types.View) []byte { return crypto.Statement(DomainEpochView, v, nil) }
+
+// EC is an Epoch Certificate: 2f+1 epoch-view-v messages (§4 "ECs and
+// TCs"). Processors assemble it locally from broadcast EpochViewMsgs; it
+// is also forwardable as a compact certificate.
+type EC struct {
+	V   types.View
+	Agg crypto.Aggregate
+}
+
+// Kind implements Message.
+func (m *EC) Kind() Kind { return KindEC }
+
+// View implements Message.
+func (m *EC) View() types.View { return m.V }
+
+// TC is a Timeout Certificate: f+1 epoch-view-v messages for Lumiere's
+// epoch views (§3.5); Cogsworth and NK20 reuse the type for their view
+// certificates (with wish/timeout statements and their own thresholds).
+type TC struct {
+	V   types.View
+	Agg crypto.Aggregate
+}
+
+// Kind implements Message.
+func (m *TC) Kind() Kind { return KindTC }
+
+// View implements Message.
+func (m *TC) View() types.View { return m.V }
+
+// Wish is Cogsworth's request to synchronize into view V, sent to an
+// aggregation leader.
+type Wish struct {
+	V   types.View
+	Sig crypto.Signature
+}
+
+// Kind implements Message.
+func (m *Wish) Kind() Kind { return KindWish }
+
+// View implements Message.
+func (m *Wish) View() types.View { return m.V }
+
+// From returns the sender recorded in the signature.
+func (m *Wish) From() types.NodeID { return m.Sig.Signer }
+
+// WishStatement is the byte string a Wish signs.
+func WishStatement(v types.View) []byte { return crypto.Statement(DomainWish, v, nil) }
+
+// Timeout is NK20's all-to-all view-synchronization message.
+type Timeout struct {
+	V   types.View
+	Sig crypto.Signature
+}
+
+// Kind implements Message.
+func (m *Timeout) Kind() Kind { return KindTimeout }
+
+// View implements Message.
+func (m *Timeout) View() types.View { return m.V }
+
+// From returns the sender recorded in the signature.
+func (m *Timeout) From() types.NodeID { return m.Sig.Signer }
+
+// TimeoutStatement is the byte string a Timeout signs.
+func TimeoutStatement(v types.View) []byte { return crypto.Statement(DomainTimeout, v, nil) }
+
+// ---------------------------------------------------------------------------
+// Underlying-protocol messages
+// ---------------------------------------------------------------------------
+
+// QC is a Quorum Certificate: 2f+1 votes testifying that view V completed
+// (§2 "Quorum certificates"). BlockHash is zero for the plain view core
+// and carries the certified block hash for chained HotStuff.
+type QC struct {
+	V         types.View
+	BlockHash [32]byte
+	Agg       crypto.Aggregate
+}
+
+// Kind implements Message.
+func (m *QC) Kind() Kind { return KindQC }
+
+// View implements Message.
+func (m *QC) View() types.View { return m.V }
+
+// VoteStatement is the byte string a Vote signs and a QC certifies.
+func VoteStatement(v types.View, blockHash [32]byte) []byte {
+	return crypto.Statement(DomainVote, v, blockHash[:])
+}
+
+// Proposal is the leader's per-view proposal. Justify is the QC the
+// proposal extends (nil for the plain view core's first views). Block is
+// the serialized block payload for HotStuff, nil for the plain view core.
+type Proposal struct {
+	V       types.View
+	Leader  types.NodeID
+	Justify *QC
+	Block   []byte
+	Hash    [32]byte
+}
+
+// Kind implements Message.
+func (m *Proposal) Kind() Kind { return KindProposal }
+
+// View implements Message.
+func (m *Proposal) View() types.View { return m.V }
+
+// Vote is a replica's vote on a proposal, sent to the leader.
+type Vote struct {
+	V         types.View
+	BlockHash [32]byte
+	Sig       crypto.Signature
+}
+
+// Kind implements Message.
+func (m *Vote) Kind() Kind { return KindVote }
+
+// View implements Message.
+func (m *Vote) View() types.View { return m.V }
+
+// From returns the sender recorded in the signature.
+func (m *Vote) From() types.NodeID { return m.Sig.Signer }
+
+// NewView carries a replica's highest QC to the leader of view V (chained
+// HotStuff view changes).
+type NewView struct {
+	V       types.View
+	HighQC  *QC
+	FromRaw types.NodeID
+}
+
+// Kind implements Message.
+func (m *NewView) Kind() Kind { return KindNewView }
+
+// View implements Message.
+func (m *NewView) View() types.View { return m.V }
+
+// From returns the sender.
+func (m *NewView) From() types.NodeID { return m.FromRaw }
+
+// Request is a client command for the SMR layer.
+type Request struct {
+	ID      uint64
+	Payload []byte
+}
+
+// Kind implements Message.
+func (m *Request) Kind() Kind { return KindRequest }
+
+// View implements Message; requests are view-independent.
+func (m *Request) View() types.View { return 0 }
+
+// Compile-time interface compliance checks.
+var (
+	_ Message = (*ViewMsg)(nil)
+	_ Message = (*VC)(nil)
+	_ Message = (*EpochViewMsg)(nil)
+	_ Message = (*EC)(nil)
+	_ Message = (*TC)(nil)
+	_ Message = (*QC)(nil)
+	_ Message = (*Proposal)(nil)
+	_ Message = (*Vote)(nil)
+	_ Message = (*NewView)(nil)
+	_ Message = (*Wish)(nil)
+	_ Message = (*Timeout)(nil)
+	_ Message = (*Request)(nil)
+)
+
+// KappaSize returns a message's size in units of the security parameter κ
+// (§2: every message is O(κ), carrying a constant number of signatures,
+// certificates and hashes). Payload bytes (block contents) are charged
+// separately by callers; view synchronization itself never sends payload.
+func KappaSize(m Message) int {
+	switch m.(type) {
+	case *ViewMsg, *EpochViewMsg, *Wish, *Timeout:
+		return 1 // one signature
+	case *VC, *EC, *TC, *QC:
+		return 1 // one threshold signature
+	case *Vote:
+		return 1
+	case *Proposal:
+		return 2 // justify certificate + block hash
+	case *NewView:
+		return 1
+	default:
+		return 1
+	}
+}

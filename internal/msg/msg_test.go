@@ -1,0 +1,106 @@
+package msg
+
+import (
+	"bytes"
+	"testing"
+
+	"lumiere/internal/crypto"
+	"lumiere/internal/types"
+)
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{KindView, KindVC, KindEpochView, KindEC, KindTC,
+		KindProposal, KindVote, KindQC, KindWish, KindTimeout, KindNewView, KindRequest}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d has bad string %q", k, s)
+		}
+		seen[s] = true
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestMessageViews(t *testing.T) {
+	cases := []struct {
+		m    Message
+		kind Kind
+		view types.View
+	}{
+		{&ViewMsg{V: 3}, KindView, 3},
+		{&VC{V: 4}, KindVC, 4},
+		{&EpochViewMsg{V: 5}, KindEpochView, 5},
+		{&EC{V: 6}, KindEC, 6},
+		{&TC{V: 7}, KindTC, 7},
+		{&QC{V: 8}, KindQC, 8},
+		{&Proposal{V: 9}, KindProposal, 9},
+		{&Vote{V: 10}, KindVote, 10},
+		{&NewView{V: 11}, KindNewView, 11},
+		{&Wish{V: 12}, KindWish, 12},
+		{&Timeout{V: 13}, KindTimeout, 13},
+		{&Request{ID: 1}, KindRequest, 0},
+	}
+	for _, c := range cases {
+		if c.m.Kind() != c.kind || c.m.View() != c.view {
+			t.Errorf("%T: kind=%v view=%v", c.m, c.m.Kind(), c.m.View())
+		}
+	}
+}
+
+func TestStatementDomainsDisjoint(t *testing.T) {
+	v := types.View(5)
+	var h [32]byte
+	stmts := [][]byte{
+		ViewStatement(v),
+		EpochViewStatement(v),
+		WishStatement(v),
+		TimeoutStatement(v),
+		VoteStatement(v, h),
+	}
+	for i := range stmts {
+		for j := i + 1; j < len(stmts); j++ {
+			if bytes.Equal(stmts[i], stmts[j]) {
+				t.Fatalf("statements %d and %d collide", i, j)
+			}
+		}
+	}
+}
+
+func TestFromAccessors(t *testing.T) {
+	sig := crypto.Signature{Signer: 7}
+	if (&ViewMsg{Sig: sig}).From() != 7 {
+		t.Fatal("ViewMsg.From")
+	}
+	if (&EpochViewMsg{Sig: sig}).From() != 7 {
+		t.Fatal("EpochViewMsg.From")
+	}
+	if (&Vote{Sig: sig}).From() != 7 {
+		t.Fatal("Vote.From")
+	}
+	if (&Wish{Sig: sig}).From() != 7 {
+		t.Fatal("Wish.From")
+	}
+	if (&Timeout{Sig: sig}).From() != 7 {
+		t.Fatal("Timeout.From")
+	}
+	if (&NewView{FromRaw: 7}).From() != 7 {
+		t.Fatal("NewView.From")
+	}
+}
+
+func TestKappaSizeConstantPerKind(t *testing.T) {
+	// §2: every message is O(κ) — sizes are small constants and do not
+	// depend on n or the payload the certificate aggregates.
+	msgs := []Message{
+		&ViewMsg{}, &VC{}, &EpochViewMsg{}, &EC{}, &TC{}, &QC{},
+		&Proposal{}, &Vote{}, &NewView{}, &Wish{}, &Timeout{}, &Request{},
+	}
+	for _, m := range msgs {
+		if k := KappaSize(m); k < 1 || k > 2 {
+			t.Errorf("%T: κ = %d out of expected constant range", m, k)
+		}
+	}
+}

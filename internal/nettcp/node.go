@@ -1,0 +1,159 @@
+package nettcp
+
+import (
+	"fmt"
+	"sync"
+
+	"lumiere/internal/clock"
+	"lumiere/internal/core"
+	"lumiere/internal/crypto"
+	"lumiere/internal/hotstuff"
+	"lumiere/internal/msg"
+	"lumiere/internal/pacemaker"
+	"lumiere/internal/replica"
+	"lumiere/internal/statemachine"
+	"lumiere/internal/types"
+	"lumiere/internal/viewcore"
+)
+
+// NodeConfig configures one TCP node.
+type NodeConfig struct {
+	// ID is this node's index into Addrs.
+	ID types.NodeID
+	// Addrs lists every node's listen address, indexed by NodeID.
+	Addrs []string
+	// Base is the shared execution-model configuration.
+	Base types.Config
+	// Seed derives the shared PKI (all nodes must agree).
+	Seed int64
+	// Variant selects full or basic Lumiere (default full).
+	Variant core.Variant
+	// SMR runs chained HotStuff with a KV store (default: plain view
+	// core).
+	SMR bool
+	// OnDecision, if set, fires when this node's leader role produces
+	// a QC (a consensus decision).
+	OnDecision func(v types.View)
+	// OnCommit, if set, fires for each committed block (SMR only).
+	OnCommit func(b *hotstuff.Block)
+}
+
+// Node is a live TCP replica running Lumiere.
+type Node struct {
+	mu        sync.Mutex
+	cfg       NodeConfig
+	transport *Transport
+	rep       *replica.Replica
+	pm        *core.Pacemaker
+	hs        *hotstuff.Core
+	kv        *statemachine.KV
+	wall      *clock.Wall
+}
+
+// StartNode boots a node: it listens, connects to peers, and starts the
+// protocol immediately (the processor joins with lc = 0).
+func StartNode(cfg NodeConfig) (*Node, error) {
+	if err := cfg.Base.Validate(); err != nil {
+		return nil, fmt.Errorf("nettcp: %w", err)
+	}
+	if len(cfg.Addrs) != cfg.Base.N {
+		return nil, fmt.Errorf("nettcp: %d addrs for n=%d", len(cfg.Addrs), cfg.Base.N)
+	}
+	n := &Node{cfg: cfg}
+	n.wall = clock.NewWall(&n.mu)
+	rep := replica.New(cfg.ID, nil, nil)
+	n.rep = rep
+	n.transport = New(cfg.ID, cfg.Addrs, &n.mu, rep)
+
+	suite := crypto.NewEd25519Suite(cfg.Base.N, cfg.Seed)
+	clk := clock.New(n.wall, 0)
+
+	var pm *core.Pacemaker
+	leaderFn := func(v types.View) types.NodeID { return pm.Leader(v) }
+	onQC := func(qc *msg.QC) { pm.Handle(cfg.ID, qc) }
+	obs := decisionObs{node: n}
+	var engine replica.Engine
+	if cfg.SMR {
+		n.kv = statemachine.NewKV()
+		n.hs = hotstuff.New(hotstuff.Config{Base: cfg.Base}, n.transport, n.wall, suite,
+			leaderFn, onQC, n.kv, obs, func(b *hotstuff.Block, _ types.Time) {
+				if cfg.OnCommit != nil {
+					cfg.OnCommit(b)
+				}
+			})
+		engine = n.hs
+	} else {
+		engine = viewcore.New(cfg.Base, n.transport, n.wall, suite, leaderFn, onQC, obs)
+	}
+	variant := cfg.Variant
+	if variant == 0 {
+		variant = core.VariantFull
+	}
+	ccfg := core.Config{Base: cfg.Base, Variant: variant, ScheduleSeed: cfg.Seed + 7}
+	pm = core.New(ccfg, n.transport, n.wall, clk, suite, engine, pacemaker.NopObserver{}, nil)
+	n.pm = pm
+	rep.PM = pm
+	rep.Core = engine
+
+	if err := n.transport.Start(); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	rep.Start()
+	n.mu.Unlock()
+	return n, nil
+}
+
+type decisionObs struct{ node *Node }
+
+func (o decisionObs) OnQCSeen(*msg.QC, types.Time) {}
+
+func (o decisionObs) OnQCProduced(qc *msg.QC, _ types.Time) {
+	if o.node.cfg.OnDecision != nil {
+		o.node.cfg.OnDecision(qc.V)
+	}
+}
+
+// Submit enqueues a client command into this node's mempool and gossips
+// it to all replicas (SMR only).
+func (n *Node) Submit(payload []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.hs == nil {
+		return fmt.Errorf("nettcp: node is not running SMR")
+	}
+	id := n.hs.Submit(payload)
+	n.transport.Broadcast(&msg.Request{ID: id, Payload: payload})
+	return nil
+}
+
+// Status returns a snapshot of protocol progress.
+func (n *Node) Status() (view types.View, epoch types.Epoch, committed int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	view = n.pm.CurrentView()
+	epoch = n.pm.CurrentEpoch()
+	if n.hs != nil {
+		committed = n.hs.CommittedCount()
+	}
+	return view, epoch, committed
+}
+
+// KV exposes the node's state machine (SMR only; may be nil).
+func (n *Node) KV() *statemachine.KV { return n.kv }
+
+// CommittedHashes returns the commit log (SMR only).
+func (n *Node) CommittedHashes() []hotstuff.Hash {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.hs == nil {
+		return nil
+	}
+	return n.hs.CommittedHashes()
+}
+
+// Addr returns the node's bound address.
+func (n *Node) Addr() string { return n.transport.Addr() }
+
+// Close stops the node.
+func (n *Node) Close() { n.transport.Close() }

@@ -1,0 +1,279 @@
+// Package network defines the transport abstraction shared by the
+// simulator and the TCP runtime, and implements the simulated
+// partial-synchrony network of §2: the adversary chooses GST and
+// per-message delays, subject to the constraint that a message sent at
+// time t arrives by max{GST, t} + Δ.
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"lumiere/internal/msg"
+	"lumiere/internal/sim"
+	"lumiere/internal/types"
+)
+
+// Endpoint is a node's handle on the network.
+type Endpoint interface {
+	// ID returns the owning node.
+	ID() types.NodeID
+	// Send transmits m to a single processor. Sends to self are
+	// delivered at the same instant (the paper's convention).
+	Send(to types.NodeID, m msg.Message)
+	// Broadcast transmits m to all processors including the sender;
+	// the self-copy is delivered at the same instant (§4).
+	Broadcast(m msg.Message)
+}
+
+// Handler consumes delivered messages.
+type Handler interface {
+	Deliver(from types.NodeID, m msg.Message)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(from types.NodeID, m msg.Message)
+
+// Deliver implements Handler.
+func (f HandlerFunc) Deliver(from types.NodeID, m msg.Message) { f(from, m) }
+
+// Observer is notified of network activity; metrics and tracing hook in
+// here.
+type Observer interface {
+	// OnSend fires once per point-to-point transmission (a broadcast
+	// to n processors fires n−1 times; self-deliveries are not
+	// transmissions).
+	OnSend(from, to types.NodeID, m msg.Message, at types.Time, honestSender bool)
+	// OnDeliver fires when the message reaches its destination.
+	OnDeliver(from, to types.NodeID, m msg.Message, at types.Time)
+}
+
+// DelayPolicy is the adversary's control over message delivery times. The
+// returned delay is a request: the network clamps actual delivery into the
+// partial-synchrony window [now, max(GST, now)+Δ].
+type DelayPolicy interface {
+	Delay(from, to types.NodeID, m msg.Message, at types.Time, rng *rand.Rand) time.Duration
+}
+
+// DelayFunc adapts a function to DelayPolicy.
+type DelayFunc func(from, to types.NodeID, m msg.Message, at types.Time, rng *rand.Rand) time.Duration
+
+// Delay implements DelayPolicy.
+func (f DelayFunc) Delay(from, to types.NodeID, m msg.Message, at types.Time, rng *rand.Rand) time.Duration {
+	return f(from, to, m, at, rng)
+}
+
+// ---------------------------------------------------------------------------
+// Standard delay policies
+// ---------------------------------------------------------------------------
+
+// Fixed delays every message by exactly D (the "actual bound δ" of §2).
+type Fixed struct{ D time.Duration }
+
+// Delay implements DelayPolicy.
+func (p Fixed) Delay(_, _ types.NodeID, _ msg.Message, _ types.Time, _ *rand.Rand) time.Duration {
+	return p.D
+}
+
+// Uniform delays every message uniformly in [Min, Max].
+type Uniform struct{ Min, Max time.Duration }
+
+// Delay implements DelayPolicy.
+func (p Uniform) Delay(_, _ types.NodeID, _ msg.Message, _ types.Time, rng *rand.Rand) time.Duration {
+	if p.Max <= p.Min {
+		return p.Min
+	}
+	return p.Min + time.Duration(rng.Int63n(int64(p.Max-p.Min)))
+}
+
+// Adversarial requests an unbounded delay for every message, so delivery
+// always lands exactly on the partial-synchrony bound max(GST, t)+Δ — the
+// worst case the model permits.
+type Adversarial struct{}
+
+// Delay implements DelayPolicy.
+func (Adversarial) Delay(_, _ types.NodeID, _ msg.Message, _ types.Time, _ *rand.Rand) time.Duration {
+	return time.Duration(1<<62 - 1)
+}
+
+// PreGSTChaos delays messages sent before GST as long as the model allows
+// (arrival at GST+Δ) and uses After for messages sent at or after GST.
+// This models the unbounded asynchrony before stabilization.
+type PreGSTChaos struct {
+	GST   types.Time
+	After DelayPolicy
+}
+
+// Delay implements DelayPolicy.
+func (p PreGSTChaos) Delay(from, to types.NodeID, m msg.Message, at types.Time, rng *rand.Rand) time.Duration {
+	if at < p.GST {
+		return time.Duration(1<<62 - 1) // clamped to GST+Δ by the network
+	}
+	return p.After.Delay(from, to, m, at, rng)
+}
+
+// Targeted applies Slow to messages to or from nodes in Targets and Base
+// to everything else. It models an adversary focusing delays on specific
+// processors (e.g. the next honest leader).
+type Targeted struct {
+	Base    DelayPolicy
+	Slow    DelayPolicy
+	Targets map[types.NodeID]bool
+}
+
+// Delay implements DelayPolicy.
+func (p Targeted) Delay(from, to types.NodeID, m msg.Message, at types.Time, rng *rand.Rand) time.Duration {
+	if p.Targets[from] || p.Targets[to] {
+		return p.Slow.Delay(from, to, m, at, rng)
+	}
+	return p.Base.Delay(from, to, m, at, rng)
+}
+
+// Phased switches policies at a point in time (by send time): Before
+// applies to messages sent strictly before Switch, After to the rest.
+// Nest Phased values to build multi-phase adversary schedules.
+type Phased struct {
+	Switch types.Time
+	Before DelayPolicy
+	After  DelayPolicy
+}
+
+// Delay implements DelayPolicy.
+func (p Phased) Delay(from, to types.NodeID, m msg.Message, at types.Time, rng *rand.Rand) time.Duration {
+	if at < p.Switch {
+		return p.Before.Delay(from, to, m, at, rng)
+	}
+	return p.After.Delay(from, to, m, at, rng)
+}
+
+// ---------------------------------------------------------------------------
+// Simulated network
+// ---------------------------------------------------------------------------
+
+// Net is the simulated partial-synchrony network.
+type Net struct {
+	sched     *sim.Scheduler
+	cfg       types.Config
+	gst       types.Time
+	policy    DelayPolicy
+	handlers  []Handler
+	honest    []bool
+	killed    []bool
+	observers []Observer
+	stopped   bool
+}
+
+// NewNet creates a network for cfg.N nodes. gst is the global
+// stabilization time; policy chooses per-message delays (clamped to the
+// model). All nodes start marked honest; use SetByzantine for corruptions.
+func NewNet(sched *sim.Scheduler, cfg types.Config, gst types.Time, policy DelayPolicy) *Net {
+	if policy == nil {
+		policy = Fixed{D: cfg.Delta / 10}
+	}
+	honest := make([]bool, cfg.N)
+	for i := range honest {
+		honest[i] = true
+	}
+	return &Net{
+		sched:    sched,
+		cfg:      cfg,
+		gst:      gst,
+		policy:   policy,
+		handlers: make([]Handler, cfg.N),
+		honest:   honest,
+		killed:   make([]bool, cfg.N),
+	}
+}
+
+// GST returns the network's global stabilization time.
+func (n *Net) GST() types.Time { return n.gst }
+
+// Attach registers the handler for a node and returns its endpoint.
+func (n *Net) Attach(id types.NodeID, h Handler) Endpoint {
+	if int(id) < 0 || int(id) >= len(n.handlers) {
+		panic(fmt.Sprintf("network: attach unknown node %v", id))
+	}
+	n.handlers[id] = h
+	return &endpoint{net: n, id: id}
+}
+
+// Observe registers an observer for all traffic.
+func (n *Net) Observe(o Observer) { n.observers = append(n.observers, o) }
+
+// SetByzantine marks a node as Byzantine for accounting purposes (its
+// sends are not charged to honest communication complexity).
+func (n *Net) SetByzantine(id types.NodeID) { n.honest[id] = false }
+
+// Honest reports whether a node is marked honest.
+func (n *Net) Honest(id types.NodeID) bool { return n.honest[id] }
+
+// Stop makes the network drop all future traffic (used to cleanly end a
+// run without draining protocol timers).
+func (n *Net) Stop() { n.stopped = true }
+
+// Kill crashes a node from now on: its sends are dropped and nothing is
+// delivered to it. Used for Byzantine processors that behave honestly
+// until a chosen moment (the classic desynchronization adversary).
+func (n *Net) Kill(id types.NodeID) { n.killed[id] = true }
+
+func (n *Net) deliverAt(sendAt types.Time, from, to types.NodeID, m msg.Message) types.Time {
+	req := n.policy.Delay(from, to, m, sendAt, n.sched.Rand())
+	if req < 0 {
+		req = 0
+	}
+	bound := types.MaxTime(n.gst, sendAt).Add(n.cfg.Delta)
+	return types.MinTime(sendAt.Add(req), bound)
+}
+
+func (n *Net) send(from, to types.NodeID, m msg.Message) {
+	if n.stopped || n.killed[from] {
+		return
+	}
+	if int(to) < 0 || int(to) >= len(n.handlers) {
+		panic(fmt.Sprintf("network: send to unknown node %v", to))
+	}
+	now := n.sched.Now()
+	if from == to {
+		// Self-delivery at the same instant, not a network message.
+		n.sched.After(0, func() { n.dispatch(from, to, m) })
+		return
+	}
+	for _, o := range n.observers {
+		o.OnSend(from, to, m, now, n.honest[from])
+	}
+	at := n.deliverAt(now, from, to, m)
+	n.sched.At(at, func() { n.dispatch(from, to, m) })
+}
+
+func (n *Net) dispatch(from, to types.NodeID, m msg.Message) {
+	if n.stopped || n.killed[to] {
+		return
+	}
+	h := n.handlers[to]
+	if h == nil {
+		return
+	}
+	now := n.sched.Now()
+	for _, o := range n.observers {
+		o.OnDeliver(from, to, m, now)
+	}
+	h.Deliver(from, m)
+}
+
+type endpoint struct {
+	net *Net
+	id  types.NodeID
+}
+
+var _ Endpoint = (*endpoint)(nil)
+
+func (e *endpoint) ID() types.NodeID { return e.id }
+
+func (e *endpoint) Send(to types.NodeID, m msg.Message) { e.net.send(e.id, to, m) }
+
+func (e *endpoint) Broadcast(m msg.Message) {
+	for to := range e.net.handlers {
+		e.net.send(e.id, types.NodeID(to), m)
+	}
+}

@@ -1,0 +1,224 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"lumiere/internal/msg"
+	"lumiere/internal/sim"
+	"lumiere/internal/types"
+)
+
+func testCfg() types.Config { return types.NewConfig(1, 100*time.Millisecond) }
+
+type recorder struct {
+	got []struct {
+		from types.NodeID
+		at   types.Time
+	}
+	sched *sim.Scheduler
+}
+
+func (r *recorder) Deliver(from types.NodeID, _ msg.Message) {
+	r.got = append(r.got, struct {
+		from types.NodeID
+		at   types.Time
+	}{from, r.sched.Now()})
+}
+
+func TestFixedDelayDelivery(t *testing.T) {
+	s := sim.New(1)
+	n := NewNet(s, testCfg(), 0, Fixed{D: 10 * time.Millisecond})
+	r := &recorder{sched: s}
+	n.Attach(1, r)
+	ep := n.Attach(0, &recorder{sched: s})
+	ep.Send(1, &msg.ViewMsg{V: 3})
+	s.RunFor(time.Second)
+	if len(r.got) != 1 {
+		t.Fatalf("deliveries = %d", len(r.got))
+	}
+	if r.got[0].at != types.Time(10*time.Millisecond) || r.got[0].from != 0 {
+		t.Fatalf("got %+v", r.got[0])
+	}
+}
+
+func TestPartialSynchronyClamp(t *testing.T) {
+	s := sim.New(1)
+	gst := types.Time(0).Add(500 * time.Millisecond)
+	n := NewNet(s, testCfg(), gst, Adversarial{})
+	r := &recorder{sched: s}
+	n.Attach(1, r)
+	ep := n.Attach(0, &recorder{sched: s})
+	// Sent before GST: must arrive by GST+Δ.
+	ep.Send(1, &msg.ViewMsg{V: 1})
+	s.RunUntil(gst.Add(50 * time.Millisecond))
+	// Sent after GST: must arrive by send+Δ.
+	ep.Send(1, &msg.ViewMsg{V: 2})
+	s.RunFor(10 * time.Second)
+	if len(r.got) != 2 {
+		t.Fatalf("deliveries = %d", len(r.got))
+	}
+	if want := gst.Add(100 * time.Millisecond); r.got[0].at != want {
+		t.Fatalf("pre-GST delivery at %v, want %v", r.got[0].at, want)
+	}
+	if want := gst.Add(150 * time.Millisecond); r.got[1].at != want {
+		t.Fatalf("post-GST delivery at %v, want %v", r.got[1].at, want)
+	}
+}
+
+func TestBroadcastIncludesSelfImmediately(t *testing.T) {
+	s := sim.New(1)
+	n := NewNet(s, testCfg(), 0, Fixed{D: 10 * time.Millisecond})
+	recs := make([]*recorder, 4)
+	var ep Endpoint
+	for i := range recs {
+		recs[i] = &recorder{sched: s}
+		e := n.Attach(types.NodeID(i), recs[i])
+		if i == 0 {
+			ep = e
+		}
+	}
+	ep.Broadcast(&msg.ViewMsg{V: 1})
+	s.RunUntil(0)
+	if len(recs[0].got) != 1 || recs[0].got[0].at != 0 {
+		t.Fatalf("self-delivery not immediate: %+v", recs[0].got)
+	}
+	s.RunFor(time.Second)
+	for i, r := range recs {
+		if len(r.got) != 1 {
+			t.Fatalf("node %d got %d", i, len(r.got))
+		}
+	}
+}
+
+func TestObserverCountsAndHonesty(t *testing.T) {
+	s := sim.New(1)
+	n := NewNet(s, testCfg(), 0, Fixed{D: time.Millisecond})
+	var sends, byzSends int
+	n.Observe(observerFuncs{
+		onSend: func(honest bool) {
+			if honest {
+				sends++
+			} else {
+				byzSends++
+			}
+		},
+	})
+	eps := make([]Endpoint, 4)
+	for i := range eps {
+		eps[i] = n.Attach(types.NodeID(i), &recorder{sched: s})
+	}
+	n.SetByzantine(3)
+	eps[0].Broadcast(&msg.ViewMsg{V: 1}) // 3 network sends (self excluded)
+	eps[3].Broadcast(&msg.ViewMsg{V: 1}) // 3 byzantine sends
+	s.RunFor(time.Second)
+	if sends != 3 || byzSends != 3 {
+		t.Fatalf("sends=%d byz=%d", sends, byzSends)
+	}
+}
+
+type observerFuncs struct {
+	onSend func(honest bool)
+}
+
+func (o observerFuncs) OnSend(_, _ types.NodeID, _ msg.Message, _ types.Time, honest bool) {
+	if o.onSend != nil {
+		o.onSend(honest)
+	}
+}
+func (o observerFuncs) OnDeliver(_, _ types.NodeID, _ msg.Message, _ types.Time) {}
+
+func TestKill(t *testing.T) {
+	s := sim.New(1)
+	n := NewNet(s, testCfg(), 0, Fixed{D: time.Millisecond})
+	r1 := &recorder{sched: s}
+	ep0 := n.Attach(0, &recorder{sched: s})
+	n.Attach(1, r1)
+	ep1 := n.Attach(1, r1) // reattach returns fresh endpoint, same handler
+	ep0.Send(1, &msg.ViewMsg{V: 1})
+	s.RunFor(10 * time.Millisecond)
+	n.Kill(0)
+	ep0.Send(1, &msg.ViewMsg{V: 2}) // dropped: sender killed
+	s.RunFor(10 * time.Millisecond)
+	n.Kill(1)
+	ep1.Send(1, &msg.ViewMsg{V: 3}) // dropped: receiver killed
+	s.RunFor(10 * time.Millisecond)
+	if len(r1.got) != 1 {
+		t.Fatalf("deliveries = %d, want 1", len(r1.got))
+	}
+}
+
+func TestStopDropsTraffic(t *testing.T) {
+	s := sim.New(1)
+	n := NewNet(s, testCfg(), 0, Fixed{D: time.Millisecond})
+	r := &recorder{sched: s}
+	ep := n.Attach(0, &recorder{sched: s})
+	n.Attach(1, r)
+	n.Stop()
+	ep.Send(1, &msg.ViewMsg{V: 1})
+	s.RunFor(time.Second)
+	if len(r.got) != 0 {
+		t.Fatal("stopped net delivered")
+	}
+}
+
+func TestUniformPolicyWithinBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := Uniform{Min: 5 * time.Millisecond, Max: 20 * time.Millisecond}
+	for i := 0; i < 1000; i++ {
+		d := p.Delay(0, 1, &msg.ViewMsg{}, 0, rng)
+		if d < p.Min || d > p.Max {
+			t.Fatalf("delay %v outside [%v,%v]", d, p.Min, p.Max)
+		}
+	}
+	degenerate := Uniform{Min: 3 * time.Millisecond, Max: 3 * time.Millisecond}
+	if d := degenerate.Delay(0, 1, &msg.ViewMsg{}, 0, rng); d != 3*time.Millisecond {
+		t.Fatalf("degenerate uniform = %v", d)
+	}
+}
+
+func TestTargetedPolicy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := Targeted{
+		Base:    Fixed{D: time.Millisecond},
+		Slow:    Fixed{D: time.Second},
+		Targets: map[types.NodeID]bool{2: true},
+	}
+	if d := p.Delay(0, 1, &msg.ViewMsg{}, 0, rng); d != time.Millisecond {
+		t.Fatalf("base = %v", d)
+	}
+	if d := p.Delay(0, 2, &msg.ViewMsg{}, 0, rng); d != time.Second {
+		t.Fatalf("to target = %v", d)
+	}
+	if d := p.Delay(2, 0, &msg.ViewMsg{}, 0, rng); d != time.Second {
+		t.Fatalf("from target = %v", d)
+	}
+}
+
+func TestPhasedPolicy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := Phased{
+		Switch: 100,
+		Before: Fixed{D: time.Millisecond},
+		After:  Fixed{D: time.Second},
+	}
+	if d := p.Delay(0, 1, &msg.ViewMsg{}, 99, rng); d != time.Millisecond {
+		t.Fatalf("before = %v", d)
+	}
+	if d := p.Delay(0, 1, &msg.ViewMsg{}, 100, rng); d != time.Second {
+		t.Fatalf("at switch = %v", d)
+	}
+}
+
+func TestPreGSTChaos(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gst := types.Time(0).Add(time.Second)
+	p := PreGSTChaos{GST: gst, After: Fixed{D: time.Millisecond}}
+	if d := p.Delay(0, 1, &msg.ViewMsg{}, 0, rng); d < time.Hour {
+		t.Fatalf("pre-GST delay too small: %v", d)
+	}
+	if d := p.Delay(0, 1, &msg.ViewMsg{}, gst, rng); d != time.Millisecond {
+		t.Fatalf("post-GST = %v", d)
+	}
+}

@@ -1,0 +1,20 @@
+package pacemaker
+
+import (
+	"testing"
+
+	"lumiere/internal/types"
+)
+
+func TestNopDriver(t *testing.T) {
+	var d Driver = NopDriver{}
+	d.EnterView(3)
+	d.LeaderStart(3, types.TimeInf) // must not panic
+}
+
+func TestNopObserver(t *testing.T) {
+	var o Observer = NopObserver{}
+	o.OnEnterView(1, 0)
+	o.OnEnterEpoch(1, 0)
+	o.OnHeavySync(0, 0) // must not panic
+}

@@ -1,0 +1,177 @@
+// Package sim implements the deterministic discrete-event scheduler that
+// underlies all laptop-scale executions. A single goroutine drains a
+// priority queue of timestamped events; ties are broken by insertion
+// order, and all randomness flows from one seeded source, so a given seed
+// reproduces an execution exactly.
+//
+// The scheduler doubles as the protocol runtime (see clock.Runtime): the
+// same protocol state machines run unmodified over real time in
+// internal/nettcp.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"lumiere/internal/types"
+)
+
+// event is a scheduled callback.
+type event struct {
+	at       types.Time
+	seq      uint64 // FIFO tiebreak for equal timestamps
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Scheduler is a deterministic discrete-event loop. It is not safe for
+// concurrent use: all protocol code runs on the single event loop.
+type Scheduler struct {
+	now    types.Time
+	queue  eventQueue
+	seq    uint64
+	rng    *rand.Rand
+	fired  uint64
+	inStep bool
+}
+
+// New creates a Scheduler with virtual time 0 and randomness from seed.
+func New(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() types.Time { return s.now }
+
+// Rand returns the execution's random source.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Events returns the number of events fired so far.
+func (s *Scheduler) Events() uint64 { return s.fired }
+
+// Pending returns the number of events currently scheduled.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn at absolute virtual time t (clamped to now for past
+// times) and returns a cancel function. Cancel is idempotent.
+func (s *Scheduler) At(t types.Time, fn func()) func() {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	if t < s.now {
+		t = s.now
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return func() { ev.canceled = true }
+}
+
+// After schedules fn d from now and returns a cancel function. This
+// implements clock.Runtime.
+func (s *Scheduler) After(d time.Duration, fn func()) func() {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Step fires the next event, if any, advancing virtual time. It returns
+// false when the queue is empty.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at < s.now {
+			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", s.now, ev.at))
+		}
+		s.now = ev.at
+		s.fired++
+		s.inStep = true
+		ev.fn()
+		s.inStep = false
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events until virtual time would exceed t, then sets the
+// clock to t. Events scheduled exactly at t are fired.
+func (s *Scheduler) RunUntil(t types.Time) {
+	for len(s.queue) > 0 {
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor advances virtual time by d, firing all events in the window.
+func (s *Scheduler) RunFor(d time.Duration) { s.RunUntil(s.now.Add(d)) }
+
+// Drain fires events until the queue empties or limit events have fired.
+// It returns the number of events fired.
+func (s *Scheduler) Drain(limit uint64) uint64 {
+	var fired uint64
+	for fired < limit && s.Step() {
+		fired++
+	}
+	return fired
+}
+
+func (s *Scheduler) peek() *event {
+	for len(s.queue) > 0 {
+		ev := s.queue[0]
+		if !ev.canceled {
+			return ev
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil
+}

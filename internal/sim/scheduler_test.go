@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"lumiere/internal/types"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.After(30*time.Nanosecond, func() { got = append(got, 3) })
+	s.After(10*time.Nanosecond, func() { got = append(got, 1) })
+	s.After(20*time.Nanosecond, func() { got = append(got, 2) })
+	s.RunUntil(100)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if s.Now() != 100 {
+		t.Fatalf("now = %v", s.Now())
+	}
+}
+
+func TestSchedulerFIFOAtSameInstant(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(50, func() { got = append(got, i) })
+	}
+	s.RunUntil(50)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	cancel := s.After(10, func() { fired = true })
+	cancel()
+	cancel() // idempotent
+	s.RunUntil(100)
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	s := New(1)
+	var times []types.Time
+	s.At(10, func() {
+		times = append(times, s.Now())
+		s.After(5, func() { times = append(times, s.Now()) })
+		s.After(0, func() { times = append(times, s.Now()) })
+	})
+	s.RunUntil(100)
+	if len(times) != 3 || times[0] != 10 || times[1] != 10 || times[2] != 15 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestSchedulerPastEventClamped(t *testing.T) {
+	s := New(1)
+	s.RunUntil(100)
+	fired := types.Time(-1)
+	s.At(50, func() { fired = s.Now() }) // in the past
+	s.RunUntil(200)
+	if fired != 100 {
+		t.Fatalf("past event fired at %v, want 100 (clamped)", fired)
+	}
+}
+
+func TestSchedulerStepAndPending(t *testing.T) {
+	s := New(1)
+	s.After(5, func() {})
+	s.After(6, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	if !s.Step() || !s.Step() || s.Step() {
+		t.Fatal("Step sequence wrong")
+	}
+	if s.Events() != 2 {
+		t.Fatalf("events = %d", s.Events())
+	}
+}
+
+func TestSchedulerDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		s := New(seed)
+		var out []int64
+		var rec func(depth int)
+		rec = func(depth int) {
+			out = append(out, int64(s.Now()), s.Rand().Int63n(1000))
+			if depth < 50 {
+				s.After(time.Duration(s.Rand().Int63n(100)+1), func() { rec(depth + 1) })
+			}
+		}
+		s.After(1, func() { rec(0) })
+		s.RunUntil(types.Time(1e9))
+		return out
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical executions")
+	}
+}
+
+func TestSchedulerDrain(t *testing.T) {
+	s := New(1)
+	count := 0
+	var loop func()
+	loop = func() {
+		count++
+		s.After(1, loop)
+	}
+	s.After(1, loop)
+	if fired := s.Drain(100); fired != 100 {
+		t.Fatalf("drained %d", fired)
+	}
+	if count != 100 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestSchedulerNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for nil fn")
+		}
+	}()
+	New(1).After(1, nil)
+}

@@ -1,0 +1,46 @@
+package statemachine
+
+import "testing"
+
+// FuzzKVApply: arbitrary command bytes must never panic the KV store, and
+// errors must leave state readable.
+func FuzzKVApply(f *testing.F) {
+	f.Add([]byte("SET a 1"))
+	f.Add([]byte("GET a"))
+	f.Add([]byte("DEL a"))
+	f.Add([]byte(""))
+	f.Add([]byte("SET"))
+	f.Add([]byte{0xff, 0x00, 0xfe})
+	f.Fuzz(func(t *testing.T, cmd []byte) {
+		kv := NewKV()
+		kv.Apply([]byte("SET seed value"))
+		_, _ = kv.Apply(cmd)
+		_ = kv.Summary()
+	})
+}
+
+// FuzzBankApply: arbitrary commands must never panic the bank or mint or
+// destroy money outside OPEN.
+func FuzzBankApply(f *testing.F) {
+	f.Add([]byte("OPEN a 10"))
+	f.Add([]byte("XFER a b 5"))
+	f.Add([]byte("XFER a a 99999999999999999999"))
+	f.Add([]byte("OPEN a -3"))
+	f.Add([]byte("BAL"))
+	f.Fuzz(func(t *testing.T, cmd []byte) {
+		b := NewBank()
+		b.Apply([]byte("OPEN a 10"))
+		b.Apply([]byte("OPEN b 10"))
+		before := b.TotalBalance()
+		_, err := b.Apply(cmd)
+		after := b.TotalBalance()
+		// Only a successful OPEN may change the total.
+		isOpen := err == nil && len(cmd) > 4 && string(cmd[:4]) == "OPEN"
+		if !isOpen && after != before {
+			t.Fatalf("command %q changed total %d -> %d (err=%v)", cmd, before, after, err)
+		}
+		if isOpen && after < before {
+			t.Fatalf("OPEN decreased total: %q", cmd)
+		}
+	})
+}

@@ -1,0 +1,138 @@
+package statemachine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKVBasics(t *testing.T) {
+	kv := NewKV()
+	mustApply(t, kv, "SET a 1", "OK")
+	mustApply(t, kv, "GET a", "1")
+	mustApply(t, kv, "SET a hello world", "OK") // value may contain spaces
+	mustApply(t, kv, "GET a", "hello world")
+	mustApply(t, kv, "DEL a", "OK")
+	mustApply(t, kv, "GET a", "")
+	if _, err := kv.Apply([]byte("NOPE x")); !errors.Is(err, ErrBadCommand) {
+		t.Fatalf("bad command error = %v", err)
+	}
+	kv.Apply([]byte("SET k v"))
+	if kv.Len() != 1 {
+		t.Fatalf("len = %d", kv.Len())
+	}
+	if v, ok := kv.Get("k"); !ok || v != "v" {
+		t.Fatal("Get failed")
+	}
+}
+
+func mustApply(t *testing.T, sm StateMachine, cmd, want string) {
+	t.Helper()
+	got, err := sm.Apply([]byte(cmd))
+	if err != nil {
+		t.Fatalf("%s: %v", cmd, err)
+	}
+	if string(got) != want {
+		t.Fatalf("%s = %q, want %q", cmd, got, want)
+	}
+}
+
+func TestKVSummaryDeterministic(t *testing.T) {
+	a, b := NewKV(), NewKV()
+	cmds := []string{"SET z 9", "SET a 1", "SET m 5"}
+	for _, c := range cmds {
+		a.Apply([]byte(c))
+	}
+	for _, c := range cmds {
+		b.Apply([]byte(c))
+	}
+	if a.Summary() != b.Summary() {
+		t.Fatal("summaries differ for identical histories")
+	}
+	if a.Summary() != "a=1;m=5;z=9;" {
+		t.Fatalf("summary = %q", a.Summary())
+	}
+}
+
+func TestBankOpenXferBal(t *testing.T) {
+	b := NewBank()
+	mustApply(t, b, "OPEN alice 100", "OK")
+	mustApply(t, b, "OPEN bob 50", "OK")
+	mustApply(t, b, "XFER alice bob 30", "OK")
+	mustApply(t, b, "BAL alice", "70")
+	mustApply(t, b, "BAL bob", "80")
+	if b.TotalBalance() != 150 {
+		t.Fatalf("total = %d", b.TotalBalance())
+	}
+}
+
+func TestBankErrors(t *testing.T) {
+	b := NewBank()
+	b.Apply([]byte("OPEN a 10"))
+	b.Apply([]byte("OPEN c 0"))
+	cases := []struct {
+		cmd string
+		err error
+	}{
+		{"XFER a missing 1", ErrUnknownAccount},
+		{"XFER missing a 1", ErrUnknownAccount},
+		{"XFER a c 100", ErrInsufficientFunds},
+		{"XFER a c -5", ErrBadCommand},
+		{"OPEN a -1", ErrBadCommand},
+		{"BAL missing", ErrUnknownAccount},
+		{"garbage", ErrBadCommand},
+	}
+	for _, c := range cases {
+		if _, err := b.Apply([]byte(c.cmd)); !errors.Is(err, c.err) {
+			t.Errorf("%q: err = %v, want %v", c.cmd, err, c.err)
+		}
+	}
+	if b.TotalBalance() != 10 {
+		t.Fatalf("failed commands changed the total: %d", b.TotalBalance())
+	}
+}
+
+// TestBankConservationQuick: random XFER sequences never change the total
+// balance, whether they succeed or fail.
+func TestBankConservationQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		b := NewBank()
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 5; i++ {
+			b.Apply([]byte(fmt.Sprintf("OPEN a%d 100", i)))
+		}
+		for i := 0; i < 200; i++ {
+			cmd := fmt.Sprintf("XFER a%d a%d %d", rng.Intn(6), rng.Intn(6), rng.Intn(150))
+			b.Apply([]byte(cmd))
+		}
+		return b.TotalBalance() == 500
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Apply(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Count() != 5 || c.Summary() != "5" {
+		t.Fatalf("count = %d summary = %s", c.Count(), c.Summary())
+	}
+}
+
+func TestBankBalanceAccessor(t *testing.T) {
+	b := NewBank()
+	b.Apply([]byte("OPEN x 7"))
+	if v, ok := b.Balance("x"); !ok || v != 7 {
+		t.Fatal("Balance accessor")
+	}
+	if _, ok := b.Balance("nope"); ok {
+		t.Fatal("Balance found missing account")
+	}
+}

@@ -1,0 +1,147 @@
+// Package types holds the primitive identifiers and time arithmetic shared
+// by every subsystem: node identifiers, views, epochs, and the virtual /
+// monotonic timestamp used by both the discrete-event simulator and the
+// real-time runtime.
+//
+// The conventions follow the paper ("Lumiere: Making Optimal BFT for
+// Partial Synchrony Practical", PODC 2024): n = 3f+1 processors, views
+// indexed by int64, epochs grouping views, and a local clock value lc(p)
+// measured in nanoseconds.
+package types
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// NodeID identifies a processor. Valid IDs are 0..n-1.
+type NodeID int32
+
+// NoNode is the sentinel for "no processor".
+const NoNode NodeID = -1
+
+// String implements fmt.Stringer.
+func (id NodeID) String() string { return fmt.Sprintf("p%d", int32(id)) }
+
+// View is a view number of the underlying view-based protocol. Views start
+// at 0; processors boot in view -1 (they have not entered any view yet).
+type View int64
+
+// NoView is the boot view of every processor, per Algorithm 1 line 3.
+const NoView View = -1
+
+// String implements fmt.Stringer.
+func (v View) String() string { return fmt.Sprintf("v%d", int64(v)) }
+
+// Initial reports whether the view is an initial view (even), per the
+// Fever / Lumiere convention of §3.3-§4: leaders get two consecutive views
+// (v, v+1) and only the even one is entered on a clock trigger.
+func (v View) Initial() bool { return v >= 0 && v%2 == 0 }
+
+// Epoch groups views. Processors boot in epoch -1 (Algorithm 1 line 4).
+type Epoch int64
+
+// NoEpoch is the boot epoch of every processor.
+const NoEpoch Epoch = -1
+
+// String implements fmt.Stringer.
+func (e Epoch) String() string { return fmt.Sprintf("e%d", int64(e)) }
+
+// Time is a timestamp in nanoseconds. Under the simulator it is virtual
+// time since the start of the execution; under the real-time runtime it is
+// monotonic nanoseconds since process start. Local clock values lc(p) use
+// the same representation.
+type Time int64
+
+// TimeInf is the "never" timestamp, used for unset deadlines.
+const TimeInf Time = math.MaxInt64
+
+// Add returns the timestamp d after t, saturating at TimeInf.
+func (t Time) Add(d time.Duration) Time {
+	if t == TimeInf {
+		return TimeInf
+	}
+	s := t + Time(d)
+	if d > 0 && s < t { // overflow
+		return TimeInf
+	}
+	return s
+}
+
+// Sub returns the duration t − u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts a timestamp interpreted as an elapsed interval.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// String implements fmt.Stringer, formatting as a duration since start.
+func (t Time) String() string {
+	if t == TimeInf {
+		return "∞"
+	}
+	return time.Duration(t).String()
+}
+
+// MinTime returns the smaller of two timestamps.
+func MinTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxTime returns the larger of two timestamps.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Config carries the execution-model parameters shared by every protocol.
+type Config struct {
+	// N is the number of processors; the paper assumes N = 3F+1.
+	N int
+	// F is the maximum number of Byzantine processors tolerated.
+	F int
+	// Delta is Δ, the known bound on message delay after GST.
+	Delta time.Duration
+	// X is the view-completion parameter of the underlying protocol
+	// ((⋄1) of §2): with an honest leader and synchronized honest
+	// processors, a view completes within X·δ. Our view core has X = 3.
+	X int
+}
+
+// DefaultX is the view-completion parameter of the bundled view core:
+// propose (δ) + vote (δ) + QC broadcast (δ).
+const DefaultX = 3
+
+// NewConfig returns a Config for n = 3f+1 processors with the given f and
+// Δ, using the bundled view core's X.
+func NewConfig(f int, delta time.Duration) Config {
+	return Config{N: 3*f + 1, F: f, Delta: delta, X: DefaultX}
+}
+
+// Validate reports a descriptive error if the configuration is unusable.
+func (c Config) Validate() error {
+	switch {
+	case c.N <= 0:
+		return fmt.Errorf("types: N must be positive, got %d", c.N)
+	case c.F < 0:
+		return fmt.Errorf("types: F must be non-negative, got %d", c.F)
+	case c.N < 3*c.F+1:
+		return fmt.Errorf("types: N=%d cannot tolerate F=%d Byzantine processors (need N ≥ 3F+1)", c.N, c.F)
+	case c.Delta <= 0:
+		return fmt.Errorf("types: Delta must be positive, got %v", c.Delta)
+	case c.X < 2:
+		return fmt.Errorf("types: X must be at least 2 (§2 ⋄1), got %d", c.X)
+	}
+	return nil
+}
+
+// Quorum returns the quorum size 2f+1.
+func (c Config) Quorum() int { return 2*c.F + 1 }
+
+// Majority returns f+1, the size guaranteeing at least one honest member.
+func (c Config) Majority() int { return c.F + 1 }

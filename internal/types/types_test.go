@@ -1,0 +1,113 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestViewInitial(t *testing.T) {
+	cases := []struct {
+		v    View
+		want bool
+	}{
+		{NoView, false},
+		{0, true},
+		{1, false},
+		{2, true},
+		{3, false},
+		{1 << 40, true},
+		{1<<40 + 1, false},
+	}
+	for _, c := range cases {
+		if got := c.v.Initial(); got != c.want {
+			t.Errorf("View(%d).Initial() = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestTimeAdd(t *testing.T) {
+	if got := Time(10).Add(5 * time.Nanosecond); got != 15 {
+		t.Errorf("Add = %v, want 15", got)
+	}
+	if got := TimeInf.Add(time.Second); got != TimeInf {
+		t.Errorf("TimeInf.Add = %v, want TimeInf", got)
+	}
+	if got := Time(math.MaxInt64 - 1).Add(time.Hour); got != TimeInf {
+		t.Errorf("overflow Add = %v, want TimeInf", got)
+	}
+	if got := Time(100).Add(-30 * time.Nanosecond); got != 70 {
+		t.Errorf("negative Add = %v, want 70", got)
+	}
+}
+
+func TestTimeSub(t *testing.T) {
+	if got := Time(100).Sub(Time(40)); got != 60*time.Nanosecond {
+		t.Errorf("Sub = %v", got)
+	}
+}
+
+func TestMinMaxTime(t *testing.T) {
+	if MinTime(1, 2) != 1 || MinTime(2, 1) != 1 {
+		t.Error("MinTime broken")
+	}
+	if MaxTime(1, 2) != 2 || MaxTime(2, 1) != 2 {
+		t.Error("MaxTime broken")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := NewConfig(3, 100*time.Millisecond)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if good.N != 10 || good.Quorum() != 7 || good.Majority() != 4 {
+		t.Errorf("derived sizes wrong: n=%d q=%d m=%d", good.N, good.Quorum(), good.Majority())
+	}
+	bad := []Config{
+		{N: 0, F: 0, Delta: time.Second, X: 3},
+		{N: 4, F: -1, Delta: time.Second, X: 3},
+		{N: 3, F: 1, Delta: time.Second, X: 3}, // n < 3f+1
+		{N: 4, F: 1, Delta: 0, X: 3},           // no Delta
+		{N: 4, F: 1, Delta: time.Second, X: 1}, // x < 2
+		{N: 6, F: 2, Delta: time.Second, X: 3}, // n < 3f+1
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestTimeAddMonotoneQuick(t *testing.T) {
+	// Property: Add of a non-negative duration never decreases a time.
+	f := func(base int64, d int64) bool {
+		if base < 0 {
+			base = -base
+		}
+		if d < 0 {
+			d = -d
+		}
+		tm := Time(base % (1 << 50))
+		return tm.Add(time.Duration(d%(1<<50))) >= tm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if NodeID(3).String() != "p3" {
+		t.Error("NodeID stringer")
+	}
+	if View(7).String() != "v7" {
+		t.Error("View stringer")
+	}
+	if Epoch(2).String() != "e2" {
+		t.Error("Epoch stringer")
+	}
+	if TimeInf.String() != "∞" {
+		t.Error("TimeInf stringer")
+	}
+}

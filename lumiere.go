@@ -1,0 +1,139 @@
+package lumiere
+
+import (
+	"time"
+
+	"lumiere/internal/adversary"
+	"lumiere/internal/harness"
+	"lumiere/internal/nettcp"
+	"lumiere/internal/types"
+)
+
+// Re-exported core vocabulary.
+type (
+	// Scenario describes one simulated execution; zero values get
+	// sensible defaults (see the field docs).
+	Scenario = harness.Scenario
+	// Result carries everything measurable about one execution.
+	Result = harness.Result
+	// Protocol selects the view synchronization protocol under test.
+	Protocol = harness.Protocol
+	// Corruption assigns a Byzantine behavior to one processor.
+	Corruption = adversary.Corruption
+	// Behavior is a Byzantine strategy.
+	Behavior = adversary.Behavior
+	// NodeID identifies a processor.
+	NodeID = types.NodeID
+	// View is a view number.
+	View = types.View
+	// Epoch groups views.
+	Epoch = types.Epoch
+	// Table is a rendered experiment result.
+	Table = harness.Table
+	// ClusterNode is a live TCP replica.
+	ClusterNode = nettcp.Node
+	// ClusterConfig configures one TCP replica.
+	ClusterConfig = nettcp.NodeConfig
+)
+
+// Protocols.
+const (
+	ProtoLumiere   = harness.ProtoLumiere
+	ProtoBasic     = harness.ProtoBasic
+	ProtoLP22      = harness.ProtoLP22
+	ProtoFever     = harness.ProtoFever
+	ProtoCogsworth = harness.ProtoCogsworth
+	ProtoNK20      = harness.ProtoNK20
+	ProtoRareSync  = harness.ProtoRareSync
+)
+
+// Byzantine behaviors.
+const (
+	BehaviorHonest        = adversary.BehaviorHonest
+	BehaviorCrash         = adversary.BehaviorCrash
+	BehaviorNonProposing  = adversary.BehaviorNonProposing
+	BehaviorLateProposing = adversary.BehaviorLateProposing
+	BehaviorCrashAt       = adversary.BehaviorCrashAt
+)
+
+// AllProtocols lists every implemented protocol in Table 1 order.
+var AllProtocols = harness.AllProtocols
+
+// Run executes a simulated scenario to completion.
+func Run(s Scenario) *Result { return harness.Run(s) }
+
+// StartClusterNode boots a real TCP replica (see cmd/lumiere-cluster).
+func StartClusterNode(cfg ClusterConfig) (*ClusterNode, error) { return nettcp.StartNode(cfg) }
+
+// CrashFirst returns crash corruptions for processors 0..k-1.
+func CrashFirst(k int) []Corruption { return adversary.CrashFirst(k) }
+
+// NonProposingSet returns non-proposing corruptions for the given nodes.
+func NonProposingSet(nodes ...NodeID) []Corruption { return adversary.NonProposingSet(nodes...) }
+
+// ---------------------------------------------------------------------------
+// Experiment drivers (the paper's table and figures; see EXPERIMENTS.md)
+// ---------------------------------------------------------------------------
+
+// Table1WorstCase regenerates Table 1's worst-case communication and
+// latency rows as empirical n-sweeps.
+func Table1WorstCase(fs []int, seed int64) (comm, latency *Table) {
+	return harness.Table1WorstCase(fs, seed)
+}
+
+// Table1Eventual regenerates Table 1's eventual worst-case rows as
+// f_a-sweeps at n = 3f+1.
+func Table1Eventual(f int, fas []int, seed int64) (comm, latency *Table) {
+	return harness.Table1Eventual(f, fas, seed)
+}
+
+// EventualScaling sweeps n at fixed f_a to expose per-decision message
+// scaling.
+func EventualScaling(fs []int, fa int, seed int64) *Table {
+	return harness.EventualScaling(fs, fa, seed)
+}
+
+// Figure1Table regenerates Figure 1: the stall a single Byzantine leader
+// causes after a burst of fast QCs, per protocol and size.
+func Figure1Table(fs []int, seed int64) *Table { return harness.Figure1Table(fs, seed) }
+
+// ResponsivenessTable sweeps the actual network delay δ at f_a = 0.
+func ResponsivenessTable(f int, seed int64) *Table { return harness.ResponsivenessTable(f, seed) }
+
+// HeavySyncTable counts Θ(n²) epoch synchronizations after warmup.
+func HeavySyncTable(f int, seed int64) *Table { return harness.HeavySyncTable(f, seed) }
+
+// GapShrinkage measures §3.5's honest-gap convergence.
+func GapShrinkage(f int, seed int64) harness.GapShrinkageResult {
+	return harness.GapShrinkage(f, seed)
+}
+
+// DeltaWaitAblation compares heavy-sync counts with and without the
+// Δ-wait of §3.5.
+func DeltaWaitAblation(f int, seed int64) (withWait, withoutWait int) {
+	return harness.DeltaWaitAblation(f, seed)
+}
+
+// AdversarialSuccess runs §3.5's adversarial-success-criterion scenario.
+func AdversarialSuccess(f int, seed int64) harness.EventualResult {
+	return harness.AdversarialSuccess(f, seed)
+}
+
+// DefaultDelta is the Δ used by examples.
+const DefaultDelta = 100 * time.Millisecond
+
+// EventualScalingData runs the n-sweep at fixed f_a for every protocol
+// (raw data for custom rendering).
+func EventualScalingData(fs []int, fa int, seed int64) map[Protocol][]harness.EventualResult {
+	return harness.EventualScalingData(fs, fa, seed)
+}
+
+// EventualScalingTableF formats pre-computed scaling data.
+func EventualScalingTableF(data map[Protocol][]harness.EventualResult, fs []int, fa int) *Table {
+	return harness.EventualScalingTable(data, fs, fa)
+}
+
+// EventualScalingPlot renders the scaling sweep as an ASCII chart.
+func EventualScalingPlot(data map[Protocol][]harness.EventualResult) string {
+	return harness.EventualScalingPlot(data)
+}
