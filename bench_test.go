@@ -12,6 +12,7 @@
 package lumiere_test
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -205,6 +206,88 @@ func BenchmarkSMREndToEnd(b *testing.B) {
 			}
 			b.ReportMetric(perSec, "decisions/virt_sec")
 		})
+	}
+}
+
+// table1EventualRender runs the Table 1 eventual sweep at the given
+// worker count and returns the rendered output (the sweep engine's
+// byte-identical determinism surface).
+func table1EventualRender(workers int) (string, time.Duration) {
+	start := time.Now()
+	comm, lat := lumiere.Table1EventualOpts(1, []int{0, 1}, benchSeed, lumiere.SweepOptions{Workers: workers})
+	return comm.Render() + lat.Render(), time.Since(start)
+}
+
+// TestTable1SweepSpeedup times the Table 1 eventual sweep with the serial
+// driver (1 worker) against the full worker pool and asserts both that
+// the rendered tables are byte-identical and — on a machine with at
+// least 4 cores — that the parallel sweep improves wall-clock by ≥2×.
+func TestTable1SweepSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale sweep in -short mode")
+	}
+	serialOut, serialDur := table1EventualRender(1)
+	parallelOut, parallelDur := table1EventualRender(runtime.NumCPU())
+	t.Logf("serial %v, parallel %v on %d CPUs (speedup %.2fx)",
+		serialDur, parallelDur, runtime.NumCPU(), float64(serialDur)/float64(parallelDur))
+	if serialOut != parallelOut {
+		t.Fatalf("sweep output differs between 1 and %d workers:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			runtime.NumCPU(), serialOut, parallelOut)
+	}
+	if runtime.NumCPU() >= 4 && parallelDur > serialDur/2 {
+		// One retry absorbs transient machine load before declaring a
+		// scaling regression.
+		serialOut2, serialDur2 := table1EventualRender(1)
+		parallelOut2, parallelDur2 := table1EventualRender(runtime.NumCPU())
+		t.Logf("retry: serial %v, parallel %v (speedup %.2fx)",
+			serialDur2, parallelDur2, float64(serialDur2)/float64(parallelDur2))
+		if serialOut2 != parallelOut2 {
+			t.Fatal("sweep output differs between worker counts on retry")
+		}
+		if parallelDur2 > serialDur2/2 {
+			t.Errorf("parallel sweep not ≥2x faster than serial on %d CPUs (%v vs %v, retry %v vs %v)",
+				runtime.NumCPU(), parallelDur, serialDur, parallelDur2, serialDur2)
+		}
+	}
+}
+
+// BenchmarkSweepWorkers measures the sweep engine's scaling: the Table 1
+// eventual sweep at increasing worker counts.
+func BenchmarkSweepWorkers(b *testing.B) {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	for _, w := range counts {
+		b.Run("workers="+itoa(w), func(b *testing.B) {
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				_, dur := table1EventualRender(w)
+				total += dur
+			}
+			b.ReportMetric(total.Seconds()*1000/float64(b.N), "sweep_ms")
+		})
+	}
+}
+
+// BenchmarkConformanceSweep measures the generated conformance corpus as
+// a throughput target: scenarios checked per wall second.
+func BenchmarkConformanceSweep(b *testing.B) {
+	const cells = 12
+	scenarios := make([]lumiere.Scenario, cells)
+	for i := range scenarios {
+		s := lumiere.GenScenario(lumiere.DeriveSeed(benchSeed, i))
+		s.Protocol = lumiere.AllProtocols[i%len(lumiere.AllProtocols)]
+		scenarios[i] = s
+	}
+	for i := 0; i < b.N; i++ {
+		sr := lumiere.RunSweep(scenarios, lumiere.SweepOptions{KeepSeeds: true})
+		for _, cell := range sr.Cells {
+			if problems := lumiere.ConformanceReport(cell.Result); len(problems) != 0 {
+				b.Fatalf("%s: %v", cell.Scenario.Name, problems)
+			}
+		}
+		b.ReportMetric(float64(cells)/sr.Elapsed.Seconds(), "scenarios/sec")
 	}
 }
 

@@ -1,10 +1,13 @@
 // Command lumiere-bench regenerates every table and figure of the paper
 // (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
 // recorded results). Text tables go to stdout; pass -csv DIR to also
-// write machine-readable CSVs.
+// write machine-readable CSVs. The sweeps fan out across a worker pool
+// (-workers, default all CPUs); results are byte-identical at any worker
+// count because every cell's seed derives from (-seed, cell index).
 //
 //	lumiere-bench             # quick sweep (minutes)
 //	lumiere-bench -full       # full sweep including n=61
+//	lumiere-bench -workers 1  # serial reference run
 package main
 
 import (
@@ -12,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"lumiere"
@@ -19,9 +23,11 @@ import (
 
 func main() {
 	var (
-		full   = flag.Bool("full", false, "run the full sweep (larger n; slower)")
-		seed   = flag.Int64("seed", 42, "randomness seed")
-		csvDir = flag.String("csv", "", "directory for CSV output (optional)")
+		full     = flag.Bool("full", false, "run the full sweep (larger n; slower)")
+		seed     = flag.Int64("seed", 42, "randomness seed")
+		csvDir   = flag.String("csv", "", "directory for CSV output (optional)")
+		workers  = flag.Int("workers", runtime.NumCPU(), "sweep worker-pool size")
+		progress = flag.Bool("progress", false, "print per-cell sweep progress to stderr")
 	)
 	flag.Parse()
 
@@ -31,6 +37,13 @@ func main() {
 	}
 	evF := 5
 	fas := []int{0, 1, 2, 3, 5}
+
+	opts := lumiere.SweepOptions{Workers: *workers}
+	if *progress {
+		opts.Progress = func(done, total int, cell *lumiere.SweepCell) {
+			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %-28s %8v\n", done, total, cell.Scenario.Name, cell.Elapsed.Round(time.Millisecond))
+		}
+	}
 
 	emit := func(name string, t *lumiere.Table) {
 		fmt.Println(t.Render())
@@ -49,22 +62,22 @@ func main() {
 	}
 
 	start := time.Now()
-	fmt.Printf("regenerating the paper's evaluation (seed %d)\n\n", *seed)
+	fmt.Printf("regenerating the paper's evaluation (seed %d, %d workers)\n\n", *seed, *workers)
 
-	comm, lat := lumiere.Table1WorstCase(fs, *seed)
+	comm, lat := lumiere.Table1WorstCaseOpts(fs, *seed, opts)
 	emit("table1_worst_comm", comm)
 	emit("table1_worst_latency", lat)
 
-	evComm, evLat := lumiere.Table1Eventual(evF, fas, *seed)
+	evComm, evLat := lumiere.Table1EventualOpts(evF, fas, *seed, opts)
 	emit("table1_eventual_comm", evComm)
 	emit("table1_eventual_latency", evLat)
 
-	scaling := lumiere.EventualScalingData(fs, 1, *seed)
+	scaling := lumiere.EventualScalingDataOpts(fs, 1, *seed, opts)
 	emit("eventual_scaling", lumiere.EventualScalingTableF(scaling, fs, 1))
 	fmt.Println(lumiere.EventualScalingPlot(scaling))
-	emit("figure1_stalls", lumiere.Figure1Table(fs, *seed))
-	emit("responsiveness", lumiere.ResponsivenessTable(3, *seed))
-	emit("heavy_syncs", lumiere.HeavySyncTable(3, *seed))
+	emit("figure1_stalls", lumiere.Figure1TableOpts(fs, *seed, opts))
+	emit("responsiveness", lumiere.ResponsivenessTableOpts(3, *seed, opts))
+	emit("heavy_syncs", lumiere.HeavySyncTableOpts(3, *seed, opts))
 
 	g := lumiere.GapShrinkage(3, *seed)
 	fmt.Printf("== §3.5 honest-gap shrinkage under the desync adversary (n=10) ==\n")

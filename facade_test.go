@@ -59,6 +59,26 @@ func TestFacadeCorruptionHelpers(t *testing.T) {
 	}
 }
 
+// TestFacadeRunSweep exercises the parallel sweep through the facade.
+func TestFacadeRunSweep(t *testing.T) {
+	scenarios := []lumiere.Scenario{
+		{Protocol: lumiere.ProtoLumiere, F: 1, Duration: 10 * time.Second},
+		{Protocol: lumiere.ProtoFever, F: 1, Duration: 10 * time.Second},
+	}
+	sr := lumiere.RunSweep(scenarios, lumiere.SweepOptions{Workers: 2, BaseSeed: 9})
+	if len(sr.Cells) != 2 {
+		t.Fatalf("cells = %d", len(sr.Cells))
+	}
+	for i, cell := range sr.Cells {
+		if cell.Result.DecisionCount() == 0 {
+			t.Fatalf("cell %d: no decisions", i)
+		}
+		if cell.Scenario.Seed != lumiere.DeriveSeed(9, i) {
+			t.Fatalf("cell %d: seed %d not derived", i, cell.Scenario.Seed)
+		}
+	}
+}
+
 // TestFacadeSMR runs the SMR path through the facade.
 func TestFacadeSMR(t *testing.T) {
 	res := lumiere.Run(lumiere.Scenario{

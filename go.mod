@@ -1,0 +1,3 @@
+module lumiere
+
+go 1.21

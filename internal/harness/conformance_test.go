@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+)
+
+// conformanceBaseSeed pins the generated conformance corpus; bump it to
+// roll a fresh corpus.
+const conformanceBaseSeed = 2024
+
+// conformanceScenarios builds the generated corpus: count scenarios from
+// GenScenario, cycled across every protocol in AllProtocols so each
+// protocol faces several distinct adversaries.
+func conformanceScenarios(count int) []Scenario {
+	out := make([]Scenario, count)
+	for i := range out {
+		s := GenScenario(DeriveSeed(conformanceBaseSeed, i))
+		s.Protocol = AllProtocols[i%len(AllProtocols)]
+		s.Name = fmt.Sprintf("conf-%02d-%s", i, s.Protocol)
+		out[i] = s
+	}
+	return out
+}
+
+// TestConformanceGenerated is the cross-protocol conformance suite: a
+// sweep of generated scenarios (random corruption sets, delay policies,
+// GST, stagger, SMR on/off) over every protocol in AllProtocols, each
+// run checked against the protocol-independent obligations of §2 (no
+// invariant violations, honest decisions after GST, bounded final-view
+// spread, SMR prefix consistency).
+func TestConformanceGenerated(t *testing.T) {
+	t.Parallel()
+	count := 24
+	if testing.Short() {
+		count = 8
+	}
+	sr := Sweep(conformanceScenarios(count), SweepOptions{KeepSeeds: true})
+	for i := range sr.Cells {
+		cell := &sr.Cells[i]
+		t.Run(cell.Scenario.Name, func(t *testing.T) {
+			for _, p := range ConformanceReport(cell.Result) {
+				t.Error(p)
+			}
+			if t.Failed() {
+				t.Logf("scenario: %+v", cell.Scenario)
+			}
+		})
+	}
+}
+
+// TestGenScenarioDeterministic: the generator is a pure function of its
+// seed, and distinct seeds explore distinct scenarios.
+func TestGenScenarioDeterministic(t *testing.T) {
+	t.Parallel()
+	a, b := GenScenario(99), GenScenario(99)
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		t.Fatalf("GenScenario not deterministic:\n%+v\n%+v", a, b)
+	}
+	distinct := make(map[string]bool)
+	for seed := int64(0); seed < 50; seed++ {
+		distinct[fmt.Sprintf("%+v", GenScenario(seed))] = true
+	}
+	if len(distinct) < 45 {
+		t.Fatalf("generator collapsed: only %d distinct scenarios of 50 seeds", len(distinct))
+	}
+}

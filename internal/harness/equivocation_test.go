@@ -17,6 +17,7 @@ import (
 // intersection must prevent any divergent commits, and liveness must
 // survive (equivocating views waste at most their slots).
 func TestSMRSafetyUnderEquivocation(t *testing.T) {
+	t.Parallel()
 	for _, p := range []Protocol{ProtoLumiere, ProtoFever} {
 		p := p
 		t.Run(string(p), func(t *testing.T) {
@@ -65,6 +66,7 @@ func TestSMRSafetyUnderEquivocation(t *testing.T) {
 // TestEquivocatingProposalsNeverBothCertify inspects the decision stream:
 // at most one QC exists per view even when its leader equivocates.
 func TestEquivocatingProposalsNeverBothCertify(t *testing.T) {
+	t.Parallel()
 	res := Run(Scenario{
 		Protocol:    ProtoLumiere,
 		F:           1,

@@ -12,7 +12,12 @@ import (
 
 // This file defines the experiments that regenerate every table and figure
 // of the paper (see DESIGN.md §4 for the experiment index and
-// EXPERIMENTS.md for paper-vs-measured records).
+// EXPERIMENTS.md for paper-vs-measured records). Every experiment is
+// split into a scenario builder and a pure measure over the resulting
+// *Result, so the table drivers can flatten their full protocol × size
+// matrices into a single Sweep (sweep.go) and fan the executions across
+// the worker pool; per-cell seeds are derived with DeriveSeed, making the
+// rendered tables byte-identical at any worker count.
 
 // DefaultFs is the fault-tolerance sweep used by the scaling experiments
 // (n = 3f+1 ∈ {4, 10, 16, 31, 61}).
@@ -42,8 +47,26 @@ func gammaOf(p Protocol, delta time.Duration) time.Duration {
 	}
 }
 
+// worstStrategy is one adversary strategy of the worst-case experiment: a
+// scenario builder plus the measure extracting the strategy's headline
+// quantities from the finished run.
+type worstStrategy struct {
+	name     string
+	scenario func(p Protocol, f int, seed int64) Scenario
+	measure  func(*Result) WorstCaseResult
+}
+
+// worstStrategies lists the implemented adversary strategies, in the
+// order WorstCase documents them.
+var worstStrategies = []worstStrategy{
+	{"crash", worstCaseCrashScenario, measureWorstCase},
+	{"desync", desyncScenario, measureWorstCase},
+	{"byz-leaders", steadyScenario(false), measureSteady},
+	{"crash-steady", steadyScenario(true), measureSteady},
+}
+
 // WorstCase measures §2's worst-case communication W_{GST+Δ} and latency
-// t*_GST − GST as the maximum over two implemented adversary strategies:
+// t*_GST − GST as the maximum over the implemented adversary strategies:
 //
 //   - "crash": f processors crash from the start, joins are staggered,
 //     pre-GST traffic is withheld to GST+Δ, and every post-GST message
@@ -57,20 +80,40 @@ func gammaOf(p Protocol, delta time.Duration) time.Duration {
 //     GST. At GST+Δ the (f+1)st honest gap is Θ(nΓ) and the protocols
 //     must resynchronize — the paper's Θ(n²)/Θ(nΔ) worst case.
 //
-// A third strategy, "byzantine-leaders", measures the unavoidable stall
-// chain: f non-proposing Byzantine processors waste their views while the
-// adversary delays every message to Δ; consecutive Byzantine leaders cost
-// Θ(Γ) each, up to Θ(fΓ) = Θ(nΔ) between decisions.
+//   - "byz-leaders"/"crash-steady" measure the unavoidable stall chain: f
+//     non-proposing (resp. crashed) processors waste their views while
+//     the adversary delays every message to Δ; consecutive Byzantine
+//     leaders cost Θ(Γ) each, up to Θ(fΓ) = Θ(nΔ) between decisions.
+//
+// The strategies are independent executions, so they run as a small
+// sweep; all use the same seed (the strategy, not the randomness, is the
+// variable).
 func WorstCase(p Protocol, f int, seed int64) WorstCaseResult {
-	candidates := []WorstCaseResult{
-		tagged(worstCaseCrash(p, f, seed), "crash"),
-		tagged(worstCaseDesync(p, f, seed), "desync"),
-		tagged(worstCaseSteady(p, f, seed, false), "byz-leaders"),
-		tagged(worstCaseSteady(p, f, seed, true), "crash-steady"),
+	return WorstCaseOpts(p, f, seed, SweepOptions{})
+}
+
+// WorstCaseOpts is WorstCase with explicit sweep options.
+func WorstCaseOpts(p Protocol, f int, seed int64, opts SweepOptions) WorstCaseResult {
+	scenarios := make([]Scenario, len(worstStrategies))
+	for i, st := range worstStrategies {
+		scenarios[i] = st.scenario(p, f, seed)
 	}
+	opts.KeepSeeds = true
+	return reduceWorstCase(Sweep(scenarios, opts).Results())
+}
+
+// reduceWorstCase combines one result per strategy (in worstStrategies
+// order) into the strategy maximum.
+func reduceWorstCase(results []*Result) WorstCaseResult {
 	var out WorstCaseResult
 	var maxLat time.Duration
-	for _, c := range candidates {
+	var first WorstCaseResult
+	for i, res := range results {
+		c := worstStrategies[i].measure(res)
+		c.Strategy = worstStrategies[i].name
+		if i == 0 {
+			first = c
+		}
 		if !c.Decided {
 			continue
 		}
@@ -82,40 +125,44 @@ func WorstCase(p Protocol, f int, seed int64) WorstCaseResult {
 		}
 	}
 	if !out.Decided {
-		return candidates[0]
+		return first
 	}
 	out.Latency = maxLat
 	return out
 }
 
-func tagged(r WorstCaseResult, s string) WorstCaseResult {
-	r.Strategy = s
-	return r
+// steadyScenario builds the scenario of the steady worst-case strategy: a
+// long adversarial-delay run with f faulty processors holding consecutive
+// leader slots, crashed (silent, so they neither aggregate nor vote) or
+// non-proposing (they keep others synchronized but waste their views).
+func steadyScenario(crash bool) func(p Protocol, f int, seed int64) Scenario {
+	return func(p Protocol, f int, seed int64) Scenario {
+		delta := 50 * time.Millisecond
+		gamma := gammaOf(p, delta)
+		corr := adversary.NonProposingSet(consecutive(f)...)
+		if crash {
+			corr = adversary.CrashFirst(f)
+		}
+		return Scenario{
+			Name:        fmt.Sprintf("worst-steady-%s-f%d-crash%v", p, f, crash),
+			Protocol:    p,
+			F:           f,
+			Delta:       delta,
+			Delay:       network.Adversarial{},
+			Corruptions: corr,
+			Duration:    80 * time.Duration(f+1) * gamma,
+			Seed:        seed,
+		}
+	}
 }
 
-// worstCaseSteady measures the maximum per-decision window over a long
-// adversarial-delay run with f faulty processors holding consecutive
-// leader slots: crashed (silent, so they neither aggregate nor vote) or
-// non-proposing (they keep others synchronized but waste their views).
-func worstCaseSteady(p Protocol, f int, seed int64, crash bool) WorstCaseResult {
-	delta := 50 * time.Millisecond
-	gamma := gammaOf(p, delta)
-	corr := adversary.NonProposingSet(consecutive(f)...)
-	if crash {
-		corr = adversary.CrashFirst(f)
-	}
-	res := Run(Scenario{
-		Name:        fmt.Sprintf("worst-steady-%s-f%d-crash%v", p, f, crash),
-		Protocol:    p,
-		F:           f,
-		Delta:       delta,
-		Delay:       network.Adversarial{},
-		Corruptions: corr,
-		Duration:    80 * time.Duration(f+1) * gamma,
-		Seed:        seed,
-	})
-	stats := res.Collector.Stats(types.Time(0).Add(20*time.Duration(f+1)*gamma), 2)
-	out := WorstCaseResult{Protocol: p, F: f, N: res.Cfg.N}
+// measureSteady extracts the maximum per-decision window of a steady
+// worst-case run.
+func measureSteady(res *Result) WorstCaseResult {
+	s := res.Scenario
+	gamma := gammaOf(s.Protocol, s.Delta)
+	stats := res.Collector.Stats(types.Time(0).Add(20*time.Duration(s.F+1)*gamma), 2)
+	out := WorstCaseResult{Protocol: s.Protocol, F: s.F, N: res.Cfg.N}
 	if stats.Count == 0 {
 		return out
 	}
@@ -133,11 +180,12 @@ func consecutive(k int) []types.NodeID {
 	return out
 }
 
-func worstCaseCrash(p Protocol, f int, seed int64) WorstCaseResult {
+// worstCaseCrashScenario builds the crash strategy's scenario.
+func worstCaseCrashScenario(p Protocol, f int, seed int64) Scenario {
 	delta := 50 * time.Millisecond
 	gst := 1 * time.Second
 	gamma := gammaOf(p, delta)
-	res := Run(Scenario{
+	return Scenario{
 		Name:         fmt.Sprintf("worst-crash-%s-f%d", p, f),
 		Protocol:     p,
 		F:            f,
@@ -149,8 +197,7 @@ func worstCaseCrash(p Protocol, f int, seed int64) WorstCaseResult {
 		Corruptions:  adversary.CrashFirst(f),
 		Duration:     gst + 40*time.Duration(f+1)*gamma,
 		Seed:         seed,
-	})
-	return measureWorstCase(p, f, res)
+	}
 }
 
 // desyncScenario builds the desynchronization adversary's scenario: until
@@ -206,13 +253,10 @@ func desyncScenario(p Protocol, f int, seed int64) Scenario {
 	}
 }
 
-func worstCaseDesync(p Protocol, f int, seed int64) WorstCaseResult {
-	res := Run(desyncScenario(p, f, seed))
-	return measureWorstCase(p, f, res)
-}
-
-func measureWorstCase(p Protocol, f int, res *Result) WorstCaseResult {
-	out := WorstCaseResult{Protocol: p, F: f, N: res.Cfg.N}
+// measureWorstCase extracts W_{GST+Δ} and the post-GST decision latency.
+func measureWorstCase(res *Result) WorstCaseResult {
+	s := res.Scenario
+	out := WorstCaseResult{Protocol: s.Protocol, F: s.F, N: res.Cfg.N}
 	msgs, _, ok := res.Collector.WindowAfter(res.GST.Add(res.Cfg.Delta))
 	if !ok {
 		return out
@@ -228,6 +272,27 @@ func measureWorstCase(p Protocol, f int, res *Result) WorstCaseResult {
 // Table1WorstCase regenerates the "Worst-case Communication" and
 // "Worst-case Latency" rows of Table 1 as an empirical n-sweep.
 func Table1WorstCase(fs []int, seed int64) (*Table, *Table) {
+	return Table1WorstCaseOpts(fs, seed, SweepOptions{})
+}
+
+// Table1WorstCaseOpts is Table1WorstCase with explicit sweep options: the
+// full protocol × f × strategy matrix is flattened into one sweep, so
+// every execution runs on the worker pool. Cell (protocol, f) gets the
+// seed DeriveSeed(seed, cell index); all of a cell's strategies share it.
+func Table1WorstCaseOpts(fs []int, seed int64, opts SweepOptions) (*Table, *Table) {
+	nStrat := len(worstStrategies)
+	scenarios := make([]Scenario, 0, len(AllProtocols)*len(fs)*nStrat)
+	for pi, p := range AllProtocols {
+		for fi, f := range fs {
+			cellSeed := DeriveSeed(seed, pi*len(fs)+fi)
+			for _, st := range worstStrategies {
+				scenarios = append(scenarios, st.scenario(p, f, cellSeed))
+			}
+		}
+	}
+	opts.KeepSeeds = true
+	results := Sweep(scenarios, opts).Results()
+
 	comm := &Table{Title: "Table 1 (worst-case communication): messages from GST+Δ to first honest-leader decision"}
 	lat := &Table{Title: "Table 1 (worst-case latency): GST to first honest-leader decision"}
 	header := []string{"protocol"}
@@ -235,11 +300,12 @@ func Table1WorstCase(fs []int, seed int64) (*Table, *Table) {
 		header = append(header, fmt.Sprintf("n=%d", 3*f+1))
 	}
 	comm.Header, lat.Header = header, header
-	for _, p := range AllProtocols {
+	for pi, p := range AllProtocols {
 		crow := []string{string(p)}
 		lrow := []string{string(p)}
-		for _, f := range fs {
-			r := WorstCase(p, f, seed)
+		for fi := range fs {
+			base := (pi*len(fs) + fi) * nStrat
+			r := reduceWorstCase(results[base : base+nStrat])
 			if !r.Decided {
 				crow = append(crow, "stalled")
 				lrow = append(lrow, "stalled")
@@ -268,44 +334,67 @@ type EventualResult struct {
 	HeavySync int
 }
 
-// Eventual runs the steady-state scenario: GST = 0, fixed actual delay
-// δ = Δ/10, f_a crashed processors, a long run, and measures the
-// per-decision-window maxima after a warmup (§2's eventual worst-case
-// communication and latency).
-func Eventual(p Protocol, f, fa int, seed int64) EventualResult {
+// eventualScenario builds the steady-state scenario: GST = 0, fixed
+// actual delay δ = Δ/10, f_a crashed processors, a long run.
+func eventualScenario(p Protocol, f, fa int, seed int64) Scenario {
 	delta := 50 * time.Millisecond
-	dur := 240 * time.Second
-	res := Run(Scenario{
+	return Scenario{
 		Name:        fmt.Sprintf("eventual-%s-f%d-fa%d", p, f, fa),
 		Protocol:    p,
 		F:           f,
 		Delta:       delta,
 		DeltaActual: delta / 10,
 		Corruptions: adversary.CrashFirst(fa),
-		Duration:    dur,
+		Duration:    240 * time.Second,
 		Seed:        seed,
-	})
-	// Skip a generous warmup: the paper's eventual measures allow a
-	// small constant number of warmup decisions.
-	stats := res.Collector.Stats(types.Time(0).Add(dur/4), 5)
+	}
+}
+
+// measureEventual extracts the per-decision-window maxima after a warmup
+// (§2's eventual worst-case communication and latency). The paper's
+// eventual measures allow a small constant number of warmup decisions.
+func measureEventual(res *Result) EventualResult {
+	s := res.Scenario
+	warm := types.Time(0).Add(s.Duration / 4)
+	stats := res.Collector.Stats(warm, 5)
 	return EventualResult{
-		Protocol:  p,
-		F:         f,
+		Protocol:  s.Protocol,
+		F:         s.F,
 		N:         res.Cfg.N,
-		Fa:        fa,
+		Fa:        len(s.Corruptions),
 		MaxMsgs:   stats.MaxMsgs,
 		MeanMsgs:  stats.MeanMsgs,
 		MaxGap:    stats.MaxGap,
 		MeanGap:   stats.MeanGap,
 		Decisions: stats.Count,
-		HeavySync: len(res.Collector.HeavySyncViews(types.Time(0).Add(dur / 4))),
+		HeavySync: len(res.Collector.HeavySyncViews(warm)),
 	}
+}
+
+// Eventual runs the steady-state scenario for one protocol and size and
+// measures the per-decision-window maxima.
+func Eventual(p Protocol, f, fa int, seed int64) EventualResult {
+	return measureEventual(Run(eventualScenario(p, f, fa, seed)))
 }
 
 // Table1Eventual regenerates the "Eventual Worst-case Communication" and
 // "Eventual Worst-case Latency" rows of Table 1 as an f_a-sweep at fixed
 // n = 3f+1.
 func Table1Eventual(f int, fas []int, seed int64) (*Table, *Table) {
+	return Table1EventualOpts(f, fas, seed, SweepOptions{})
+}
+
+// Table1EventualOpts is Table1Eventual with explicit sweep options.
+func Table1EventualOpts(f int, fas []int, seed int64, opts SweepOptions) (*Table, *Table) {
+	scenarios := make([]Scenario, 0, len(AllProtocols)*len(fas))
+	for _, p := range AllProtocols {
+		for _, fa := range fas {
+			scenarios = append(scenarios, eventualScenario(p, f, fa, 0))
+		}
+	}
+	opts.BaseSeed, opts.KeepSeeds = seed, false
+	results := Sweep(scenarios, opts).Results()
+
 	comm := &Table{Title: fmt.Sprintf("Table 1 (eventual worst-case communication), n=%d: max messages between consecutive decisions", 3*f+1)}
 	lat := &Table{Title: fmt.Sprintf("Table 1 (eventual worst-case latency), n=%d: max gap between consecutive decisions (in Δ)", 3*f+1)}
 	header := []string{"protocol"}
@@ -314,11 +403,11 @@ func Table1Eventual(f int, fas []int, seed int64) (*Table, *Table) {
 	}
 	comm.Header, lat.Header = header, header
 	delta := 50 * time.Millisecond
-	for _, p := range AllProtocols {
+	for pi, p := range AllProtocols {
 		crow := []string{string(p)}
 		lrow := []string{string(p)}
-		for _, fa := range fas {
-			r := Eventual(p, f, fa, seed)
+		for fi := range fas {
+			r := measureEventual(results[pi*len(fas)+fi])
 			if r.Decisions == 0 {
 				crow = append(crow, "stalled")
 				lrow = append(lrow, "stalled")
@@ -337,10 +426,27 @@ func Table1Eventual(f int, fas []int, seed int64) (*Table, *Table) {
 
 // EventualScalingData runs the n-sweep at fixed f_a for every protocol.
 func EventualScalingData(fs []int, fa int, seed int64) map[Protocol][]EventualResult {
-	out := make(map[Protocol][]EventualResult, len(AllProtocols))
+	return EventualScalingDataOpts(fs, fa, seed, SweepOptions{})
+}
+
+// EventualScalingDataOpts is EventualScalingData with explicit sweep
+// options: the protocol × f matrix runs as one sweep with per-cell
+// derived seeds, so the data (and any table rendered from it) is
+// byte-identical at every worker count.
+func EventualScalingDataOpts(fs []int, fa int, seed int64, opts SweepOptions) map[Protocol][]EventualResult {
+	scenarios := make([]Scenario, 0, len(AllProtocols)*len(fs))
 	for _, p := range AllProtocols {
 		for _, f := range fs {
-			out[p] = append(out[p], Eventual(p, f, fa, seed))
+			scenarios = append(scenarios, eventualScenario(p, f, fa, 0))
+		}
+	}
+	opts.BaseSeed, opts.KeepSeeds = seed, false
+	results := Sweep(scenarios, opts).Results()
+
+	out := make(map[Protocol][]EventualResult, len(AllProtocols))
+	for pi, p := range AllProtocols {
+		for fi := range fs {
+			out[p] = append(out[p], measureEventual(results[pi*len(fs)+fi]))
 		}
 	}
 	return out
@@ -403,19 +509,16 @@ type Figure1Result struct {
 	Decisions   int
 }
 
-// Figure1 runs the Figure 1 scenario for one protocol and size: a fast
-// network (δ = Δ/20) with a single non-proposing Byzantine processor. The
-// stall a single fault causes is LP22's issue (i): after fast QCs the
-// unbumped clocks must catch up, up to (f+1)Γ; Lumiere/Fever bound it by
-// ~Γ per faulty view pair (≤ ~4Γ when the faulty processor holds the
-// 4-view block boundary), independent of n.
-func Figure1(p Protocol, f int, seed int64, withTrace bool) Figure1Result {
+// figure1Scenario builds the Figure 1 scenario for one protocol and size:
+// a fast network (δ = Δ/20) with a single non-proposing Byzantine
+// processor.
+func figure1Scenario(p Protocol, f int, seed int64, withTrace bool) Scenario {
 	delta := 50 * time.Millisecond
 	traceLimit := 0
 	if withTrace {
 		traceLimit = 200_000
 	}
-	res := Run(Scenario{
+	return Scenario{
 		Name:        fmt.Sprintf("figure1-%s-f%d", p, f),
 		Protocol:    p,
 		F:           f,
@@ -425,14 +528,22 @@ func Figure1(p Protocol, f int, seed int64, withTrace bool) Figure1Result {
 		Duration:    240 * time.Second,
 		Seed:        seed,
 		TraceLimit:  traceLimit,
-	})
+	}
+}
+
+// measureFigure1 extracts the single-fault stall. The stall a single
+// fault causes is LP22's issue (i): after fast QCs the unbumped clocks
+// must catch up, up to (f+1)Γ; Lumiere/Fever bound it by ~Γ per faulty
+// view pair (≤ ~4Γ when the faulty processor holds the 4-view block
+// boundary), independent of n.
+func measureFigure1(res *Result) Figure1Result {
 	stats := res.Collector.Stats(types.Time(0).Add(30*time.Second), 2)
 	var timeline string
 	if res.Tracer != nil {
 		timeline = res.Tracer.Render()
 	}
 	return Figure1Result{
-		Protocol:    p,
+		Protocol:    res.Scenario.Protocol,
 		Gamma:       res.Gamma,
 		MaxStall:    stats.MaxGap,
 		StallGammas: float64(stats.MaxGap) / float64(res.Gamma),
@@ -441,18 +552,40 @@ func Figure1(p Protocol, f int, seed int64, withTrace bool) Figure1Result {
 	}
 }
 
+// Figure1 runs the Figure 1 scenario for one protocol and size.
+func Figure1(p Protocol, f int, seed int64, withTrace bool) Figure1Result {
+	return measureFigure1(Run(figure1Scenario(p, f, seed, withTrace)))
+}
+
+// figure1Protocols is the Figure 1 comparison set, in presentation order.
+var figure1Protocols = []Protocol{ProtoLP22, ProtoNK20, ProtoFever, ProtoBasic, ProtoLumiere}
+
 // Figure1Table renders the Figure 1 comparison as an n-sweep: the stall
 // caused by one Byzantine processor, in units of each protocol's Γ.
 func Figure1Table(fs []int, seed int64) *Table {
+	return Figure1TableOpts(fs, seed, SweepOptions{})
+}
+
+// Figure1TableOpts is Figure1Table with explicit sweep options.
+func Figure1TableOpts(fs []int, seed int64, opts SweepOptions) *Table {
+	scenarios := make([]Scenario, 0, len(figure1Protocols)*len(fs))
+	for _, p := range figure1Protocols {
+		for _, f := range fs {
+			scenarios = append(scenarios, figure1Scenario(p, f, 0, false))
+		}
+	}
+	opts.BaseSeed, opts.KeepSeeds = seed, false
+	results := Sweep(scenarios, opts).Results()
+
 	t := &Table{Title: "Figure 1: max stall caused by a single Byzantine leader after fast QCs (in units of Γ)"}
 	t.Header = []string{"protocol"}
 	for _, f := range fs {
 		t.Header = append(t.Header, fmt.Sprintf("n=%d", 3*f+1))
 	}
-	for _, p := range []Protocol{ProtoLP22, ProtoNK20, ProtoFever, ProtoBasic, ProtoLumiere} {
+	for pi, p := range figure1Protocols {
 		row := []string{string(p)}
-		for _, f := range fs {
-			r := Figure1(p, f, seed, false)
+		for fi := range fs {
+			r := measureFigure1(results[pi*len(fs)+fi])
 			if r.Decisions == 0 {
 				row = append(row, "stalled")
 				continue
@@ -472,39 +605,73 @@ type ResponsivenessPoint struct {
 	MaxGap      time.Duration
 }
 
+// responsivenessScenario builds one δ point of the responsiveness sweep
+// (Δ fixed at 100ms, f_a = 0).
+func responsivenessScenario(p Protocol, f int, d time.Duration, seed int64) Scenario {
+	return Scenario{
+		Name:        fmt.Sprintf("resp-%s-%v", p, d),
+		Protocol:    p,
+		F:           f,
+		Delta:       100 * time.Millisecond,
+		DeltaActual: d,
+		Duration:    120 * time.Second,
+		Seed:        seed,
+	}
+}
+
+// measureResponsiveness extracts the steady-state decision gap.
+func measureResponsiveness(res *Result) ResponsivenessPoint {
+	stats := res.Collector.Stats(types.Time(0).Add(30*time.Second), 5)
+	return ResponsivenessPoint{
+		DeltaActual: res.Scenario.DeltaActual,
+		MeanGap:     stats.MeanGap,
+		MaxGap:      stats.MaxGap,
+	}
+}
+
 // SmoothResponsiveness sweeps the actual network delay δ at f_a = 0 and
 // reports the steady-state decision gap: an optimistically responsive
 // protocol tracks O(δ), a non-responsive one is pinned at Ω(Γ).
 func SmoothResponsiveness(p Protocol, f int, deltas []time.Duration, seed int64) []ResponsivenessPoint {
-	bigDelta := 100 * time.Millisecond
-	out := make([]ResponsivenessPoint, 0, len(deltas))
-	for _, d := range deltas {
-		res := Run(Scenario{
-			Name:        fmt.Sprintf("resp-%s-%v", p, d),
-			Protocol:    p,
-			F:           f,
-			Delta:       bigDelta,
-			DeltaActual: d,
-			Duration:    120 * time.Second,
-			Seed:        seed,
-		})
-		stats := res.Collector.Stats(types.Time(0).Add(30*time.Second), 5)
-		out = append(out, ResponsivenessPoint{DeltaActual: d, MeanGap: stats.MeanGap, MaxGap: stats.MaxGap})
+	scenarios := make([]Scenario, len(deltas))
+	for i, d := range deltas {
+		scenarios[i] = responsivenessScenario(p, f, d, seed)
+	}
+	results := Sweep(scenarios, SweepOptions{KeepSeeds: true}).Results()
+	out := make([]ResponsivenessPoint, len(results))
+	for i, res := range results {
+		out[i] = measureResponsiveness(res)
 	}
 	return out
 }
 
 // ResponsivenessTable renders the δ-sweep for several protocols.
 func ResponsivenessTable(f int, seed int64) *Table {
+	return ResponsivenessTableOpts(f, seed, SweepOptions{})
+}
+
+// ResponsivenessTableOpts is ResponsivenessTable with explicit sweep
+// options.
+func ResponsivenessTableOpts(f int, seed int64, opts SweepOptions) *Table {
 	deltas := []time.Duration{time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond}
+	scenarios := make([]Scenario, 0, len(AllProtocols)*len(deltas))
+	for _, p := range AllProtocols {
+		for _, d := range deltas {
+			scenarios = append(scenarios, responsivenessScenario(p, f, d, 0))
+		}
+	}
+	opts.BaseSeed, opts.KeepSeeds = seed, false
+	results := Sweep(scenarios, opts).Results()
+
 	t := &Table{Title: fmt.Sprintf("Smooth optimistic responsiveness (f_a=0, n=%d, Δ=100ms): mean decision gap vs actual delay δ", 3*f+1)}
 	t.Header = []string{"protocol"}
 	for _, d := range deltas {
 		t.Header = append(t.Header, d.String())
 	}
-	for _, p := range AllProtocols {
+	for pi, p := range AllProtocols {
 		row := []string{string(p)}
-		for _, pt := range SmoothResponsiveness(p, f, deltas, seed) {
+		for di := range deltas {
+			pt := measureResponsiveness(results[pi*len(deltas)+di])
 			row = append(row, pt.MeanGap.Round(time.Millisecond/10).String())
 		}
 		t.Rows = append(t.Rows, row)
@@ -513,13 +680,10 @@ func ResponsivenessTable(f int, seed int64) *Table {
 	return t
 }
 
-// HeavySyncCount measures Theorem 1.1(4)'s mechanism: the number of heavy
-// Θ(n²) epoch synchronizations started after the warmup. Lumiere retires
-// them once an epoch satisfies the success criterion; LP22 and Basic
-// Lumiere pay one per epoch forever.
-func HeavySyncCount(p Protocol, f, fa int, dur time.Duration, seed int64) (heavy int, epochsElapsed float64) {
+// heavySyncScenario builds the heavy-synchronization count scenario.
+func heavySyncScenario(p Protocol, f, fa int, dur time.Duration, seed int64) Scenario {
 	delta := 50 * time.Millisecond
-	res := Run(Scenario{
+	return Scenario{
 		Name:        fmt.Sprintf("heavy-%s-f%d-fa%d", p, f, fa),
 		Protocol:    p,
 		F:           f,
@@ -528,32 +692,65 @@ func HeavySyncCount(p Protocol, f, fa int, dur time.Duration, seed int64) (heavy
 		Corruptions: adversary.CrashFirst(fa),
 		Duration:    dur,
 		Seed:        seed,
-	})
-	warm := types.Time(0).Add(dur / 4)
+	}
+}
+
+// measureHeavySync counts Theorem 1.1(4)'s mechanism: the number of heavy
+// Θ(n²) epoch synchronizations started after the warmup, plus the number
+// of epochs the run traversed. Lumiere retires heavy syncs once an epoch
+// satisfies the success criterion; LP22 and Basic Lumiere pay one per
+// epoch forever.
+func measureHeavySync(res *Result) (heavy int, epochsElapsed float64) {
+	s := res.Scenario
+	warm := types.Time(0).Add(s.Duration / 4)
 	heavy = len(res.Collector.HeavySyncViews(warm))
 	decs := res.Collector.Decisions()
 	var views float64
 	if len(decs) > 0 {
 		views = float64(decs[len(decs)-1].View)
 	}
-	switch p {
+	switch s.Protocol {
 	case ProtoLP22:
-		epochsElapsed = views / float64(f+1)
+		epochsElapsed = views / float64(s.F+1)
 	case ProtoBasic:
-		epochsElapsed = views / float64(2*(f+1))
+		epochsElapsed = views / float64(2*(s.F+1))
 	default:
-		epochsElapsed = views / float64(10*(3*f+1))
+		epochsElapsed = views / float64(10*(3*s.F+1))
 	}
 	return heavy, epochsElapsed
 }
 
+// HeavySyncCount runs the heavy-synchronization experiment for one
+// protocol and fault mix.
+func HeavySyncCount(p Protocol, f, fa int, dur time.Duration, seed int64) (heavy int, epochsElapsed float64) {
+	return measureHeavySync(Run(heavySyncScenario(p, f, fa, dur, seed)))
+}
+
+// heavySyncProtocols is the heavy-sync comparison set.
+var heavySyncProtocols = []Protocol{ProtoLP22, ProtoBasic, ProtoLumiere}
+
 // HeavySyncTable renders the heavy-synchronization comparison.
 func HeavySyncTable(f int, seed int64) *Table {
+	return HeavySyncTableOpts(f, seed, SweepOptions{})
+}
+
+// HeavySyncTableOpts is HeavySyncTable with explicit sweep options.
+func HeavySyncTableOpts(f int, seed int64, opts SweepOptions) *Table {
+	fas := []int{0, 1}
+	scenarios := make([]Scenario, 0, len(heavySyncProtocols)*len(fas))
+	for _, p := range heavySyncProtocols {
+		for _, fa := range fas {
+			scenarios = append(scenarios, heavySyncScenario(p, f, fa, 240*time.Second, 0))
+		}
+	}
+	opts.BaseSeed, opts.KeepSeeds = seed, false
+	results := Sweep(scenarios, opts).Results()
+
 	t := &Table{Title: fmt.Sprintf("Heavy (Θ(n²)) epoch synchronizations after warmup, n=%d, 240s run", 3*f+1)}
 	t.Header = []string{"protocol", "fa=0 heavy", "fa=0 epochs", "fa=1 heavy", "fa=1 epochs"}
-	for _, p := range []Protocol{ProtoLP22, ProtoBasic, ProtoLumiere} {
-		h0, e0 := HeavySyncCount(p, f, 0, 240*time.Second, seed)
-		h1, e1 := HeavySyncCount(p, f, 1, 240*time.Second, seed)
+	for pi, p := range heavySyncProtocols {
+		h0, e0 := measureHeavySync(results[pi*len(fas)+0])
+		h1, e1 := measureHeavySync(results[pi*len(fas)+1])
 		t.AddRow(string(p), fmt.Sprintf("%d", h0), fmt.Sprintf("%.0f", e0),
 			fmt.Sprintf("%d", h1), fmt.Sprintf("%.0f", e1))
 	}
@@ -671,8 +868,8 @@ func DeltaWaitAblation(f int, seed int64) (withWait, withoutWait int) {
 			Lag:      5 * delta,
 		}
 	}
-	run := func(disable bool) int {
-		res := Run(Scenario{
+	scenario := func(disable bool) Scenario {
+		return Scenario{
 			Name:                 fmt.Sprintf("delta-wait-%v", disable),
 			Protocol:             ProtoLumiere,
 			F:                    f,
@@ -682,8 +879,11 @@ func DeltaWaitAblation(f int, seed int64) (withWait, withoutWait int) {
 			CoreDisableDeltaWait: disable,
 			Duration:             240 * time.Second,
 			Seed:                 seed,
-		})
+		}
+	}
+	results := Sweep([]Scenario{scenario(false), scenario(true)}, SweepOptions{KeepSeeds: true}).Results()
+	count := func(res *Result) int {
 		return len(res.Collector.HeavySyncViews(types.Time(0).Add(30 * time.Second)))
 	}
-	return run(false), run(true)
+	return count(results[0]), count(results[1])
 }

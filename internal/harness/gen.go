@@ -1,0 +1,203 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"lumiere/internal/adversary"
+	"lumiere/internal/hotstuff"
+	"lumiere/internal/network"
+	"lumiere/internal/types"
+)
+
+// This file implements the scenario generator and conformance checker
+// behind the cross-protocol conformance suite (conformance_test.go): a
+// seeded source of random-but-reproducible executions, and the
+// protocol-independent safety/liveness obligations every view
+// synchronization protocol in AllProtocols must meet on them.
+
+// GenScenario derives a random but fully reproducible scenario from seed:
+// random fault count up to f, random corruption behaviors (crash,
+// non-proposing, late-proposing, mid-run crash; plus equivocation when
+// the SMR stack is on), a random delay policy bounded by Δ, random GST,
+// pre-GST chaos, staggered joins, and a coin for running the full SMR
+// stack. The scenario's Protocol is left unset so callers can run the
+// same generated adversary against every protocol; invariant checking is
+// enabled.
+//
+// The generated space is sized for conformance sweeps: f ∈ {1, 2}
+// (n ∈ {4, 7}), 60 virtual seconds, GST ≤ 2s — small enough that a sweep
+// of dozens of cells stays fast, hard enough to exercise every
+// view-synchronization mechanism (joins, bumps, epoch syncs, view-change
+// stalls).
+func GenScenario(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	delta := 50 * time.Millisecond
+	f := 1 + rng.Intn(2)
+	n := 3*f + 1
+	fa := rng.Intn(f + 1)
+	smr := rng.Intn(4) == 0
+
+	behaviors := []adversary.Behavior{
+		adversary.BehaviorCrash,
+		adversary.BehaviorNonProposing,
+		adversary.BehaviorLateProposing,
+		adversary.BehaviorCrashAt,
+	}
+	if smr {
+		// Equivocation needs the HotStuff engine.
+		behaviors = append(behaviors, adversary.BehaviorEquivocating)
+	}
+	perm := rng.Perm(n)
+	corr := make([]adversary.Corruption, 0, fa)
+	for i := 0; i < fa; i++ {
+		c := adversary.Corruption{
+			Node:     types.NodeID(perm[i]),
+			Behavior: behaviors[rng.Intn(len(behaviors))],
+		}
+		switch c.Behavior {
+		case adversary.BehaviorLateProposing:
+			c.Lag = time.Duration(1+rng.Intn(200)) * time.Millisecond
+		case adversary.BehaviorCrashAt:
+			c.At = time.Duration(5+rng.Intn(25)) * time.Second
+		}
+		corr = append(corr, c)
+	}
+
+	var delay network.DelayPolicy
+	switch rng.Intn(4) {
+	case 0:
+		// nil: the harness default Fixed{Δ/10}.
+	case 1:
+		delay = network.Fixed{D: delta / time.Duration(2+rng.Intn(20))}
+	case 2:
+		delay = network.Uniform{Min: time.Millisecond, Max: delta}
+	case 3:
+		delay = network.Uniform{Min: delta / 2, Max: delta}
+	}
+
+	gst := time.Duration(rng.Intn(3)) * time.Second
+	s := Scenario{
+		Name:            fmt.Sprintf("gen-%d", seed),
+		F:               f,
+		Delta:           delta,
+		Delay:           delay,
+		PreGSTChaos:     gst > 0 && rng.Intn(2) == 0,
+		GST:             gst,
+		StartStagger:    time.Duration(rng.Intn(500)) * time.Millisecond,
+		Corruptions:     corr,
+		Duration:        60 * time.Second,
+		Seed:            seed,
+		CheckInvariants: true,
+	}
+	if smr {
+		s.SMR = true
+		s.WorkloadRate = 100
+		s.SMRTwoPhase = rng.Intn(2) == 0
+	}
+	return s
+}
+
+// ConformanceReport checks a finished run against the protocol-
+// independent obligations of §2 and returns one message per violation
+// (empty means the run conforms):
+//
+//   - the run completed within its event budget;
+//   - no runtime invariant (Lemmas 5.1–5.3) was violated;
+//   - liveness: an honest-leader decision occurs after GST, within a
+//     generous synchronous bound;
+//   - view synchronization: the honest processors' final views lie
+//     within a bounded spread (crashed and Byzantine processors are
+//     exempt);
+//   - SMR safety (when the scenario ran the SMR stack): all honest
+//     replicas' committed block sequences are prefix-consistent.
+func ConformanceReport(res *Result) []string {
+	byz := byzantineSet(res)
+	var problems []string
+	if res.Aborted {
+		problems = append(problems, "execution aborted: event budget exhausted")
+	}
+	for _, v := range res.Violations {
+		problems = append(problems, "invariant violation: "+v)
+	}
+
+	// Liveness after GST. The bound is deliberately loose: after GST a
+	// synchronous system must decide within O(n·Γ) (every protocol here
+	// resynchronizes in at most an epoch's worth of views).
+	d, ok := res.Collector.FirstDecisionAfter(res.GST)
+	if !ok {
+		problems = append(problems, "liveness: no honest-leader decision after GST")
+	} else if lat := d.At.Sub(res.GST); lat > 30*time.Second {
+		problems = append(problems, fmt.Sprintf("liveness: first decision %v after GST", lat))
+	}
+
+	// View synchronization: honest final views within a bounded spread.
+	var minV, maxV types.View = 1 << 60, -1
+	for i, v := range res.FinalViews {
+		if byz[types.NodeID(i)] || v == types.NoView {
+			continue
+		}
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV < 0 {
+		problems = append(problems, "no honest replica reported a final view")
+	} else if spread := maxV - minV; spread > types.View(30*res.Cfg.N+60) {
+		problems = append(problems, fmt.Sprintf("view sync: honest final views spread %d wide ([%v, %v])", spread, minV, maxV))
+	}
+
+	if res.Scenario.SMR {
+		problems = append(problems, smrConsistencyProblems(res)...)
+	}
+	return problems
+}
+
+// byzantineSet returns the corrupted processors of a run.
+func byzantineSet(res *Result) map[types.NodeID]bool {
+	byz := make(map[types.NodeID]bool, len(res.Scenario.Corruptions))
+	for _, c := range res.Scenario.Corruptions {
+		if c.Behavior != adversary.BehaviorHonest {
+			byz[c.Node] = true
+		}
+	}
+	return byz
+}
+
+// smrConsistencyProblems checks SMR safety: every pair of honest
+// replicas' committed block sequences must be prefix-consistent.
+func smrConsistencyProblems(res *Result) []string {
+	byz := byzantineSet(res)
+	var logs [][]hotstuff.Hash
+	for i, e := range res.Engines {
+		hs, ok := e.(*hotstuff.Core)
+		if !ok || hs == nil || byz[types.NodeID(i)] {
+			continue
+		}
+		logs = append(logs, hs.CommittedHashes())
+	}
+	if len(logs) == 0 {
+		return []string{"smr: no honest hotstuff engines"}
+	}
+	minLen := len(logs[0])
+	for _, l := range logs {
+		if len(l) < minLen {
+			minLen = len(l)
+		}
+	}
+	for i := 1; i < len(logs); i++ {
+		for j := 0; j < minLen; j++ {
+			if logs[i][j] != logs[0][j] {
+				return []string{fmt.Sprintf("smr: commit logs diverge at index %d", j)}
+			}
+		}
+	}
+	if minLen == 0 {
+		return []string{"smr: an honest replica committed nothing"}
+	}
+	return nil
+}

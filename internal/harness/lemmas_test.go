@@ -37,6 +37,7 @@ func epochEntries(res *Result) map[types.View][]types.Time {
 // TestLemma54EpochEntryRequiresPredecessor: if an honest processor enters
 // epoch e, at least f+1 honest processors previously entered epoch e−1.
 func TestLemma54EpochEntryRequiresPredecessor(t *testing.T) {
+	t.Parallel()
 	res := tracedRun(t, Scenario{
 		F:            2,
 		Delta:        testDelta,
@@ -79,6 +80,7 @@ func TestLemma54EpochEntryRequiresPredecessor(t *testing.T) {
 // t ≥ GST, all honest processors are in epochs ≥ e−1 by t+Δ — measured as
 // the entry-time spread per epoch being ≤ one epoch behind within Δ.
 func TestLemma55EpochSpreadBounded(t *testing.T) {
+	t.Parallel()
 	res := tracedRun(t, Scenario{
 		F:        2,
 		Delta:    testDelta,
@@ -119,6 +121,7 @@ func TestLemma55EpochSpreadBounded(t *testing.T) {
 // starts), every honest-leader view's QC is produced within Γ/2 of the
 // first honest processor entering the view.
 func TestLemma58TimelyViewsProduceQCsFast(t *testing.T) {
+	t.Parallel()
 	res := tracedRun(t, Scenario{
 		F:           2,
 		Delta:       testDelta,
@@ -155,6 +158,7 @@ func TestLemma58TimelyViewsProduceQCsFast(t *testing.T) {
 // TestBVSCondition1ViewMonotonicity: per-processor view entries are
 // strictly increasing (§2's condition (1)).
 func TestBVSCondition1ViewMonotonicity(t *testing.T) {
+	t.Parallel()
 	res := tracedRun(t, Scenario{
 		F:            2,
 		Delta:        testDelta,
@@ -179,6 +183,7 @@ func TestBVSCondition1ViewMonotonicity(t *testing.T) {
 // of Lemma 5.9) — observed via gap samples never exceeding Γ in runs
 // without epoch-boundary desynchronization.
 func TestLemma59PrimaryBumpImpliesSmallGap(t *testing.T) {
+	t.Parallel()
 	res := tracedRun(t, Scenario{
 		F:          2,
 		Delta:      testDelta,
@@ -198,6 +203,8 @@ func TestLemma59PrimaryBumpImpliesSmallGap(t *testing.T) {
 // timely (steady state), no honest processor sends epoch-view messages
 // and every honest-leader view produces a QC.
 func TestLemma515TimelyEpochsNeedNoEpochViewMessages(t *testing.T) {
+	skipInShort(t)
+	t.Parallel()
 	res := tracedRun(t, Scenario{
 		F:           2,
 		Delta:       testDelta,

@@ -13,11 +13,23 @@ import (
 
 const testDelta = 50 * time.Millisecond
 
+// skipInShort gates the paper-scale sweep tests: `go test -short` keeps
+// the fast conformance and invariant coverage and skips the long
+// steady-state runs (see DESIGN.md §4).
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("paper-scale run in -short mode")
+	}
+}
+
 // TestLumiereSteadyStateRetiresHeavySyncs validates Theorem 1.1(4)'s
 // mechanism (Lemma 5.15(2)): once an epoch satisfies the success
 // criterion, no honest processor sends epoch-view messages again in a
 // fault-free synchronous run.
 func TestLumiereSteadyStateRetiresHeavySyncs(t *testing.T) {
+	skipInShort(t)
+	t.Parallel()
 	res := Run(Scenario{
 		Protocol:        ProtoLumiere,
 		F:               2,
@@ -54,6 +66,8 @@ func TestLumiereSteadyStateRetiresHeavySyncs(t *testing.T) {
 // TestBasicLumierePaysHeavySyncEveryEpoch contrasts §3.4: Basic Lumiere
 // performs a Θ(n²) synchronization at every epoch boundary forever.
 func TestBasicLumierePaysHeavySyncEveryEpoch(t *testing.T) {
+	skipInShort(t)
+	t.Parallel()
 	res := Run(Scenario{
 		Protocol:    ProtoBasic,
 		F:           2,
@@ -70,6 +84,7 @@ func TestBasicLumierePaysHeavySyncEveryEpoch(t *testing.T) {
 
 // TestLP22PaysHeavySyncEveryEpoch checks issue (ii) of §1 for LP22.
 func TestLP22PaysHeavySyncEveryEpoch(t *testing.T) {
+	t.Parallel()
 	res := Run(Scenario{
 		Protocol:    ProtoLP22,
 		F:           2,
@@ -96,7 +111,12 @@ func requireNoViolations(t *testing.T, res *Result) {
 // GST — Lemmas 5.1-5.3 must hold in every run and liveness must be
 // preserved after GST.
 func TestLumiereInvariantsRandomized(t *testing.T) {
-	for seed := int64(0); seed < 12; seed++ {
+	t.Parallel()
+	seeds := int64(12)
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(0); seed < seeds; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		f := 1 + rng.Intn(3)
 		n := 3*f + 1
@@ -137,7 +157,12 @@ func TestLumiereInvariantsRandomized(t *testing.T) {
 
 // TestBasicLumiereInvariantsRandomized fuzzes the basic variant too.
 func TestBasicLumiereInvariantsRandomized(t *testing.T) {
-	for seed := int64(0); seed < 6; seed++ {
+	t.Parallel()
+	seeds := int64(6)
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := int64(0); seed < seeds; seed++ {
 		res := Run(Scenario{
 			Protocol:        ProtoBasic,
 			F:               2,
@@ -160,6 +185,7 @@ func TestBasicLumiereInvariantsRandomized(t *testing.T) {
 // TestFeverGapInvariant validates §3.3 claim (a): with the initial skew
 // assumption satisfied, hg_{f+1} never exceeds Γ.
 func TestFeverGapInvariant(t *testing.T) {
+	t.Parallel()
 	f := 2
 	n := 3*f + 1
 	offsets := make([]time.Duration, n)
@@ -192,6 +218,8 @@ func TestFeverGapInvariant(t *testing.T) {
 // f_a = 0: the steady-state decision gap tracks the actual delay δ, not
 // the conservative bound Δ.
 func TestSmoothResponsiveness(t *testing.T) {
+	skipInShort(t)
+	t.Parallel()
 	for _, p := range []Protocol{ProtoLumiere, ProtoFever} {
 		small := Eventual(p, 2, 0, 11)
 		if small.Decisions == 0 {
@@ -209,6 +237,8 @@ func TestSmoothResponsiveness(t *testing.T) {
 // TestFigure1Shape asserts the paper's Figure 1 comparison: LP22's stall
 // from a single Byzantine leader grows with n, Lumiere's does not.
 func TestFigure1Shape(t *testing.T) {
+	skipInShort(t)
+	t.Parallel()
 	lpSmall := Figure1(ProtoLP22, 1, 9, false)
 	lpBig := Figure1(ProtoLP22, 5, 9, false)
 	lmSmall := Figure1(ProtoLumiere, 1, 9, false)
@@ -230,6 +260,7 @@ func TestFigure1Shape(t *testing.T) {
 
 // TestDeterminism: identical scenarios yield identical executions.
 func TestDeterminism(t *testing.T) {
+	t.Parallel()
 	run := func() (int, int64, uint64) {
 		res := Run(Scenario{
 			Protocol:    ProtoLumiere,
@@ -253,6 +284,7 @@ func TestDeterminism(t *testing.T) {
 // post-run snapshot: honest processors' views agree up to the synchrony
 // slack, and decisions continue after GST (condition (2)).
 func TestViewSynchronizationConditions(t *testing.T) {
+	t.Parallel()
 	res := Run(Scenario{
 		Protocol:        ProtoLumiere,
 		F:               2,
@@ -289,6 +321,7 @@ func TestViewSynchronizationConditions(t *testing.T) {
 // TestAllProtocolsLiveWithMaxCrashes: every protocol stays live with
 // exactly f crashed processors.
 func TestAllProtocolsLiveWithMaxCrashes(t *testing.T) {
+	t.Parallel()
 	for _, p := range AllProtocols {
 		res := Run(Scenario{
 			Protocol:    p,
@@ -309,6 +342,8 @@ func TestAllProtocolsLiveWithMaxCrashes(t *testing.T) {
 // leaders keep the success criterion alive; Lumiere must keep deciding
 // (§3.5's Γ-tuning argument).
 func TestLumiereAdversarialSuccessCriterion(t *testing.T) {
+	skipInShort(t)
+	t.Parallel()
 	r := AdversarialSuccess(2, 13)
 	if r.Decisions < 100 {
 		t.Fatalf("too few decisions under adversarial success criterion: %d", r.Decisions)
@@ -321,6 +356,7 @@ func TestLumiereAdversarialSuccessCriterion(t *testing.T) {
 // TestGapShrinkageConverges validates §3.5: from a large initial gap the
 // (f+1)st honest gap comes below Γ and stays there.
 func TestGapShrinkageConverges(t *testing.T) {
+	t.Parallel()
 	r := GapShrinkage(2, 17)
 	if !r.Converged {
 		t.Fatal("hg_{f+1} never came below Γ after GST")
@@ -337,6 +373,8 @@ func TestGapShrinkageConverges(t *testing.T) {
 // Lumiere/Fever but Ω(n²) for LP22 (amortized heavy syncs land in some
 // window).
 func TestEventualScalingShape(t *testing.T) {
+	skipInShort(t)
+	t.Parallel()
 	lm4 := Eventual(ProtoLumiere, 1, 1, 21)
 	lm16 := Eventual(ProtoLumiere, 5, 1, 21)
 	lp4 := Eventual(ProtoLP22, 1, 1, 21)

@@ -10,6 +10,7 @@ import (
 
 // TestRareSyncLiveness: RareSync stays live with f crashes.
 func TestRareSyncLiveness(t *testing.T) {
+	t.Parallel()
 	res := Run(Scenario{
 		Protocol:    ProtoRareSync,
 		F:           2,
@@ -28,6 +29,7 @@ func TestRareSyncLiveness(t *testing.T) {
 // decision gap is pinned at Γ regardless of the actual network delay —
 // the paper's §6 distinction between RareSync and LP22.
 func TestRareSyncNotResponsive(t *testing.T) {
+	t.Parallel()
 	res := Run(Scenario{
 		Protocol:    ProtoRareSync,
 		F:           2,
@@ -63,6 +65,7 @@ func TestRareSyncNotResponsive(t *testing.T) {
 // TestRareSyncHeavySyncEveryEpoch: like LP22, one Θ(n²) sync per epoch
 // forever.
 func TestRareSyncHeavySyncEveryEpoch(t *testing.T) {
+	t.Parallel()
 	res := Run(Scenario{
 		Protocol:    ProtoRareSync,
 		F:           2,
@@ -80,6 +83,8 @@ func TestRareSyncHeavySyncEveryEpoch(t *testing.T) {
 // TestTwoPhaseSMRCommitsFasterAndConsistently: the HotStuff-2 style
 // two-chain rule commits with one less view of lag and stays consistent.
 func TestTwoPhaseSMRCommitsFasterAndConsistently(t *testing.T) {
+	skipInShort(t)
+	t.Parallel()
 	run := func(twoPhase bool) (*Result, int) {
 		res := Run(Scenario{
 			Protocol:     ProtoLumiere,

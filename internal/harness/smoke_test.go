@@ -6,6 +6,7 @@ import (
 )
 
 func TestSmokeAll(t *testing.T) {
+	t.Parallel()
 	for _, proto := range AllProtocols {
 		res := Run(Scenario{
 			Name:            string(proto),

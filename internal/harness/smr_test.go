@@ -45,6 +45,8 @@ func requireConsistentCommits(t *testing.T, res *Result) int {
 // TestSMRCommitsUnderLumiere: end-to-end chained HotStuff driven by
 // Lumiere commits a workload consistently.
 func TestSMRCommitsUnderLumiere(t *testing.T) {
+	skipInShort(t)
+	t.Parallel()
 	res := Run(Scenario{
 		Protocol:     ProtoLumiere,
 		F:            2,
@@ -86,6 +88,7 @@ func TestSMRCommitsUnderLumiere(t *testing.T) {
 // conserved on every replica, under crashes and random delays, for every
 // pacemaker.
 func TestSMRBankConservationUnderFaults(t *testing.T) {
+	t.Parallel()
 	const accounts = 8
 	const seedMoney = 1000
 	for _, p := range []Protocol{ProtoLumiere, ProtoFever, ProtoLP22} {
@@ -135,6 +138,8 @@ func TestSMRBankConservationUnderFaults(t *testing.T) {
 // TestSMRThroughputResponsive: with a fast network, committed blocks per
 // second track network speed (responsiveness carries through the stack).
 func TestSMRThroughputResponsive(t *testing.T) {
+	skipInShort(t)
+	t.Parallel()
 	res := Run(Scenario{
 		Protocol:     ProtoLumiere,
 		F:            1,

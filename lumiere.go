@@ -34,6 +34,12 @@ type (
 	ClusterNode = nettcp.Node
 	// ClusterConfig configures one TCP replica.
 	ClusterConfig = nettcp.NodeConfig
+	// SweepOptions configures a parallel scenario sweep.
+	SweepOptions = harness.SweepOptions
+	// SweepCell is one completed cell of a sweep.
+	SweepCell = harness.SweepCell
+	// SweepResult aggregates a sweep in matrix order.
+	SweepResult = harness.SweepResult
 )
 
 // Protocols.
@@ -62,6 +68,28 @@ var AllProtocols = harness.AllProtocols
 // Run executes a simulated scenario to completion.
 func Run(s Scenario) *Result { return harness.Run(s) }
 
+// RunSweep executes a scenario matrix on a worker pool and returns the
+// results in matrix order. Cell seeds are derived from (opts.BaseSeed,
+// cell index), so the aggregated results are byte-identical at every
+// worker count.
+func RunSweep(scenarios []Scenario, opts SweepOptions) *SweepResult {
+	return harness.Sweep(scenarios, opts)
+}
+
+// DeriveSeed derives the deterministic seed of sweep cell index from a
+// base seed.
+func DeriveSeed(base int64, index int) int64 { return harness.DeriveSeed(base, index) }
+
+// GenScenario derives a random but fully reproducible scenario from seed
+// (random corruptions, delay policy, GST, stagger, SMR on/off); the
+// Protocol field is left for the caller. See the conformance suite.
+func GenScenario(seed int64) Scenario { return harness.GenScenario(seed) }
+
+// ConformanceReport checks a finished run against the protocol-
+// independent safety and liveness obligations of §2, returning one
+// message per violation.
+func ConformanceReport(res *Result) []string { return harness.ConformanceReport(res) }
+
 // StartClusterNode boots a real TCP replica (see cmd/lumiere-cluster).
 func StartClusterNode(cfg ClusterConfig) (*ClusterNode, error) { return nettcp.StartNode(cfg) }
 
@@ -81,10 +109,21 @@ func Table1WorstCase(fs []int, seed int64) (comm, latency *Table) {
 	return harness.Table1WorstCase(fs, seed)
 }
 
+// Table1WorstCaseOpts is Table1WorstCase with explicit sweep options
+// (worker count, progress callback).
+func Table1WorstCaseOpts(fs []int, seed int64, opts SweepOptions) (comm, latency *Table) {
+	return harness.Table1WorstCaseOpts(fs, seed, opts)
+}
+
 // Table1Eventual regenerates Table 1's eventual worst-case rows as
 // f_a-sweeps at n = 3f+1.
 func Table1Eventual(f int, fas []int, seed int64) (comm, latency *Table) {
 	return harness.Table1Eventual(f, fas, seed)
+}
+
+// Table1EventualOpts is Table1Eventual with explicit sweep options.
+func Table1EventualOpts(f int, fas []int, seed int64, opts SweepOptions) (comm, latency *Table) {
+	return harness.Table1EventualOpts(f, fas, seed, opts)
 }
 
 // EventualScaling sweeps n at fixed f_a to expose per-decision message
@@ -97,11 +136,27 @@ func EventualScaling(fs []int, fa int, seed int64) *Table {
 // causes after a burst of fast QCs, per protocol and size.
 func Figure1Table(fs []int, seed int64) *Table { return harness.Figure1Table(fs, seed) }
 
+// Figure1TableOpts is Figure1Table with explicit sweep options.
+func Figure1TableOpts(fs []int, seed int64, opts SweepOptions) *Table {
+	return harness.Figure1TableOpts(fs, seed, opts)
+}
+
 // ResponsivenessTable sweeps the actual network delay δ at f_a = 0.
 func ResponsivenessTable(f int, seed int64) *Table { return harness.ResponsivenessTable(f, seed) }
 
+// ResponsivenessTableOpts is ResponsivenessTable with explicit sweep
+// options.
+func ResponsivenessTableOpts(f int, seed int64, opts SweepOptions) *Table {
+	return harness.ResponsivenessTableOpts(f, seed, opts)
+}
+
 // HeavySyncTable counts Θ(n²) epoch synchronizations after warmup.
 func HeavySyncTable(f int, seed int64) *Table { return harness.HeavySyncTable(f, seed) }
+
+// HeavySyncTableOpts is HeavySyncTable with explicit sweep options.
+func HeavySyncTableOpts(f int, seed int64, opts SweepOptions) *Table {
+	return harness.HeavySyncTableOpts(f, seed, opts)
+}
 
 // GapShrinkage measures §3.5's honest-gap convergence.
 func GapShrinkage(f int, seed int64) harness.GapShrinkageResult {
@@ -126,6 +181,12 @@ const DefaultDelta = 100 * time.Millisecond
 // (raw data for custom rendering).
 func EventualScalingData(fs []int, fa int, seed int64) map[Protocol][]harness.EventualResult {
 	return harness.EventualScalingData(fs, fa, seed)
+}
+
+// EventualScalingDataOpts is EventualScalingData with explicit sweep
+// options.
+func EventualScalingDataOpts(fs []int, fa int, seed int64, opts SweepOptions) map[Protocol][]harness.EventualResult {
+	return harness.EventualScalingDataOpts(fs, fa, seed, opts)
 }
 
 // EventualScalingTableF formats pre-computed scaling data.
