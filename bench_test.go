@@ -19,7 +19,10 @@ import (
 	"lumiere"
 	"lumiere/internal/crypto"
 	"lumiere/internal/harness"
+	"lumiere/internal/metrics"
 	"lumiere/internal/msg"
+	"lumiere/internal/network"
+	"lumiere/internal/sim"
 	"lumiere/internal/types"
 )
 
@@ -289,6 +292,40 @@ func BenchmarkConformanceSweep(b *testing.B) {
 		}
 		b.ReportMetric(float64(cells)/sr.Elapsed.Seconds(), "scenarios/sec")
 	}
+}
+
+// BenchmarkAllocsPerSend measures the simulated send hot path across the
+// scheduler, network and metrics layers: one op is an n=31 broadcast plus
+// the delivery of all its messages, observed by a streaming Collector.
+// allocs/op is the gate (the pre-arena implementation spent 3 allocations
+// per point-to-point send, ~93/op here); sends/op contextualizes it.
+func BenchmarkAllocsPerSend(b *testing.B) {
+	cfg := types.NewConfig(10, 100*time.Millisecond) // n = 31
+	s := sim.New(benchSeed)
+	net := network.NewNet(s, cfg, 0, network.Fixed{D: time.Millisecond})
+	collector := metrics.NewCollector(nil)
+	net.Observe(collector)
+	var ep network.Endpoint
+	for i := 0; i < cfg.N; i++ {
+		e := net.Attach(types.NodeID(i), network.HandlerFunc(func(types.NodeID, msg.Message) {}))
+		if i == 0 {
+			ep = e
+		}
+	}
+	m := &msg.ViewMsg{V: 1}
+	for i := 0; i < 50; i++ { // warm the event arena
+		ep.Broadcast(m)
+		s.RunFor(10 * time.Millisecond)
+	}
+	start := collector.HonestSends()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ep.Broadcast(m)
+		s.RunFor(10 * time.Millisecond)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(collector.HonestSends()-start)/float64(b.N), "sends/op")
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator performance:

@@ -1,0 +1,153 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document on stdout, so CI can archive a perf
+// trajectory (ns/op, allocs/op, B/op and custom b.ReportMetric units) per
+// benchmark across PRs:
+//
+//	go test -run '^$' -bench 'SweepWorkers|AllocsPerSend' -benchtime 1x -benchmem . \
+//	  | go run ./cmd/benchjson > BENCH_sweep.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name including the sub-benchmark path but
+	// with the machine-dependent -GOMAXPROCS suffix stripped (e.g.
+	// "BenchmarkSweepWorkers/workers=04"), so entries from different
+	// machines match by name.
+	Name string `json:"name"`
+	// Gomaxprocs is the stripped -N suffix (0 if the line had none).
+	Gomaxprocs int `json:"gomaxprocs,omitempty"`
+	// Iterations is the measured iteration count (b.N).
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is wall-clock nanoseconds per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp/BytesPerOp are present with -benchmem or
+	// b.ReportAllocs (nil otherwise).
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric units (e.g. "sweep_ms").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	// Context echoes the non-benchmark header lines go test prints
+	// (goos, goarch, pkg, cpu).
+	Context map[string]string `json:"context,omitempty"`
+	// Benchmarks holds one entry per benchmark line, in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parse consumes go test -bench output and collects benchmark lines and
+// header context. Unrecognized lines are ignored.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Context: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"),
+			strings.HasPrefix(line, "cpu:"):
+			if k, v, found := strings.Cut(line, ":"); found {
+				rep.Context[k] = strings.TrimSpace(v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Context) == 0 {
+		rep.Context = nil
+	}
+	return rep, nil
+}
+
+// parseBenchLine parses one result line of the form
+//
+//	BenchmarkName-8  10  123 ns/op  4 B/op  2 allocs/op  1.5 custom_unit
+//
+// i.e. name, iteration count, then (value, unit) pairs.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	name, procs := splitProcsSuffix(fields[0])
+	b := Benchmark{Name: name, Gomaxprocs: procs, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "allocs/op":
+			v := val
+			b.AllocsPerOp = &v
+		case "B/op":
+			v := val
+			b.BytesPerOp = &v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, true
+}
+
+// splitProcsSuffix strips go test's trailing -GOMAXPROCS from a
+// benchmark name ("BenchmarkX-8" → "BenchmarkX", 8). Names without a
+// numeric suffix pass through with procs 0.
+func splitProcsSuffix(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 0
+	}
+	procs, err := strconv.Atoi(name[i+1:])
+	if err != nil || procs <= 0 {
+		return name, 0
+	}
+	return name[:i], procs
+}
+
+func main() {
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: lumiere
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSweepWorkers/workers=01-8         	       1	1879162656 ns/op	      1879 sweep_ms	 5438104 B/op	   12345 allocs/op
+BenchmarkAllocsPerSend-8                   	     200	      2988 ns/op	        30.00 sends/op	      30 B/op	       0 allocs/op
+PASS
+ok  	lumiere	12.3s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkSweepWorkers/workers=01" || b.Gomaxprocs != 8 || b.Iterations != 1 {
+		t.Fatalf("first = %+v", b)
+	}
+	if b.NsPerOp != 1879162656 {
+		t.Fatalf("ns/op = %v", b.NsPerOp)
+	}
+	if b.AllocsPerOp == nil || *b.AllocsPerOp != 12345 {
+		t.Fatalf("allocs/op = %v", b.AllocsPerOp)
+	}
+	if b.Metrics["sweep_ms"] != 1879 {
+		t.Fatalf("metrics = %v", b.Metrics)
+	}
+	a := rep.Benchmarks[1]
+	if a.Name != "BenchmarkAllocsPerSend" || a.Gomaxprocs != 8 {
+		t.Fatalf("second = %+v", a)
+	}
+	if a.AllocsPerOp == nil || *a.AllocsPerOp != 0 {
+		t.Fatalf("allocs/op = %v", a.AllocsPerOp)
+	}
+	if a.Metrics["sends/op"] != 30 {
+		t.Fatalf("metrics = %v", a.Metrics)
+	}
+	if rep.Context["cpu"] == "" || rep.Context["goos"] != "linux" {
+		t.Fatalf("context = %v", rep.Context)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	rep, err := parse(strings.NewReader("hello\nBenchmarkBad oops\nBenchmarkOK-2 5 10 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "BenchmarkOK" || rep.Benchmarks[0].Gomaxprocs != 2 {
+		t.Fatalf("benchmarks = %+v", rep.Benchmarks)
+	}
+}
+
+func TestSplitProcsSuffix(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkX-8", "BenchmarkX", 8},
+		{"BenchmarkX", "BenchmarkX", 0},
+		{"BenchmarkSweepWorkers/workers=01-4", "BenchmarkSweepWorkers/workers=01", 4},
+		{"BenchmarkOdd-name", "BenchmarkOdd-name", 0},
+	} {
+		name, procs := splitProcsSuffix(tc.in)
+		if name != tc.name || procs != tc.procs {
+			t.Errorf("splitProcsSuffix(%q) = (%q, %d), want (%q, %d)", tc.in, name, procs, tc.name, tc.procs)
+		}
+	}
+}

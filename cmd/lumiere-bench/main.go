@@ -28,6 +28,7 @@ func main() {
 		csvDir   = flag.String("csv", "", "directory for CSV output (optional)")
 		workers  = flag.Int("workers", runtime.NumCPU(), "sweep worker-pool size")
 		progress = flag.Bool("progress", false, "print per-cell sweep progress to stderr")
+		sendlog  = flag.Bool("sendlog", false, "retain full per-send record logs (debugging; large memory)")
 	)
 	flag.Parse()
 
@@ -38,7 +39,7 @@ func main() {
 	evF := 5
 	fas := []int{0, 1, 2, 3, 5}
 
-	opts := lumiere.SweepOptions{Workers: *workers}
+	opts := lumiere.SweepOptions{Workers: *workers, KeepSendLog: *sendlog}
 	if *progress {
 		opts.Progress = func(done, total int, cell *lumiere.SweepCell) {
 			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %-28s %8v\n", done, total, cell.Scenario.Name, cell.Elapsed.Round(time.Millisecond))

@@ -90,6 +90,11 @@ type Scenario struct {
 	// TraceLimit enables event tracing, keeping at most this many
 	// events (0 disables tracing).
 	TraceLimit int
+	// KeepSendLog retains the full per-send record log in the metrics
+	// Collector (Collector.Sends). Default executions aggregate online
+	// and keep no per-send state, so sweeps run in memory proportional
+	// to distinct network-activity instants rather than total sends.
+	KeepSendLog bool
 	// CheckInvariants enables Lemma 5.1-5.3 runtime checks (Lumiere).
 	CheckInvariants bool
 	// SampleGaps enables honest-gap sampling every Δ/2.
@@ -174,7 +179,7 @@ type Result struct {
 }
 
 // DecisionCount returns the number of honest-leader decisions.
-func (r *Result) DecisionCount() int { return len(r.Collector.Decisions()) }
+func (r *Result) DecisionCount() int { return r.Collector.DecisionCount() }
 
 // Run executes a scenario to completion.
 func Run(s Scenario) *Result {
@@ -202,7 +207,11 @@ func Run(s Scenario) *Result {
 			net.SetByzantine(c.Node)
 		}
 	}
-	collector := metrics.NewCollector(net.Honest)
+	var copts []metrics.Option
+	if s.KeepSendLog {
+		copts = append(copts, metrics.WithSendLog())
+	}
+	collector := metrics.NewCollector(net.Honest, copts...)
 	net.Observe(collector)
 
 	var tracer *trace.Tracer

@@ -43,6 +43,11 @@ type SweepOptions struct {
 	// without locking). done counts completed cells, total is the
 	// matrix size.
 	Progress func(done, total int, cell *SweepCell)
+	// KeepSendLog forces every cell's Collector to retain the full
+	// per-send record log (see Scenario.KeepSendLog). Off by default:
+	// sweeps aggregate online so each cell runs in memory proportional
+	// to distinct network-activity instants, not total sends.
+	KeepSendLog bool
 }
 
 // SweepCell is one completed cell of a sweep.
@@ -109,6 +114,9 @@ func Sweep(scenarios []Scenario, opts SweepOptions) *SweepResult {
 				s := scenarios[i]
 				if !opts.KeepSeeds {
 					s.Seed = DeriveSeed(opts.BaseSeed, i)
+				}
+				if opts.KeepSendLog {
+					s.KeepSendLog = true
 				}
 				t0 := time.Now()
 				res := Run(s)

@@ -3,6 +3,15 @@
 // between T and the next honest-leader consensus decision t*_T), worst-
 // case and eventual worst-case latency, and the honest clock gaps hg_i of
 // Definition 3.1.
+//
+// The Collector aggregates online: per-kind counters, a compressed
+// cumulative send series (one point per distinct timestamp, so an n-node
+// broadcast costs one entry, not n), and per-epoch-view last-send times
+// for heavy-sync detection. The full per-send record log is opt-in via
+// WithSendLog; default executions run without it, so memory scales with
+// distinct network-activity instants rather than with total sends. All
+// window queries (W_T, per-decision intervals, heavy syncs) are exact —
+// they produce byte-identical results to the old log-backed collector.
 package metrics
 
 import (
@@ -17,6 +26,7 @@ import (
 )
 
 // SendRecord is one point-to-point transmission by an honest processor.
+// Records are only retained under WithSendLog.
 type SendRecord struct {
 	At   types.Time
 	From types.NodeID
@@ -32,32 +42,71 @@ type Decision struct {
 	Leader types.NodeID
 }
 
+// sendPoint is one entry of the compressed cumulative send series: count
+// honest sends happened at exactly instant at.
+type sendPoint struct {
+	at    types.Time
+	count int64
+}
+
+// Option configures a Collector.
+type Option func(*Collector)
+
+// WithSendLog retains the full per-send record log (Sends). Default
+// collectors aggregate online and keep no per-send state; enable this
+// only for debugging or offline analysis of individual transmissions.
+func WithSendLog() Option {
+	return func(c *Collector) { c.keepLog = true }
+}
+
 // Collector observes network traffic and decision events for one
 // execution. It is safe for concurrent use (the TCP runtime delivers from
 // multiple goroutines); under the simulator the mutex is uncontended.
 type Collector struct {
-	mu          sync.Mutex
-	sends       []SendRecord
+	mu      sync.Mutex
+	keepLog bool
+	sends   []SendRecord // WithSendLog only
+
+	// Streaming aggregates.
+	points      []sendPoint // per-distinct-timestamp honest send counts
+	prefix      []int64     // prefix[i] = sends strictly before points[i]; len(points)+1 entries
+	pointsDirty bool        // prefix (and possibly point order) needs rebuilding
+	pointsInOrd bool        // appends observed in non-decreasing At order so far
 	byKind      map[msg.Kind]int64
+	epochLast   map[types.View]types.Time // last epoch-view send per view
 	honestTotal int64
 	kappaTotal  int64
 	byzTotal    int64
-	decisions   []Decision
-	honest      func(types.NodeID) bool
+
+	decisions []Decision
+	decInOrd  bool // decisions appended in non-decreasing At order so far
+	honest    func(types.NodeID) bool
 }
 
 var _ network.Observer = (*Collector)(nil)
 
 // NewCollector creates a Collector. honest classifies decision leaders; a
 // nil function treats every node as honest.
-func NewCollector(honest func(types.NodeID) bool) *Collector {
+func NewCollector(honest func(types.NodeID) bool, opts ...Option) *Collector {
 	if honest == nil {
 		honest = func(types.NodeID) bool { return true }
 	}
-	return &Collector{byKind: make(map[msg.Kind]int64), honest: honest}
+	c := &Collector{
+		byKind:      make(map[msg.Kind]int64),
+		epochLast:   make(map[types.View]types.Time),
+		honest:      honest,
+		pointsInOrd: true,
+		decInOrd:    true,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
-// OnSend implements network.Observer.
+// OnSend implements network.Observer. It is the per-transmission hot
+// path: counter bumps and (at most) one amortized append per distinct
+// timestamp, no per-send allocation.
 func (c *Collector) OnSend(from, _ types.NodeID, m msg.Message, at types.Time, honestSender bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -67,8 +116,26 @@ func (c *Collector) OnSend(from, _ types.NodeID, m msg.Message, at types.Time, h
 	}
 	c.honestTotal++
 	c.kappaTotal += int64(msg.KappaSize(m))
-	c.byKind[m.Kind()]++
-	c.sends = append(c.sends, SendRecord{At: at, From: from, Kind: m.Kind(), View: m.View()})
+	kind := m.Kind()
+	c.byKind[kind]++
+	if kind == msg.KindEpochView {
+		v := m.View()
+		if last, ok := c.epochLast[v]; !ok || at > last {
+			c.epochLast[v] = at
+		}
+	}
+	if n := len(c.points); n > 0 && c.points[n-1].at == at {
+		c.points[n-1].count++
+	} else {
+		if n > 0 && at < c.points[n-1].at {
+			c.pointsInOrd = false
+		}
+		c.points = append(c.points, sendPoint{at: at, count: 1})
+	}
+	c.pointsDirty = true
+	if c.keepLog {
+		c.sends = append(c.sends, SendRecord{At: at, From: from, Kind: kind, View: m.View()})
+	}
 }
 
 // OnDeliver implements network.Observer.
@@ -82,7 +149,54 @@ func (c *Collector) RecordDecision(v types.View, leader types.NodeID, at types.T
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if n := len(c.decisions); n > 0 && at < c.decisions[n-1].At {
+		c.decInOrd = false
+	}
 	c.decisions = append(c.decisions, Decision{At: at, View: v, Leader: leader})
+}
+
+// normalizeLocked brings the cumulative send series to query form: points
+// sorted by time with duplicates merged (the simulator appends in order,
+// so the sort is skipped there) and prefix sums rebuilt.
+func (c *Collector) normalizeLocked() {
+	// The length check covers the never-sent case: prefix must hold
+	// len(points)+1 entries (i.e. [0]) even when no send ever arrived.
+	if !c.pointsDirty && len(c.prefix) == len(c.points)+1 {
+		return
+	}
+	if !c.pointsInOrd {
+		sort.Slice(c.points, func(i, j int) bool { return c.points[i].at < c.points[j].at })
+		merged := c.points[:0]
+		for _, p := range c.points {
+			if n := len(merged); n > 0 && merged[n-1].at == p.at {
+				merged[n-1].count += p.count
+			} else {
+				merged = append(merged, p)
+			}
+		}
+		c.points = merged
+		c.pointsInOrd = true
+	}
+	if cap(c.prefix) < len(c.points)+1 {
+		c.prefix = make([]int64, len(c.points)+1)
+	}
+	c.prefix = c.prefix[:len(c.points)+1]
+	c.prefix[0] = 0
+	for i, p := range c.points {
+		c.prefix[i+1] = c.prefix[i] + p.count
+	}
+	c.pointsDirty = false
+}
+
+// sortDecisionsLocked restores time order after out-of-order appends (the
+// simulator records in order; the flag memoizes sortedness between
+// appends so the common path never re-verifies or re-sorts).
+func (c *Collector) sortDecisionsLocked() {
+	if c.decInOrd {
+		return
+	}
+	sort.SliceStable(c.decisions, func(i, j int) bool { return c.decisions[i].At < c.decisions[j].At })
+	c.decInOrd = true
 }
 
 // HonestSends returns the total number of messages sent by honest
@@ -108,52 +222,71 @@ func (c *Collector) KindCount(k msg.Kind) int64 {
 	return c.byKind[k]
 }
 
-// Decisions returns a copy of the decision log, in time order.
+// DecisionCount returns the number of honest-leader decisions without
+// copying the log.
+func (c *Collector) DecisionCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.decisions)
+}
+
+// Decisions returns a copy of the decision log, in time order. The
+// internal log's sortedness is tracked across appends, so this sorts only
+// when decisions actually arrived out of order (never under the
+// simulator).
 func (c *Collector) Decisions() []Decision {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := append([]Decision(nil), c.decisions...)
-	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
-	return out
+	c.sortDecisionsLocked()
+	return append([]Decision(nil), c.decisions...)
 }
 
-// Sends returns a copy of the honest send log, in time order.
+// Sends returns a copy of the honest send log, in time order. It returns
+// nil unless the Collector was built WithSendLog.
 func (c *Collector) Sends() []SendRecord {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if !c.keepLog {
+		return nil
+	}
 	return append([]SendRecord(nil), c.sends...)
 }
 
-// sendsBetween counts honest sends with At in (a, b]. The send log is
-// appended in time order under the simulator.
+// sendsBetween counts honest sends with At in (a, b] from the compressed
+// cumulative series. Callers must hold mu and have normalized.
 func (c *Collector) sendsBetween(a, b types.Time) int64 {
-	lo := sort.Search(len(c.sends), func(i int) bool { return c.sends[i].At > a })
-	hi := sort.Search(len(c.sends), func(i int) bool { return c.sends[i].At > b })
-	return int64(hi - lo)
+	lo := sort.Search(len(c.points), func(i int) bool { return c.points[i].at > a })
+	hi := sort.Search(len(c.points), func(i int) bool { return c.points[i].at > b })
+	return c.prefix[hi] - c.prefix[lo]
 }
 
 // FirstDecisionAfter returns the first decision strictly after t.
 func (c *Collector) FirstDecisionAfter(t types.Time) (Decision, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, d := range c.decisions {
-		if d.At > t {
-			return d, true
-		}
+	return c.firstDecisionAfterLocked(t)
+}
+
+func (c *Collector) firstDecisionAfterLocked(t types.Time) (Decision, bool) {
+	c.sortDecisionsLocked()
+	i := sort.Search(len(c.decisions), func(i int) bool { return c.decisions[i].At > t })
+	if i == len(c.decisions) {
+		return Decision{}, false
 	}
-	return Decision{}, false
+	return c.decisions[i], true
 }
 
 // WindowAfter computes the paper's W_T and t*_T − T for a given T: the
 // number of honest messages and elapsed time from T to the first
 // honest-leader decision after T. ok is false when no decision follows T.
 func (c *Collector) WindowAfter(t types.Time) (msgs int64, latency time.Duration, ok bool) {
-	d, found := c.FirstDecisionAfter(t)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, found := c.firstDecisionAfterLocked(t)
 	if !found {
 		return 0, 0, false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.normalizeLocked()
 	return c.sendsBetween(t, d.At), d.At.Sub(t), true
 }
 
@@ -168,13 +301,14 @@ type Interval struct {
 // the first skip decisions after t (the paper's "warmup"). The i-th
 // interval spans (d_i, d_{i+1}].
 func (c *Collector) Intervals(t types.Time, skip int) []Interval {
-	decs := c.Decisions()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.sortDecisionsLocked()
+	c.normalizeLocked()
 	var out []Interval
 	prev := t
 	seen := 0
-	for _, d := range decs {
+	for _, d := range c.decisions {
 		if d.At <= t {
 			continue
 		}
@@ -239,19 +373,16 @@ func (c *Collector) Stats(t types.Time, skip int) IntervalStats {
 
 // HeavySyncViews returns the distinct epoch views for which any honest
 // processor sent an epoch-view message strictly after t — the number of
-// heavy Θ(n²) synchronizations started after t.
+// heavy Θ(n²) synchronizations started after t. Computed from the
+// streaming per-view last-send times, not a send log.
 func (c *Collector) HeavySyncViews(t types.Time) []types.View {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	set := make(map[types.View]bool)
-	for _, r := range c.sends {
-		if r.At > t && r.Kind == msg.KindEpochView {
-			set[r.View] = true
+	out := make([]types.View, 0, len(c.epochLast))
+	for v, last := range c.epochLast {
+		if last > t {
+			out = append(out, v)
 		}
-	}
-	out := make([]types.View, 0, len(set))
-	for v := range set {
-		out = append(out, v)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out

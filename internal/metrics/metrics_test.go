@@ -110,6 +110,24 @@ func TestHeavySyncViews(t *testing.T) {
 	}
 }
 
+// TestDecisionsWithoutSends is the regression test for the
+// zero-honest-traffic window query: decisions with no observed honest
+// sends must yield empty windows, not a panic.
+func TestDecisionsWithoutSends(t *testing.T) {
+	c := NewCollector(nil)
+	c.RecordDecision(1, 0, 5)
+	msgs, lat, ok := c.WindowAfter(0)
+	if !ok || msgs != 0 || lat != 5 {
+		t.Fatalf("window = (%d, %v, %v), want (0, 5, true)", msgs, lat, ok)
+	}
+	if ivs := c.Intervals(0, 0); len(ivs) != 1 || ivs[0].Msgs != 0 {
+		t.Fatalf("intervals = %+v", ivs)
+	}
+	if st := c.Stats(0, 0); st.Count != 1 || st.MaxMsgs != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
 func TestStatsEmpty(t *testing.T) {
 	c := newTestCollector()
 	st := c.Stats(0, 0)
@@ -126,6 +144,86 @@ func TestNilHonestFunc(t *testing.T) {
 	}
 	_ = c.String()
 	_ = time.Second
+}
+
+func TestSendLogOptIn(t *testing.T) {
+	c := newTestCollector()
+	fill(c)
+	if got := c.Sends(); got != nil {
+		t.Fatalf("default collector retained a send log: %d records", len(got))
+	}
+	logged := NewCollector(func(id types.NodeID) bool { return id != 9 }, WithSendLog())
+	fill(logged)
+	sends := logged.Sends()
+	if len(sends) != 10 {
+		t.Fatalf("WithSendLog kept %d records, want 10", len(sends))
+	}
+	if sends[0].At != 1 || sends[0].Kind != msg.KindView {
+		t.Fatalf("first record = %+v", sends[0])
+	}
+	// The streaming aggregates must not depend on the log.
+	a, _, _ := c.WindowAfter(0)
+	b, _, _ := logged.WindowAfter(0)
+	if a != b {
+		t.Fatalf("window differs with/without log: %d vs %d", a, b)
+	}
+}
+
+// TestOutOfOrderSends pins exactness when OnSend observes timestamps out
+// of order (possible under the TCP runtime): window counts must match a
+// sorted log.
+func TestOutOfOrderSends(t *testing.T) {
+	c := newTestCollector()
+	for _, at := range []types.Time{5, 2, 8, 2, 5, 1} {
+		c.OnSend(0, 1, &msg.ViewMsg{V: 1}, at, true)
+	}
+	c.RecordDecision(1, 0, 6)
+	msgs, _, ok := c.WindowAfter(1) // sends in (1, 6]: at 2, 2, 5, 5
+	if !ok || msgs != 4 {
+		t.Fatalf("window = (%d, %v)", msgs, ok)
+	}
+	// Appends after a query must be folded into the next query.
+	c.OnSend(0, 1, &msg.ViewMsg{V: 1}, 3, true)
+	if msgs, _, _ = c.WindowAfter(1); msgs != 5 {
+		t.Fatalf("window after late append = %d, want 5", msgs)
+	}
+}
+
+func TestDecisionsOutOfOrderSorted(t *testing.T) {
+	c := newTestCollector()
+	c.RecordDecision(2, 0, 9)
+	c.RecordDecision(1, 0, 3)
+	c.RecordDecision(3, 0, 12)
+	decs := c.Decisions()
+	if len(decs) != 3 || decs[0].At != 3 || decs[1].At != 9 || decs[2].At != 12 {
+		t.Fatalf("decisions = %+v", decs)
+	}
+	if d, ok := c.FirstDecisionAfter(4); !ok || d.At != 9 {
+		t.Fatalf("first after 4 = %+v, %v", d, ok)
+	}
+	if c.DecisionCount() != 3 {
+		t.Fatalf("count = %d", c.DecisionCount())
+	}
+}
+
+// TestCollectorOnSendAllocs pins the streaming hot path: repeated sends
+// at a warm collector must not allocate per send (the per-timestamp
+// series grows only on distinct instants, amortized).
+func TestCollectorOnSendAllocs(t *testing.T) {
+	c := newTestCollector()
+	m := &msg.ViewMsg{V: 1}
+	at := types.Time(0)
+	for i := 0; i < 100; i++ {
+		at++
+		c.OnSend(0, 1, m, at, true)
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		at++
+		c.OnSend(0, 1, m, at, true)
+	})
+	if avg > 0.1 {
+		t.Errorf("OnSend allocates %.3f per send, want ~0", avg)
+	}
 }
 
 func TestKappaAccounting(t *testing.T) {

@@ -167,6 +167,8 @@ type Net struct {
 // NewNet creates a network for cfg.N nodes. gst is the global
 // stabilization time; policy chooses per-message delays (clamped to the
 // model). All nodes start marked honest; use SetByzantine for corruptions.
+// The network registers itself as the scheduler's payload sink: message
+// deliveries flow through sim.SendAt rather than per-send closures.
 func NewNet(sched *sim.Scheduler, cfg types.Config, gst types.Time, policy DelayPolicy) *Net {
 	if policy == nil {
 		policy = Fixed{D: cfg.Delta / 10}
@@ -175,7 +177,7 @@ func NewNet(sched *sim.Scheduler, cfg types.Config, gst types.Time, policy Delay
 	for i := range honest {
 		honest[i] = true
 	}
-	return &Net{
+	n := &Net{
 		sched:    sched,
 		cfg:      cfg,
 		gst:      gst,
@@ -184,6 +186,14 @@ func NewNet(sched *sim.Scheduler, cfg types.Config, gst types.Time, policy Delay
 		honest:   honest,
 		killed:   make([]bool, cfg.N),
 	}
+	sched.SetSink(n.deliverPayload)
+	return n
+}
+
+// deliverPayload is the scheduler's MsgSink: it fires when a scheduled
+// transmission reaches its delivery time.
+func (n *Net) deliverPayload(from, to types.NodeID, m any) {
+	n.dispatch(from, to, m.(msg.Message))
 }
 
 // GST returns the network's global stabilization time.
@@ -233,17 +243,59 @@ func (n *Net) send(from, to types.NodeID, m msg.Message) {
 	if int(to) < 0 || int(to) >= len(n.handlers) {
 		panic(fmt.Sprintf("network: send to unknown node %v", to))
 	}
-	now := n.sched.Now()
-	if from == to {
-		// Self-delivery at the same instant, not a network message.
-		n.sched.After(0, func() { n.dispatch(from, to, m) })
+	n.sendTo(n.sched.Now(), from, to, m)
+}
+
+// broadcast transmits m from one node to all nodes, reserving heap space
+// for the whole burst once instead of growing per recipient.
+func (n *Net) broadcast(from types.NodeID, m msg.Message) {
+	if n.stopped || n.killed[from] {
 		return
 	}
-	for _, o := range n.observers {
-		o.OnSend(from, to, m, now, n.honest[from])
+	now := n.sched.Now()
+	n.sched.Reserve(len(n.handlers))
+	for to := range n.handlers {
+		n.sendTo(now, from, types.NodeID(to), m)
 	}
-	at := n.deliverAt(now, from, to, m)
-	n.sched.At(at, func() { n.dispatch(from, to, m) })
+}
+
+// sendTo schedules one point-to-point transmission (shared by send and
+// broadcast; stop/kill checks happen in the callers).
+func (n *Net) sendTo(now types.Time, from, to types.NodeID, m msg.Message) {
+	if from == to {
+		// Self-delivery at the same instant, not a network message.
+		n.sched.SendAt(now, from, to, m)
+		return
+	}
+	n.observeSend(from, to, m, now)
+	n.sched.SendAt(n.deliverAt(now, from, to, m), from, to, m)
+}
+
+// observeSend fans OnSend out to the observers, keeping the common
+// zero/one observer cases free of slice iteration.
+func (n *Net) observeSend(from, to types.NodeID, m msg.Message, now types.Time) {
+	switch len(n.observers) {
+	case 0:
+	case 1:
+		n.observers[0].OnSend(from, to, m, now, n.honest[from])
+	default:
+		for _, o := range n.observers {
+			o.OnSend(from, to, m, now, n.honest[from])
+		}
+	}
+}
+
+// observeDeliver mirrors observeSend for the delivery side.
+func (n *Net) observeDeliver(from, to types.NodeID, m msg.Message, now types.Time) {
+	switch len(n.observers) {
+	case 0:
+	case 1:
+		n.observers[0].OnDeliver(from, to, m, now)
+	default:
+		for _, o := range n.observers {
+			o.OnDeliver(from, to, m, now)
+		}
+	}
 }
 
 func (n *Net) dispatch(from, to types.NodeID, m msg.Message) {
@@ -254,10 +306,7 @@ func (n *Net) dispatch(from, to types.NodeID, m msg.Message) {
 	if h == nil {
 		return
 	}
-	now := n.sched.Now()
-	for _, o := range n.observers {
-		o.OnDeliver(from, to, m, now)
-	}
+	n.observeDeliver(from, to, m, n.sched.Now())
 	h.Deliver(from, m)
 }
 
@@ -272,8 +321,4 @@ func (e *endpoint) ID() types.NodeID { return e.id }
 
 func (e *endpoint) Send(to types.NodeID, m msg.Message) { e.net.send(e.id, to, m) }
 
-func (e *endpoint) Broadcast(m msg.Message) {
-	for to := range e.net.handlers {
-		e.net.send(e.id, types.NodeID(to), m)
-	}
-}
+func (e *endpoint) Broadcast(m msg.Message) { e.net.broadcast(e.id, m) }

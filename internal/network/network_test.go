@@ -163,6 +163,48 @@ func TestStopDropsTraffic(t *testing.T) {
 	}
 }
 
+type nopHandler struct{}
+
+func (nopHandler) Deliver(types.NodeID, msg.Message) {}
+
+// TestBroadcastAllocs pins the zero-allocation send hot path across the
+// scheduler and network layers: a warm n=31 broadcast plus the delivery
+// of all its messages must average well under one allocation (the
+// pre-arena implementation spent 3 allocations per point-to-point send).
+func TestBroadcastAllocs(t *testing.T) {
+	run := func(t *testing.T, observe bool) {
+		cfg := types.NewConfig(10, 100*time.Millisecond) // n = 31
+		s := sim.New(1)
+		n := NewNet(s, cfg, 0, Fixed{D: time.Millisecond})
+		if observe {
+			n.Observe(observerFuncs{})
+		}
+		var ep Endpoint
+		for i := 0; i < cfg.N; i++ {
+			e := n.Attach(types.NodeID(i), nopHandler{})
+			if i == 0 {
+				ep = e
+			}
+		}
+		m := &msg.ViewMsg{V: 1}
+		for i := 0; i < 50; i++ { // warm the event arena
+			ep.Broadcast(m)
+			s.RunFor(10 * time.Millisecond)
+		}
+		avg := testing.AllocsPerRun(200, func() {
+			ep.Broadcast(m)
+			s.RunFor(10 * time.Millisecond)
+		})
+		perSend := avg / float64(cfg.N)
+		t.Logf("allocs per broadcast = %.2f (%.4f per send)", avg, perSend)
+		if perSend > 0.3 {
+			t.Errorf("broadcast allocates %.4f per send, want <= 0.3 (>=10x below the pre-arena 3.0)", perSend)
+		}
+	}
+	t.Run("no-observer", func(t *testing.T) { run(t, false) })
+	t.Run("one-observer", func(t *testing.T) { run(t, true) })
+}
+
 func TestUniformPolicyWithinBounds(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	p := Uniform{Min: 5 * time.Millisecond, Max: 20 * time.Millisecond}

@@ -7,69 +7,71 @@
 // The scheduler doubles as the protocol runtime (see clock.Runtime): the
 // same protocol state machines run unmodified over real time in
 // internal/nettcp.
+//
+// Events live in a pooled, index-addressed arena: the heap stores arena
+// indices, freed slots are recycled through a free list, and cancels
+// remove events from the heap immediately via the tracked heap position
+// (guarded by a per-slot generation counter, so stale cancels are
+// no-ops). Message deliveries are payload events — {from, to, msg}
+// dispatched through the registered MsgSink — so the simulated send hot
+// path performs no per-event allocation in steady state.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
+	"slices"
 	"time"
 
 	"lumiere/internal/types"
 )
 
-// event is a scheduled callback.
+// eventKind discriminates arena slots.
+type eventKind uint8
+
+const (
+	kindFree eventKind = iota // slot is on the free list
+	kindFunc                  // callback event (timers, harness hooks)
+	kindMsg                   // payload event dispatched through the sink
+)
+
+// event is one arena slot. Slots are reused: gen increments every time a
+// slot is freed, invalidating outstanding Timer handles.
 type event struct {
-	at       types.Time
-	seq      uint64 // FIFO tiebreak for equal timestamps
-	fn       func()
-	canceled bool
-	index    int // heap index, -1 once popped
+	at   types.Time
+	seq  uint64 // FIFO tiebreak for equal timestamps
+	fn   func() // kindFunc only
+	msg  any    // kindMsg only
+	from types.NodeID
+	to   types.NodeID
+	gen  uint32
+	pos  int32 // heap position, -1 while free or being fired
+	kind eventKind
 }
 
-// eventQueue is a min-heap ordered by (at, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
+// Timer identifies a scheduled callback for cancellation without
+// allocating a closure. The zero Timer is inert.
+type Timer struct {
+	id  int32
+	gen uint32
+	set bool
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
-}
+// MsgSink consumes payload events when they fire. The simulated network
+// registers itself here; m is the message value passed to SendAt.
+type MsgSink func(from, to types.NodeID, m any)
 
 // Scheduler is a deterministic discrete-event loop. It is not safe for
 // concurrent use: all protocol code runs on the single event loop.
 type Scheduler struct {
-	now    types.Time
-	queue  eventQueue
-	seq    uint64
-	rng    *rand.Rand
-	fired  uint64
-	inStep bool
+	now   types.Time
+	arena []event
+	free  []int32 // indices of recycled arena slots
+	heap  []int32 // min-heap of arena indices, ordered by (at, seq)
+	seq   uint64
+	rng   *rand.Rand
+	fired uint64
+	sink  MsgSink
 }
 
 // New creates a Scheduler with virtual time 0 and randomness from seed.
@@ -86,22 +88,182 @@ func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 // Events returns the number of events fired so far.
 func (s *Scheduler) Events() uint64 { return s.fired }
 
-// Pending returns the number of events currently scheduled.
-func (s *Scheduler) Pending() int { return len(s.queue) }
+// Pending returns the number of events currently scheduled. Cancelled
+// events leave the heap immediately and are not counted.
+func (s *Scheduler) Pending() int { return len(s.heap) }
 
-// At schedules fn at absolute virtual time t (clamped to now for past
-// times) and returns a cancel function. Cancel is idempotent.
-func (s *Scheduler) At(t types.Time, fn func()) func() {
-	if fn == nil {
-		panic("sim: nil event function")
+// SetSink registers the consumer of payload events (see SendAt). The
+// simulated network owns the sink; a scheduler carries exactly one for
+// its lifetime, and a second registration panics — silently replacing
+// the sink would cross-wire deliveries already in the heap.
+func (s *Scheduler) SetSink(sink MsgSink) {
+	if s.sink != nil {
+		panic("sim: MsgSink already registered (one network per scheduler)")
 	}
+	s.sink = sink
+}
+
+// ---------------------------------------------------------------------------
+// Arena + heap internals
+// ---------------------------------------------------------------------------
+
+func (s *Scheduler) less(a, b int32) bool {
+	ea, eb := &s.arena[a], &s.arena[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (s *Scheduler) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.arena[s.heap[i]].pos = int32(i)
+	s.arena[s.heap[j]].pos = int32(j)
+}
+
+func (s *Scheduler) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(s.heap[i], s.heap[parent]) {
+			break
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *Scheduler) down(i int) {
+	n := len(s.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		min := left
+		if right := left + 1; right < n && s.less(s.heap[right], s.heap[left]) {
+			min = right
+		}
+		if !s.less(s.heap[min], s.heap[i]) {
+			return
+		}
+		s.swap(i, min)
+		i = min
+	}
+}
+
+// alloc grabs an arena slot, recycling from the free list first.
+func (s *Scheduler) alloc() int32 {
+	if n := len(s.free); n > 0 {
+		id := s.free[n-1]
+		s.free = s.free[:n-1]
+		return id
+	}
+	s.arena = append(s.arena, event{pos: -1})
+	return int32(len(s.arena) - 1)
+}
+
+// release returns a slot to the free list, dropping payload references so
+// the arena never pins dead messages or closures, and bumping gen so
+// outstanding cancel handles become stale.
+func (s *Scheduler) release(id int32) {
+	ev := &s.arena[id]
+	ev.fn = nil
+	ev.msg = nil
+	ev.kind = kindFree
+	ev.pos = -1
+	ev.gen++
+	s.free = append(s.free, id)
+}
+
+// push inserts a filled slot into the heap.
+func (s *Scheduler) push(id int32) {
+	s.arena[id].pos = int32(len(s.heap))
+	s.heap = append(s.heap, id)
+	s.up(len(s.heap) - 1)
+}
+
+// popMin removes and returns the earliest event's slot.
+func (s *Scheduler) popMin() int32 {
+	id := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.arena[s.heap[0]].pos = 0
+	s.heap = s.heap[:last]
+	if last > 0 {
+		s.down(0)
+	}
+	s.arena[id].pos = -1
+	return id
+}
+
+// removeAt deletes the event at heap position i, restoring heap order.
+func (s *Scheduler) removeAt(i int) {
+	last := len(s.heap) - 1
+	id := s.heap[i]
+	if i != last {
+		s.heap[i] = s.heap[last]
+		s.arena[s.heap[i]].pos = int32(i)
+	}
+	s.heap = s.heap[:last]
+	if i < last {
+		s.down(i)
+		s.up(i)
+	}
+	s.arena[id].pos = -1
+}
+
+// schedule fills a slot shared by all scheduling entry points.
+func (s *Scheduler) schedule(t types.Time) (int32, *event) {
 	if t < s.now {
 		t = s.now
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
+	id := s.alloc()
+	ev := &s.arena[id]
+	ev.at = t
+	ev.seq = s.seq
 	s.seq++
-	heap.Push(&s.queue, ev)
-	return func() { ev.canceled = true }
+	s.push(id)
+	return id, ev
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling API
+// ---------------------------------------------------------------------------
+
+// AtTimer schedules fn at absolute virtual time t (clamped to now for
+// past times) and returns a Timer handle for Cancel. Unlike At, it
+// allocates nothing beyond amortized arena growth.
+func (s *Scheduler) AtTimer(t types.Time, fn func()) Timer {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	id, ev := s.schedule(t)
+	ev.fn = fn
+	ev.kind = kindFunc
+	return Timer{id: id, gen: ev.gen, set: true}
+}
+
+// Cancel removes a scheduled event from the heap immediately. Stale
+// handles (already fired, already cancelled, or zero) are no-ops.
+func (s *Scheduler) Cancel(tm Timer) {
+	if !tm.set || int(tm.id) >= len(s.arena) {
+		return
+	}
+	ev := &s.arena[tm.id]
+	if ev.gen != tm.gen || ev.pos < 0 {
+		return
+	}
+	s.removeAt(int(ev.pos))
+	s.release(tm.id)
+}
+
+// At schedules fn at absolute virtual time t (clamped to now for past
+// times) and returns a cancel function. Cancel is idempotent and removes
+// the event from the heap immediately. The returned closure is the only
+// allocation; use AtTimer/Cancel on allocation-sensitive paths.
+func (s *Scheduler) At(t types.Time, fn func()) func() {
+	tm := s.AtTimer(t, fn)
+	return func() { s.Cancel(tm) }
 }
 
 // After schedules fn d from now and returns a cancel function. This
@@ -113,38 +275,67 @@ func (s *Scheduler) After(d time.Duration, fn func()) func() {
 	return s.At(s.now.Add(d), fn)
 }
 
+// SendAt schedules delivery of a payload event {from, to, m} at absolute
+// virtual time t (clamped to now) through the registered sink. This is
+// the zero-allocation message hot path: no closure, no cancel handle, no
+// per-event heap object.
+func (s *Scheduler) SendAt(t types.Time, from, to types.NodeID, m any) {
+	if s.sink == nil {
+		panic("sim: SendAt with no registered MsgSink")
+	}
+	_, ev := s.schedule(t)
+	ev.from = from
+	ev.to = to
+	ev.msg = m
+	ev.kind = kindMsg
+}
+
+// Reserve pre-sizes the arena and heap for n additional events, so a
+// burst of schedules (e.g. a broadcast's n sends) performs at most one
+// slice grow up front instead of n incremental ones.
+func (s *Scheduler) Reserve(n int) {
+	s.heap = slices.Grow(s.heap, n)
+	if fresh := n - len(s.free); fresh > 0 {
+		s.arena = slices.Grow(s.arena, fresh)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
 // Step fires the next event, if any, advancing virtual time. It returns
 // false when the queue is empty.
 func (s *Scheduler) Step() bool {
-	for len(s.queue) > 0 {
-		ev := heap.Pop(&s.queue).(*event)
-		if ev.canceled {
-			continue
-		}
-		if ev.at < s.now {
-			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", s.now, ev.at))
-		}
-		s.now = ev.at
-		s.fired++
-		s.inStep = true
-		ev.fn()
-		s.inStep = false
-		return true
+	if len(s.heap) == 0 {
+		return false
 	}
-	return false
+	id := s.popMin()
+	ev := &s.arena[id]
+	if ev.at < s.now {
+		panic(fmt.Sprintf("sim: time went backwards: %v -> %v", s.now, ev.at))
+	}
+	s.now = ev.at
+	s.fired++
+	switch ev.kind {
+	case kindFunc:
+		fn := ev.fn
+		s.release(id)
+		fn()
+	case kindMsg:
+		from, to, m := ev.from, ev.to, ev.msg
+		s.release(id)
+		s.sink(from, to, m)
+	default:
+		panic("sim: free slot reached the heap")
+	}
+	return true
 }
 
 // RunUntil fires events until virtual time would exceed t, then sets the
 // clock to t. Events scheduled exactly at t are fired.
 func (s *Scheduler) RunUntil(t types.Time) {
-	for len(s.queue) > 0 {
-		next := s.peek()
-		if next == nil {
-			break
-		}
-		if next.at > t {
-			break
-		}
+	for len(s.heap) > 0 && s.arena[s.heap[0]].at <= t {
 		s.Step()
 	}
 	if s.now < t {
@@ -163,15 +354,4 @@ func (s *Scheduler) Drain(limit uint64) uint64 {
 		fired++
 	}
 	return fired
-}
-
-func (s *Scheduler) peek() *event {
-	for len(s.queue) > 0 {
-		ev := s.queue[0]
-		if !ev.canceled {
-			return ev
-		}
-		heap.Pop(&s.queue)
-	}
-	return nil
 }

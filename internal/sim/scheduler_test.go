@@ -145,6 +145,178 @@ func TestSchedulerDrain(t *testing.T) {
 	}
 }
 
+// TestSchedulerCancelShrinksPending is the regression test for the
+// cancel leak: cancelled events must leave the heap immediately, not
+// linger until popped.
+func TestSchedulerCancelShrinksPending(t *testing.T) {
+	s := New(1)
+	cancels := make([]func(), 100)
+	for i := range cancels {
+		cancels[i] = s.After(time.Duration(i+1), func() { t.Fatal("cancelled event fired") })
+	}
+	if s.Pending() != 100 {
+		t.Fatalf("pending = %d, want 100", s.Pending())
+	}
+	for i, cancel := range cancels {
+		cancel()
+		if want := 100 - i - 1; s.Pending() != want {
+			t.Fatalf("after %d cancels pending = %d, want %d", i+1, s.Pending(), want)
+		}
+	}
+	s.RunUntil(1000)
+	if s.Events() != 0 {
+		t.Fatalf("fired %d cancelled events", s.Events())
+	}
+}
+
+func TestSchedulerTimerCancelStale(t *testing.T) {
+	s := New(1)
+	fired := 0
+	tm := s.AtTimer(10, func() { fired++ })
+	s.RunUntil(20)
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	// The slot has been recycled; a stale handle must not cancel its
+	// new occupant.
+	s.Cancel(tm)
+	s.AtTimer(30, func() { fired++ })
+	s.Cancel(tm) // still stale
+	s.RunUntil(40)
+	if fired != 2 {
+		t.Fatalf("stale cancel removed a live event: fired = %d", fired)
+	}
+	s.Cancel(Timer{}) // zero handle is inert
+}
+
+func TestSchedulerCancelPreservesOrder(t *testing.T) {
+	s := New(1)
+	var got []int
+	var cancels []func()
+	for i := 0; i < 20; i++ {
+		i := i
+		cancels = append(cancels, s.At(types.Time(i%5), func() { got = append(got, i) }))
+	}
+	for i := 1; i < 20; i += 2 {
+		cancels[i]()
+	}
+	s.RunUntil(100)
+	// Events fire by (at, seq): at = i%5, FIFO within an instant.
+	sortedWant := []int{0, 10, 6, 16, 2, 12, 8, 18, 4, 14}
+	if len(got) != len(sortedWant) {
+		t.Fatalf("got %v", got)
+	}
+	for i, v := range sortedWant {
+		if got[i] != v {
+			t.Fatalf("order after cancels = %v, want %v", got, sortedWant)
+		}
+	}
+}
+
+type sinkRecorder struct {
+	got []struct {
+		from, to types.NodeID
+		at       types.Time
+	}
+}
+
+func TestSchedulerPayloadSink(t *testing.T) {
+	s := New(1)
+	var rec sinkRecorder
+	var msgs []string
+	s.SetSink(func(from, to types.NodeID, m any) {
+		rec.got = append(rec.got, struct {
+			from, to types.NodeID
+			at       types.Time
+		}{from, to, s.Now()})
+		msgs = append(msgs, m.(string))
+	})
+	s.SendAt(20, 1, 2, "b")
+	s.SendAt(10, 0, 1, "a")
+	s.RunUntil(100)
+	if len(rec.got) != 2 || msgs[0] != "a" || msgs[1] != "b" {
+		t.Fatalf("sink got %v %v", rec.got, msgs)
+	}
+	if rec.got[0].at != 10 || rec.got[0].from != 0 || rec.got[0].to != 1 {
+		t.Fatalf("first delivery = %+v", rec.got[0])
+	}
+	if s.Events() != 2 {
+		t.Fatalf("events = %d", s.Events())
+	}
+}
+
+func TestSchedulerDoubleSinkPanics(t *testing.T) {
+	s := New(1)
+	s.SetSink(func(types.NodeID, types.NodeID, any) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for second SetSink")
+		}
+	}()
+	s.SetSink(func(types.NodeID, types.NodeID, any) {})
+}
+
+func TestSchedulerSendWithoutSinkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for SendAt without sink")
+		}
+	}()
+	New(1).SendAt(1, 0, 1, "x")
+}
+
+// TestSchedulerAllocsSteadyState pins the zero-allocation hot paths: a
+// schedule/fire cycle through AtTimer and through SendAt must not
+// allocate once the arena is warm. The closure-based At API is allowed
+// exactly one allocation (the returned cancel closure).
+func TestSchedulerAllocsSteadyState(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	s.SetSink(func(types.NodeID, types.NodeID, any) {})
+	var m any = "payload"
+	for i := 0; i < 100; i++ { // warm the arena and heap
+		s.AtTimer(s.Now()+1, fn)
+		s.SendAt(s.Now()+1, 0, 1, m)
+		s.Step()
+		s.Step()
+	}
+	if avg := testing.AllocsPerRun(500, func() {
+		s.AtTimer(s.Now()+1, fn)
+		s.Step()
+	}); avg != 0 {
+		t.Errorf("AtTimer/Step cycle allocates %.2f per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(500, func() {
+		s.SendAt(s.Now()+1, 0, 1, m)
+		s.Step()
+	}); avg != 0 {
+		t.Errorf("SendAt/Step cycle allocates %.2f per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(500, func() {
+		cancel := s.At(s.Now()+1, fn)
+		_ = cancel
+		s.Step()
+	}); avg > 1 {
+		t.Errorf("At/Step cycle allocates %.2f per run, want <= 1 (cancel closure)", avg)
+	}
+}
+
+func TestSchedulerReserve(t *testing.T) {
+	s := New(1)
+	s.SetSink(func(types.NodeID, types.NodeID, any) {})
+	s.Reserve(64)
+	if avg := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 64; i++ {
+			s.SendAt(s.Now()+1, 0, 1, "m")
+		}
+		for i := 0; i < 64; i++ {
+			s.Step()
+		}
+	}); avg != 0 {
+		t.Errorf("reserved burst allocates %.2f per run, want 0", avg)
+	}
+}
+
 func TestSchedulerNilFuncPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
