@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"lumiere"
+	"lumiere/internal/adversary"
 	"lumiere/internal/crypto"
 	"lumiere/internal/harness"
 	"lumiere/internal/metrics"
@@ -148,6 +149,31 @@ func BenchmarkHeavySyncCount(b *testing.B) {
 			b.ReportMetric(float64(heavy), "heavy_syncs")
 			b.ReportMetric(epochs, "epochs_elapsed")
 		})
+	}
+}
+
+// BenchmarkChaosTable regenerates the chaos comparison cell by cell:
+// per (condition, protocol) view-synchronization latency after GST
+// under partition-heal-at-GST, pre-GST loss, duplication + reorder
+// jitter, and crash-recovery churn. The cond/proto sub-benchmark path
+// segments give BENCH_sweep.json structured chaos rows (cmd/benchjson
+// parses key=value segments into Params).
+func BenchmarkChaosTable(b *testing.B) {
+	for ci, cond := range harness.ChaosConditionNames() {
+		ci, cond := ci, cond
+		for _, p := range harness.AllProtocols {
+			p := p
+			b.Run("cond="+cond+"/proto="+string(p), func(b *testing.B) {
+				var r harness.ChaosResult
+				for i := 0; i < b.N; i++ {
+					r = harness.Chaos(p, 1, ci, benchSeed)
+				}
+				if !r.Decided {
+					b.Fatalf("%s under %s: no decision after GST", p, cond)
+				}
+				b.ReportMetric(float64(r.SyncLatency)/float64(50*time.Millisecond), "sync_delta")
+			})
+		}
 	}
 }
 
@@ -298,34 +324,52 @@ func BenchmarkConformanceSweep(b *testing.B) {
 // scheduler, network and metrics layers: one op is an n=31 broadcast plus
 // the delivery of all its messages, observed by a streaming Collector.
 // allocs/op is the gate (the pre-arena implementation spent 3 allocations
-// per point-to-point send, ~93/op here); sends/op contextualizes it.
+// per point-to-point send, ~93/op here); sends/op contextualizes it. The
+// lossy and duplicating variants gate the chaos link-policy paths on the
+// same budget: dropping or copying a message must not allocate either.
 func BenchmarkAllocsPerSend(b *testing.B) {
-	cfg := types.NewConfig(10, 100*time.Millisecond) // n = 31
-	s := sim.New(benchSeed)
-	net := network.NewNet(s, cfg, 0, network.Fixed{D: time.Millisecond})
-	collector := metrics.NewCollector(nil)
-	net.Observe(collector)
-	var ep network.Endpoint
-	for i := 0; i < cfg.N; i++ {
-		e := net.Attach(types.NodeID(i), network.HandlerFunc(func(types.NodeID, msg.Message) {}))
-		if i == 0 {
-			ep = e
-		}
+	base := network.LinkPolicy(network.DelayLink{P: network.Fixed{D: time.Millisecond}})
+	variants := []struct {
+		name string
+		link network.LinkPolicy
+	}{
+		{"fixed", base},
+		{"lossy", adversary.Lossy{Base: base, P: 0.3}},
+		{"duplicating", adversary.Duplicating{Base: base, P: 0.5, Jitter: time.Millisecond}},
 	}
-	m := &msg.ViewMsg{V: 1}
-	for i := 0; i < 50; i++ { // warm the event arena
-		ep.Broadcast(m)
-		s.RunFor(10 * time.Millisecond)
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			cfg := types.NewConfig(10, 100*time.Millisecond) // n = 31
+			s := sim.New(benchSeed)
+			// GST at 1h keeps lossy drops in the pre-GST regime: the
+			// clamp reschedules them to the bound instead of omitting.
+			net := network.NewNetLink(s, cfg, types.Time(0).Add(time.Hour), v.link)
+			collector := metrics.NewCollector(nil)
+			net.Observe(collector)
+			var ep network.Endpoint
+			for i := 0; i < cfg.N; i++ {
+				e := net.Attach(types.NodeID(i), network.HandlerFunc(func(types.NodeID, msg.Message) {}))
+				if i == 0 {
+					ep = e
+				}
+			}
+			m := &msg.ViewMsg{V: 1}
+			for i := 0; i < 50; i++ { // warm the event arena
+				ep.Broadcast(m)
+				s.RunFor(10 * time.Millisecond)
+			}
+			start := collector.HonestSends()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ep.Broadcast(m)
+				s.RunFor(10 * time.Millisecond)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(collector.HonestSends()-start)/float64(b.N), "sends/op")
+		})
 	}
-	start := collector.HonestSends()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		ep.Broadcast(m)
-		s.RunFor(10 * time.Millisecond)
-	}
-	b.StopTimer()
-	b.ReportMetric(float64(collector.HonestSends()-start)/float64(b.N), "sends/op")
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator performance:

@@ -26,6 +26,13 @@ type Benchmark struct {
 	Name string `json:"name"`
 	// Gomaxprocs is the stripped -N suffix (0 if the line had none).
 	Gomaxprocs int `json:"gomaxprocs,omitempty"`
+	// Params holds the key=value sub-benchmark path segments (e.g.
+	// "BenchmarkChaosTable/cond=partition-heal/proto=lumiere" →
+	// {"cond": "partition-heal", "proto": "lumiere"}), so structured
+	// sweeps like the chaos table stay machine-readable rows without
+	// name parsing downstream. Segments without "=" are left in Name
+	// only.
+	Params map[string]string `json:"params,omitempty"`
 	// Iterations is the measured iteration count (b.N).
 	Iterations int64 `json:"iterations"`
 	// NsPerOp is wall-clock nanoseconds per iteration.
@@ -94,7 +101,7 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		return Benchmark{}, false
 	}
 	name, procs := splitProcsSuffix(fields[0])
-	b := Benchmark{Name: name, Gomaxprocs: procs, Iterations: iters}
+	b := Benchmark{Name: name, Gomaxprocs: procs, Iterations: iters, Params: parseParams(name)}
 	for i := 2; i+1 < len(fields); i += 2 {
 		val, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
@@ -117,6 +124,24 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		}
 	}
 	return b, true
+}
+
+// parseParams extracts key=value sub-benchmark path segments from a
+// benchmark name. Returns nil when no segment parses.
+func parseParams(name string) map[string]string {
+	segs := strings.Split(name, "/")
+	var params map[string]string
+	for _, seg := range segs[1:] {
+		k, v, found := strings.Cut(seg, "=")
+		if !found || k == "" {
+			continue
+		}
+		if params == nil {
+			params = map[string]string{}
+		}
+		params[k] = v
+	}
+	return params
 }
 
 // splitProcsSuffix strips go test's trailing -GOMAXPROCS from a

@@ -61,6 +61,57 @@ func TestParseIgnoresGarbage(t *testing.T) {
 	}
 }
 
+// TestParseChaosRowShape pins the chaos table's benchmark row shape:
+// cond/proto path segments become structured Params and the
+// sync-latency metric stays a custom unit.
+func TestParseChaosRowShape(t *testing.T) {
+	const chaos = `BenchmarkChaosTable/cond=partition-heal/proto=lumiere-8  1  120000 ns/op  1.30 sync_delta
+BenchmarkChaosTable/cond=churn/proto=basic-lumiere-8  1  130000 ns/op  13.50 sync_delta
+`
+	rep, err := parse(strings.NewReader(chaos))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Params["cond"] != "partition-heal" || b.Params["proto"] != "lumiere" {
+		t.Fatalf("params = %v", b.Params)
+	}
+	if b.Metrics["sync_delta"] != 1.30 {
+		t.Fatalf("metrics = %v", b.Metrics)
+	}
+	if c := rep.Benchmarks[1]; c.Params["cond"] != "churn" || c.Params["proto"] != "basic-lumiere" {
+		t.Fatalf("params = %v", c.Params)
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want map[string]string
+	}{
+		{"BenchmarkX", nil},
+		{"BenchmarkX/sub", nil},
+		{"BenchmarkX/f=3", map[string]string{"f": "3"}},
+		{"BenchmarkX/cond=loss-40/proto=nk20", map[string]string{"cond": "loss-40", "proto": "nk20"}},
+		{"BenchmarkX/plain/k=v", map[string]string{"k": "v"}},
+		{"BenchmarkX/=v", nil},
+	} {
+		got := parseParams(tc.in)
+		if len(got) != len(tc.want) {
+			t.Errorf("parseParams(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for k, v := range tc.want {
+			if got[k] != v {
+				t.Errorf("parseParams(%q)[%q] = %q, want %q", tc.in, k, got[k], v)
+			}
+		}
+	}
+}
+
 func TestSplitProcsSuffix(t *testing.T) {
 	for _, tc := range []struct {
 		in    string

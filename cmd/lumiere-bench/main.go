@@ -29,6 +29,7 @@ func main() {
 		workers  = flag.Int("workers", runtime.NumCPU(), "sweep worker-pool size")
 		progress = flag.Bool("progress", false, "print per-cell sweep progress to stderr")
 		sendlog  = flag.Bool("sendlog", false, "retain full per-send record logs (debugging; large memory)")
+		chaos    = flag.Bool("chaos", false, "run only the chaos suite: fault-condition table + chaos conformance sweep")
 	)
 	flag.Parse()
 
@@ -63,6 +64,24 @@ func main() {
 	}
 
 	start := time.Now()
+	if *chaos {
+		fmt.Printf("chaos suite (seed %d, %d workers)\n\n", *seed, *workers)
+		chaosF := 3
+		cells := 24
+		if *full {
+			chaosF = 5
+			cells = 48
+		}
+		emit("chaos_table", lumiere.ChaosTableOpts(chaosF, *seed, opts))
+		rep := lumiere.RunChaosSweep(cells, *seed, opts)
+		emit("chaos_conformance", rep.Table())
+		if !rep.Conformant() {
+			fmt.Fprintf(os.Stderr, "chaos sweep NOT conformant: %d problems\n", rep.Problems)
+			os.Exit(1)
+		}
+		fmt.Printf("all %d chaos cells conformant; done in %v\n", len(rep.Cells), time.Since(start).Round(time.Second))
+		return
+	}
 	fmt.Printf("regenerating the paper's evaluation (seed %d, %d workers)\n\n", *seed, *workers)
 
 	comm, lat := lumiere.Table1WorstCaseOpts(fs, *seed, opts)

@@ -41,6 +41,40 @@ func ExampleRun_faults() {
 	// live with f crashes: true
 }
 
+// ExampleRun_chaos runs Lumiere through a split-brain that heals at
+// GST: an island of f+1 processors is cut off, the §2 clamp floods the
+// withheld traffic back at GST+Δ, and the protocol must resynchronize.
+func ExampleRun_chaos() {
+	res := lumiere.Run(lumiere.Scenario{
+		Protocol:   lumiere.ProtoLumiere,
+		F:          1,
+		Delta:      100 * time.Millisecond,
+		GST:        2 * time.Second,
+		Partitions: [][]lumiere.NodeID{{0, 1}}, // island until GST
+		Duration:   20 * time.Second,
+		Seed:       1,
+	})
+	_, ok := res.Collector.FirstDecisionAfter(res.GST)
+	fmt.Println("synced after heal:", ok)
+	// Output:
+	// synced after heal: true
+}
+
+// ExampleRunChaosSweep runs the chaos conformance sweep: generated
+// scenarios with guaranteed link conditions (partitions, loss,
+// duplication, reorder jitter, crash-recovery churn, omission budgets),
+// cycled across every protocol and checked against the §2 obligations.
+// The report depends only on (count, seed), so the output is exact at
+// any worker count.
+func ExampleRunChaosSweep() {
+	rep := lumiere.RunChaosSweep(6, 7, lumiere.SweepOptions{})
+	fmt.Println("cells:", len(rep.Cells))
+	fmt.Println("conformant:", rep.Conformant())
+	// Output:
+	// cells: 6
+	// conformant: true
+}
+
 // ExampleRun_smr runs full chained-HotStuff state machine replication
 // under the Lumiere pacemaker.
 func ExampleRun_smr() {

@@ -79,6 +79,37 @@ func TestFacadeRunSweep(t *testing.T) {
 	}
 }
 
+// TestFacadeChaos runs a partitioned, lossy, duplicating, churning
+// scenario through the facade: the partition heals at GST, the budget
+// grants bounded post-GST omission, and the run must still conform.
+func TestFacadeChaos(t *testing.T) {
+	res := lumiere.Run(lumiere.Scenario{
+		Protocol:       lumiere.ProtoLumiere,
+		F:              1,
+		Delta:          100 * time.Millisecond,
+		GST:            2 * time.Second,
+		Partitions:     [][]lumiere.NodeID{{0, 1}},
+		Loss:           0.2,
+		Duplication:    0.2,
+		OmissionBudget: lumiere.OmissionBudget{MaxMessages: 50, MaxSenders: 1},
+		Corruptions: []lumiere.Corruption{
+			lumiere.PeriodicChurn(3, time.Second, 500*time.Millisecond, 2*time.Second, 2),
+		},
+		Duration:        30 * time.Second,
+		Seed:            5,
+		CheckInvariants: true,
+	})
+	if _, ok := res.Collector.FirstDecisionAfter(res.GST); !ok {
+		t.Fatal("no decision after GST under chaos")
+	}
+	if problems := lumiere.ConformanceReport(res); len(problems) != 0 {
+		t.Fatalf("conformance: %v", problems)
+	}
+	if res.Omitted == 0 {
+		t.Fatal("omission budget never exercised")
+	}
+}
+
 // TestFacadeSMR runs the SMR path through the facade.
 func TestFacadeSMR(t *testing.T) {
 	res := lumiere.Run(lumiere.Scenario{

@@ -43,6 +43,12 @@ const (
 	// halves of the cluster as leader (SMR safety attack; see
 	// Equivocator). Requires the HotStuff engine.
 	BehaviorEquivocating
+	// BehaviorChurn crashes and recovers repeatedly per the
+	// Corruption.Downs schedule: during each downtime the node neither
+	// sends nor receives (messages addressed to it are lost — its own
+	// omission fault), and it resumes with intact state afterwards.
+	// The canonical crash-recovery churn of the pre-GST regime.
+	BehaviorChurn
 )
 
 // String implements fmt.Stringer.
@@ -60,6 +66,8 @@ func (b Behavior) String() string {
 		return "crash-at"
 	case BehaviorEquivocating:
 		return "equivocating"
+	case BehaviorChurn:
+		return "churn"
 	default:
 		return "unknown"
 	}
@@ -73,6 +81,28 @@ type Corruption struct {
 	Lag time.Duration
 	// At is the crash time for BehaviorCrashAt.
 	At time.Duration
+	// Downs is the crash/recover schedule for BehaviorChurn.
+	Downs []Downtime
+}
+
+// Downtime is one crash interval of a churning node: down at From,
+// recovered at To.
+type Downtime struct{ From, To time.Duration }
+
+// Churn returns a crash-recovery corruption for one node.
+func Churn(node types.NodeID, downs ...Downtime) Corruption {
+	return Corruption{Node: node, Behavior: BehaviorChurn, Downs: downs}
+}
+
+// PeriodicChurn returns a churn corruption with cycles downtimes of
+// length downFor, the first starting at start, spaced period apart.
+func PeriodicChurn(node types.NodeID, start, downFor, period time.Duration, cycles int) Corruption {
+	downs := make([]Downtime, cycles)
+	for i := range downs {
+		from := start + time.Duration(i)*period
+		downs[i] = Downtime{From: from, To: from + downFor}
+	}
+	return Churn(node, downs...)
 }
 
 // CrashSet returns crash corruptions for the given nodes.

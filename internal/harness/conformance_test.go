@@ -3,6 +3,8 @@ package harness
 import (
 	"fmt"
 	"testing"
+
+	"lumiere/internal/adversary"
 )
 
 // conformanceBaseSeed pins the generated conformance corpus; bump it to
@@ -24,16 +26,18 @@ func conformanceScenarios(count int) []Scenario {
 }
 
 // TestConformanceGenerated is the cross-protocol conformance suite: a
-// sweep of generated scenarios (random corruption sets, delay policies,
-// GST, stagger, SMR on/off) over every protocol in AllProtocols, each
-// run checked against the protocol-independent obligations of §2 (no
-// invariant violations, honest decisions after GST, bounded final-view
-// spread, SMR prefix consistency).
+// sweep of generated scenarios (random corruption sets including
+// crash-recovery churn, delay policies, link conditions — partitions,
+// loss, duplication, reorder jitter, omission budgets — GST, stagger,
+// SMR on/off) over every protocol in AllProtocols, each run checked
+// against the protocol-independent obligations of §2 (no invariant
+// violations, honest decisions after GST, bounded final-view spread,
+// SMR prefix consistency).
 func TestConformanceGenerated(t *testing.T) {
 	t.Parallel()
-	count := 24
+	count := 30
 	if testing.Short() {
-		count = 8
+		count = 12
 	}
 	sr := Sweep(conformanceScenarios(count), SweepOptions{KeepSeeds: true})
 	for i := range sr.Cells {
@@ -46,6 +50,58 @@ func TestConformanceGenerated(t *testing.T) {
 				t.Logf("scenario: %+v", cell.Scenario)
 			}
 		})
+	}
+}
+
+// TestChaosConformanceSweep is the chaos arm of the conformance suite:
+// every generated cell carries guaranteed link conditions (GenChaos-
+// Scenario), every protocol must meet the §2 obligations on them, and
+// the rendered report must be byte-identical at every worker count.
+// This is also CI's -race chaos-smoke target.
+func TestChaosConformanceSweep(t *testing.T) {
+	t.Parallel()
+	count := 18
+	if testing.Short() {
+		count = 6
+	}
+	serial := ChaosSweep(count, conformanceBaseSeed, SweepOptions{Workers: 1})
+	parallel := ChaosSweep(count, conformanceBaseSeed, SweepOptions{})
+	for _, c := range serial.Cells {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			for _, p := range c.Problems {
+				t.Error(p)
+			}
+			if t.Failed() {
+				t.Logf("scenario: %+v", GenChaosScenario(c.Seed))
+			}
+		})
+	}
+	if a, b := serial.Table().Render(), parallel.Table().Render(); a != b {
+		t.Errorf("chaos report differs between 1 and %d workers:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			parallel.Workers, a, b)
+	}
+	if !serial.Conformant() {
+		t.Errorf("chaos sweep not conformant: %d problems", serial.Problems)
+	}
+}
+
+// TestGenChaosScenarioAlwaysConditioned: the chaos generator guarantees
+// at least one link-condition axis (or churn) on every draw.
+func TestGenChaosScenarioAlwaysConditioned(t *testing.T) {
+	t.Parallel()
+	for seed := int64(0); seed < 200; seed++ {
+		s := GenChaosScenario(seed)
+		churn := false
+		for _, c := range s.Corruptions {
+			if c.Behavior == adversary.BehaviorChurn {
+				churn = true
+			}
+		}
+		if len(s.Partitions) == 0 && s.Loss == 0 && s.Duplication == 0 &&
+			s.ReorderJitter == 0 && !churn {
+			t.Fatalf("seed %d: no chaos axis drawn: %+v", seed, s)
+		}
 	}
 }
 

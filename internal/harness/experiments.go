@@ -758,6 +758,159 @@ func HeavySyncTableOpts(f int, seed int64, opts SweepOptions) *Table {
 	return t
 }
 
+// ChaosResult is one protocol/condition point of the chaos table.
+type ChaosResult struct {
+	Protocol  Protocol
+	Condition string
+	F, N      int
+	// SyncLatency is the view-synchronization latency under the
+	// condition: first honest-leader decision after GST − GST.
+	SyncLatency time.Duration
+	Decisions   int
+	Decided     bool
+}
+
+// chaosCondition is one named fault condition of the chaos table: a
+// transform applied to the base chaos scenario.
+type chaosCondition struct {
+	name  string
+	apply func(s *Scenario)
+}
+
+// chaosConditions lists the chaos table's columns, each a pre-GST fault
+// regime the §2 model admits beyond pure delay. All heal at (or by
+// shortly after) GST, so the measured quantity is how fast each
+// protocol resynchronizes views once the model stabilizes.
+var chaosConditions = []chaosCondition{
+	{"partition-heal", func(s *Scenario) {
+		// Split-brain: an island of f+1 processors is cut off until
+		// GST, so no side holds a quorum of synchronized processors;
+		// the clamp floods the withheld traffic back at GST+Δ.
+		island := make([]types.NodeID, s.F+1)
+		for i := range island {
+			island[i] = types.NodeID(i)
+		}
+		s.Partitions = [][]types.NodeID{island}
+	}},
+	{"loss-40", func(s *Scenario) {
+		// 40% of pre-GST traffic is lost (delivered at GST+Δ).
+		s.Loss = 0.4
+		s.LossUntil = s.GST
+	}},
+	{"dup-reorder", func(s *Scenario) {
+		// Every third message is duplicated and delays jitter by up
+		// to Δ, reordering traffic for the whole run.
+		s.Duplication = 0.33
+		s.ReorderJitter = s.Delta
+	}},
+	{"churn", func(s *Scenario) {
+		// f processors crash and recover in staggered waves, the last
+		// dip ending after GST.
+		for i := 0; i < s.F; i++ {
+			start := time.Duration(200+600*i) * time.Millisecond
+			s.Corruptions = append(s.Corruptions, adversary.Churn(types.NodeID(i),
+				adversary.Downtime{From: start, To: start + 500*time.Millisecond},
+				adversary.Downtime{From: s.GST - 200*time.Millisecond, To: s.GST + 500*time.Millisecond},
+			))
+		}
+	}},
+}
+
+// chaosScenario builds the chaos table's base scenario: GST = 2s, a
+// fast post-GST network (δ = Δ/10), and the chosen condition applied
+// pre-GST.
+func chaosScenario(p Protocol, f, ci int, seed int64) Scenario {
+	delta := 50 * time.Millisecond
+	gst := 2 * time.Second
+	gamma := gammaOf(p, delta)
+	cond := chaosConditions[ci]
+	s := Scenario{
+		Name:        fmt.Sprintf("chaos-%s-%s-f%d", cond.name, p, f),
+		Protocol:    p,
+		F:           f,
+		Delta:       delta,
+		DeltaActual: delta / 10,
+		GST:         gst,
+		Duration:    gst + 30*time.Duration(f+1)*gamma,
+		Seed:        seed,
+	}
+	cond.apply(&s)
+	return s
+}
+
+// measureChaos extracts the post-GST view-synchronization latency.
+func measureChaos(res *Result) ChaosResult {
+	s := res.Scenario
+	out := ChaosResult{Protocol: s.Protocol, F: s.F, N: res.Cfg.N, Decisions: res.DecisionCount()}
+	if d, ok := res.Collector.FirstDecisionAfter(res.GST); ok {
+		out.Decided = true
+		out.SyncLatency = d.At.Sub(res.GST)
+	}
+	return out
+}
+
+// Chaos runs one chaos condition (by index into chaosConditions) for
+// one protocol and size.
+func Chaos(p Protocol, f, ci int, seed int64) ChaosResult {
+	r := measureChaos(Run(chaosScenario(p, f, ci, seed)))
+	r.Condition = chaosConditions[ci].name
+	return r
+}
+
+// ChaosConditionNames lists the chaos table's conditions in column
+// order.
+func ChaosConditionNames() []string {
+	out := make([]string, len(chaosConditions))
+	for i, c := range chaosConditions {
+		out[i] = c.name
+	}
+	return out
+}
+
+// ChaosTable renders the chaos comparison: every protocol's
+// view-synchronization latency (first honest-leader decision after GST,
+// in Δ) under partitions healing at GST, pre-GST loss, duplication with
+// reordering, and crash-recovery churn.
+func ChaosTable(f int, seed int64) *Table {
+	return ChaosTableOpts(f, seed, SweepOptions{})
+}
+
+// ChaosTableOpts is ChaosTable with explicit sweep options: the
+// protocol × condition matrix runs as one sweep with per-cell derived
+// seeds, byte-identical at every worker count.
+func ChaosTableOpts(f int, seed int64, opts SweepOptions) *Table {
+	scenarios := make([]Scenario, 0, len(AllProtocols)*len(chaosConditions))
+	for _, p := range AllProtocols {
+		for ci := range chaosConditions {
+			scenarios = append(scenarios, chaosScenario(p, f, ci, 0))
+		}
+	}
+	opts.BaseSeed, opts.KeepSeeds = seed, false
+	results := Sweep(scenarios, opts).Results()
+
+	delta := 50 * time.Millisecond
+	t := &Table{Title: fmt.Sprintf("Chaos: view-synchronization latency after GST (in Δ), n=%d, GST=2s", 3*f+1)}
+	t.Header = []string{"protocol"}
+	for _, c := range chaosConditions {
+		t.Header = append(t.Header, c.name)
+	}
+	for pi, p := range AllProtocols {
+		row := []string{string(p)}
+		for ci := range chaosConditions {
+			r := measureChaos(results[pi*len(chaosConditions)+ci])
+			if !r.Decided {
+				row = append(row, "stalled")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.2fΔ", float64(r.SyncLatency)/float64(delta)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.AddNote("conditions heal at GST: partition (f+1 isolated), 40%% pre-GST loss, 33%% duplication + Δ reorder jitter, f-node crash-recovery churn")
+	t.AddNote("the §2 clamp floods withheld pre-GST traffic back at GST+Δ; latency is the first honest-leader decision after GST")
+	return t
+}
+
 // GapShrinkageResult reports §3.5's two honest-gap trajectories under the
 // desynchronization adversary:
 //

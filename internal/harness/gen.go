@@ -19,19 +19,29 @@ import (
 
 // GenScenario derives a random but fully reproducible scenario from seed:
 // random fault count up to f, random corruption behaviors (crash,
-// non-proposing, late-proposing, mid-run crash; plus equivocation when
-// the SMR stack is on), a random delay policy bounded by Δ, random GST,
-// pre-GST chaos, staggered joins, and a coin for running the full SMR
-// stack. The scenario's Protocol is left unset so callers can run the
-// same generated adversary against every protocol; invariant checking is
-// enabled.
+// non-proposing, late-proposing, mid-run crash, crash-recovery churn;
+// plus equivocation when the SMR stack is on), a random delay policy
+// bounded by Δ, random GST, pre-GST chaos, staggered joins, a coin for
+// running the full SMR stack, and — on a second coin — link conditions
+// from the chaos axes (partition, loss, duplication, reorder jitter,
+// omission budget). The scenario's Protocol is left unset so callers can
+// run the same generated adversary against every protocol; invariant
+// checking is enabled.
 //
 // The generated space is sized for conformance sweeps: f ∈ {1, 2}
 // (n ∈ {4, 7}), 60 virtual seconds, GST ≤ 2s — small enough that a sweep
 // of dozens of cells stays fast, hard enough to exercise every
 // view-synchronization mechanism (joins, bumps, epoch syncs, view-change
-// stalls).
-func GenScenario(seed int64) Scenario {
+// stalls, partition heals, churn recoveries).
+func GenScenario(seed int64) Scenario { return genScenario(seed, false) }
+
+// GenChaosScenario is GenScenario with the link-condition axes always
+// on: every generated scenario carries at least one of partition, loss,
+// duplication, reorder jitter, or crash-recovery churn. The chaos
+// conformance sweep (ChaosSweep) runs on this generator.
+func GenChaosScenario(seed int64) Scenario { return genScenario(seed, true) }
+
+func genScenario(seed int64, forceChaos bool) Scenario {
 	rng := rand.New(rand.NewSource(seed))
 	delta := 50 * time.Millisecond
 	f := 1 + rng.Intn(2)
@@ -44,6 +54,7 @@ func GenScenario(seed int64) Scenario {
 		adversary.BehaviorNonProposing,
 		adversary.BehaviorLateProposing,
 		adversary.BehaviorCrashAt,
+		adversary.BehaviorChurn,
 	}
 	if smr {
 		// Equivocation needs the HotStuff engine.
@@ -61,6 +72,18 @@ func GenScenario(seed int64) Scenario {
 			c.Lag = time.Duration(1+rng.Intn(200)) * time.Millisecond
 		case adversary.BehaviorCrashAt:
 			c.At = time.Duration(5+rng.Intn(25)) * time.Second
+		case adversary.BehaviorChurn:
+			// 1-2 non-overlapping downtimes, all recovered by 30s so
+			// the node rejoins well inside the liveness window.
+			cursor := time.Duration(rng.Intn(5000)) * time.Millisecond
+			downs := make([]adversary.Downtime, 1+rng.Intn(2))
+			for j := range downs {
+				from := cursor + time.Duration(rng.Intn(5000))*time.Millisecond
+				to := from + time.Duration(200+rng.Intn(4000))*time.Millisecond
+				downs[j] = adversary.Downtime{From: from, To: to}
+				cursor = to + time.Duration(500+rng.Intn(2000))*time.Millisecond
+			}
+			c.Downs = downs
 		}
 		corr = append(corr, c)
 	}
@@ -95,6 +118,56 @@ func GenScenario(seed int64) Scenario {
 		s.SMR = true
 		s.WorkloadRate = 100
 		s.SMRTwoPhase = rng.Intn(2) == 0
+	}
+
+	// Link-condition axes. Each axis is drawn independently; forceChaos
+	// (and a plain-GenScenario coin) guarantees at least one lands by
+	// promoting the pick axis.
+	if forceChaos || rng.Intn(2) == 0 {
+		pick := rng.Intn(3)
+		if pick == 0 || rng.Intn(3) == 0 {
+			// Partition: isolate a random island of 1..f+1 processors
+			// (drawn from the permutation tail, so it usually cuts off
+			// honest processors). Heals at GST; when GST = 0 it heals
+			// at 1s instead — the cross-partition drops degrade to
+			// Δ-late deliveries, a legal post-GST condition.
+			k := 1 + rng.Intn(f+1)
+			island := make([]types.NodeID, k)
+			for i := range island {
+				island[i] = types.NodeID(perm[n-1-i])
+			}
+			s.Partitions = [][]types.NodeID{island}
+			if gst == 0 {
+				s.PartitionHeal = time.Second
+			}
+		}
+		if pick == 1 || rng.Intn(3) == 0 {
+			s.Loss = 0.1 + 0.4*rng.Float64()
+			if rng.Intn(2) == 0 {
+				// Loss heals at GST; at GST = 0 heal at 1s instead
+				// (LossUntil 0 is Lossy's whole-run sentinel, the
+				// opposite of healing).
+				s.LossUntil = gst
+				if gst == 0 {
+					s.LossUntil = time.Second
+				}
+			}
+			if rng.Intn(2) == 0 {
+				// A bounded post-GST omission budget charged to a
+				// single sender (≤ f), exercising true loss after
+				// stabilization.
+				s.OmissionBudget = network.OmissionBudget{
+					MaxMessages: 10 + rng.Intn(90),
+					MaxSenders:  1,
+				}
+			}
+		}
+		if pick == 2 || rng.Intn(3) == 0 {
+			s.Duplication = 0.1 + 0.4*rng.Float64()
+			if rng.Intn(2) == 0 {
+				s.ReorderJitter = time.Duration(1+rng.Intn(int(delta/time.Millisecond))) * time.Millisecond
+			}
+		}
 	}
 	return s
 }

@@ -70,6 +70,34 @@ type Scenario struct {
 	// PreGSTChaos delays all pre-GST traffic to the model bound GST+Δ.
 	PreGSTChaos bool
 
+	// Link overrides the full link-condition policy (delay, drop,
+	// duplicate per message), superseding Delay and the declarative
+	// chaos fields below. Most scenarios should use those instead:
+	// they compose over Delay and stay printable/generatable.
+	Link network.LinkPolicy
+	// Loss drops each message with this probability. Pre-GST drops are
+	// model-faithful "loss" (delivery at GST+Δ); post-GST drops are
+	// true omissions only under OmissionBudget, else Δ-late deliveries.
+	Loss float64
+	// LossUntil limits Loss to messages sent before this instant
+	// (zero = the whole run).
+	LossUntil time.Duration
+	// Duplication delivers one extra copy of each message with this
+	// probability, jittered by up to Δ/2.
+	Duplication float64
+	// ReorderJitter adds an independent uniform extra delay in
+	// [0, ReorderJitter] per message, reordering traffic.
+	ReorderJitter time.Duration
+	// Partitions isolates processor groups from each other until
+	// PartitionHeal; processors not listed form one implicit group.
+	Partitions [][]types.NodeID
+	// PartitionHeal is when Partitions heals (zero = at GST, the
+	// model-faithful split-brain).
+	PartitionHeal time.Duration
+	// OmissionBudget authorizes true post-GST omission. MaxSenders
+	// must be ≤ F: post-GST omission is a processor fault.
+	OmissionBudget network.OmissionBudget
+
 	// GST is the global stabilization time (default 0).
 	GST time.Duration
 	// Duration is the virtual run length (default 60s).
@@ -149,6 +177,35 @@ func (s Scenario) withDefaults() Scenario {
 	return s
 }
 
+// linkPolicy composes the declarative chaos fields into the link policy
+// the network runs, innermost to outermost: delay base → reorder →
+// duplicate → loss → partition (outermost, so partitioned traffic is
+// dropped before it can be duplicated). Scenario.Link overrides the
+// whole chain.
+func (s Scenario) linkPolicy(cfg types.Config, gst types.Time, delay network.DelayPolicy) network.LinkPolicy {
+	if s.Link != nil {
+		return s.Link
+	}
+	var link network.LinkPolicy = network.DelayLink{P: delay}
+	if s.ReorderJitter > 0 {
+		link = adversary.Reordering{Base: link, Jitter: s.ReorderJitter}
+	}
+	if s.Duplication > 0 {
+		link = adversary.Duplicating{Base: link, P: s.Duplication, Jitter: s.Delta / 2}
+	}
+	if s.Loss > 0 {
+		link = adversary.Lossy{Base: link, P: s.Loss, Until: types.Time(0).Add(s.LossUntil)}
+	}
+	if len(s.Partitions) > 0 {
+		heal := gst
+		if s.PartitionHeal > 0 {
+			heal = types.Time(0).Add(s.PartitionHeal)
+		}
+		link = adversary.NewPartition(link, cfg.N, heal, s.Partitions...)
+	}
+	return link
+}
+
 // Result carries everything measurable about one execution.
 type Result struct {
 	Scenario  Scenario
@@ -176,6 +233,9 @@ type Result struct {
 	Events uint64
 	// Aborted reports whether the MaxEvents budget was exhausted.
 	Aborted bool
+	// Omitted is the number of true post-GST omissions the network
+	// granted against the scenario's OmissionBudget.
+	Omitted int64
 }
 
 // DecisionCount returns the number of honest-leader decisions.
@@ -198,7 +258,18 @@ func Run(s Scenario) *Result {
 	if s.PreGSTChaos {
 		policy = network.PreGSTChaos{GST: gst, After: policy}
 	}
-	net := network.NewNet(sched, cfg, gst, policy)
+	net := network.NewNetLink(sched, cfg, gst, s.linkPolicy(cfg, gst, policy))
+	if s.OmissionBudget != (network.OmissionBudget{}) {
+		// The network treats MaxSenders 0 as "no per-sender cap", which
+		// would let omissions touch more than f senders — reject it
+		// here along with caps beyond f: post-GST omission is a
+		// processor fault and only f processors may be faulty.
+		if s.OmissionBudget.MaxSenders <= 0 || s.OmissionBudget.MaxSenders > cfg.F {
+			panic(fmt.Sprintf("harness: omission budget must name 1..f=%d senders, got %d",
+				cfg.F, s.OmissionBudget.MaxSenders))
+		}
+		net.SetOmissionBudget(s.OmissionBudget)
+	}
 
 	behaviors := make(map[types.NodeID]adversary.Corruption, len(s.Corruptions))
 	for _, c := range s.Corruptions {
@@ -240,6 +311,13 @@ func Run(s Scenario) *Result {
 		if corr.Behavior == adversary.BehaviorCrashAt {
 			at := types.Time(0).Add(corr.At)
 			sched.At(at, func() { net.Kill(id) })
+		}
+		if corr.Behavior == adversary.BehaviorChurn {
+			for _, d := range corr.Downs {
+				d := d
+				sched.At(types.Time(0).Add(d.From), func() { net.Kill(id) })
+				sched.At(types.Time(0).Add(d.To), func() { net.Revive(id) })
+			}
 		}
 		startAt := types.Time(0)
 		if s.StartStagger > 0 {
@@ -334,13 +412,17 @@ func Run(s Scenario) *Result {
 		Injected:   injected,
 		Events:     sched.Events(),
 		Aborted:    aborted,
+		Omitted:    net.Omitted(),
 	}
 	for i, r := range replicas {
 		res.PMs[i] = r.PM
 		res.Engines[i] = r.Core
 		if r.PM != nil {
 			res.FinalViews[i] = r.PM.CurrentView()
-			if lum, ok := r.PM.(*core.Pacemaker); ok {
+			// Lemmas 5.1–5.3 quantify over honest processors only: a
+			// corrupted replica (e.g. crash-recovery churn waking up
+			// with a stale clock) is outside their guarantees.
+			if lum, ok := r.PM.(*core.Pacemaker); ok && honest[i] {
 				res.Violations = append(res.Violations, lum.Violations()...)
 			}
 		} else {

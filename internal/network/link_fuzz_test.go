@@ -1,0 +1,62 @@
+package network_test
+
+import (
+	"testing"
+	"time"
+
+	"lumiere/internal/adversary"
+	"lumiere/internal/msg"
+	"lumiere/internal/network"
+	"lumiere/internal/sim"
+	"lumiere/internal/types"
+)
+
+// FuzzLinkPolicy drives a randomized chaos chain — loss over
+// duplication over reorder jitter over a fixed delay — through the
+// simulated network and asserts the §2 clamp invariant: absent an
+// omission budget, every message sent at t is delivered at least once,
+// between one and two times, and every delivery lands inside
+// [t, max(GST, t)+Δ].
+func FuzzLinkPolicy(f *testing.F) {
+	f.Add(int64(1), uint16(500), uint16(300), byte(128), byte(128), uint16(20), uint16(30))
+	f.Add(int64(2), uint16(0), uint16(0), byte(255), byte(255), uint16(0), uint16(1000))
+	f.Add(int64(3), uint16(1000), uint16(1000), byte(0), byte(0), uint16(500), uint16(0))
+	f.Fuzz(func(t *testing.T, seed int64, gstMs, sendMs uint16, lossB, dupB byte, jitMs, delayMs uint16) {
+		delta := 100 * time.Millisecond
+		gst := types.Time(0).Add(time.Duration(gstMs) * time.Millisecond)
+		sendAt := types.Time(0).Add(time.Duration(sendMs) * time.Millisecond)
+		jitter := time.Duration(jitMs) * time.Millisecond
+
+		var chain network.LinkPolicy = network.DelayLink{P: network.Fixed{D: time.Duration(delayMs) * time.Millisecond}}
+		if jitter > 0 {
+			chain = adversary.Reordering{Base: chain, Jitter: jitter}
+		}
+		chain = adversary.Duplicating{Base: chain, P: float64(dupB) / 255, Jitter: jitter}
+		chain = adversary.Lossy{Base: chain, P: float64(lossB) / 255}
+
+		s := sim.New(seed)
+		cfg := types.NewConfig(1, delta)
+		net := network.NewNetLink(s, cfg, gst, chain)
+		var deliveries []types.Time
+		net.Attach(1, network.HandlerFunc(func(types.NodeID, msg.Message) {
+			deliveries = append(deliveries, s.Now())
+		}))
+		net.Attach(2, network.HandlerFunc(func(types.NodeID, msg.Message) {}))
+		net.Attach(3, network.HandlerFunc(func(types.NodeID, msg.Message) {}))
+		ep := net.Attach(0, network.HandlerFunc(func(types.NodeID, msg.Message) {}))
+
+		s.RunUntil(sendAt)
+		ep.Send(1, &msg.ViewMsg{V: 7})
+		s.RunFor(time.Duration(gstMs)*time.Millisecond + 10*delta + 10*jitter)
+
+		bound := types.MaxTime(gst, sendAt).Add(delta)
+		if len(deliveries) < 1 || len(deliveries) > 2 {
+			t.Fatalf("deliveries = %d, want 1 or 2 (no omission without a budget)", len(deliveries))
+		}
+		for i, at := range deliveries {
+			if at < sendAt || at > bound {
+				t.Fatalf("delivery %d at %v outside [%v, %v] (gst=%v)", i, at, sendAt, bound, gst)
+			}
+		}
+	})
+}

@@ -1,8 +1,10 @@
 // Package network defines the transport abstraction shared by the
 // simulator and the TCP runtime, and implements the simulated
-// partial-synchrony network of §2: the adversary chooses GST and
-// per-message delays, subject to the constraint that a message sent at
-// time t arrives by max{GST, t} + Δ.
+// partial-synchrony network of §2: the adversary chooses GST and, per
+// message, a delay, drop, or duplication (a LinkPolicy), subject to the
+// constraint that a message sent at time t arrives by max{GST, t} + Δ.
+// Pre-GST drops are therefore deliveries at GST+Δ; true post-GST
+// omission requires an explicit OmissionBudget.
 package network
 
 import (
@@ -62,6 +64,75 @@ type DelayFunc func(from, to types.NodeID, m msg.Message, at types.Time, rng *ra
 // Delay implements DelayPolicy.
 func (f DelayFunc) Delay(from, to types.NodeID, m msg.Message, at types.Time, rng *rand.Rand) time.Duration {
 	return f(from, to, m, at, rng)
+}
+
+// Verdict is a link's decision for one point-to-point transmission. The
+// zero Verdict delivers immediately (subject to the clamp).
+type Verdict struct {
+	// Delay is the requested delivery delay; the network clamps actual
+	// delivery into the partial-synchrony window [t, max(GST, t)+Δ].
+	Delay time.Duration
+	// Drop requests omission. The model constrains what the network
+	// grants: a message sent before GST may be withheld, but must still
+	// be delivered by GST+Δ, so pre-GST drops become deliveries exactly
+	// at the bound (model-faithful "loss"). At or after GST a drop is a
+	// true omission only while the network's OmissionBudget allows it;
+	// once the budget is exhausted (or absent — the default) the drop
+	// degrades to the worst delay the model permits, delivery at t+Δ.
+	// A dropped message is never also duplicated.
+	Drop bool
+	// Dup requests one extra copy of the message, delivered at the clamp
+	// of DupDelay. Duplicates are the network's doing, not the
+	// sender's: they fire OnDeliver but not OnSend, so honest
+	// communication accounting is unaffected.
+	Dup bool
+	// DupDelay is the extra copy's requested delay (clamped
+	// independently of the original's).
+	DupDelay time.Duration
+}
+
+// LinkPolicy generalizes DelayPolicy into the adversary's full control
+// over one transmission: per (from, to, send time) it may delay, drop,
+// or duplicate the message — and, by assigning non-monotone delays,
+// reorder traffic. Implementations must be pure functions of their
+// arguments and rng draws so executions stay reproducible, and must not
+// allocate on the Link path (the send hot path is pinned at zero
+// allocations). Composable condition primitives (partitions, loss,
+// duplication, flaky links) live in internal/adversary.
+type LinkPolicy interface {
+	Link(from, to types.NodeID, m msg.Message, at types.Time, rng *rand.Rand) Verdict
+}
+
+// LinkFunc adapts a function to LinkPolicy.
+type LinkFunc func(from, to types.NodeID, m msg.Message, at types.Time, rng *rand.Rand) Verdict
+
+// Link implements LinkPolicy.
+func (f LinkFunc) Link(from, to types.NodeID, m msg.Message, at types.Time, rng *rand.Rand) Verdict {
+	return f(from, to, m, at, rng)
+}
+
+// DelayLink adapts a DelayPolicy to a LinkPolicy that only delays.
+type DelayLink struct{ P DelayPolicy }
+
+// Link implements LinkPolicy.
+func (l DelayLink) Link(from, to types.NodeID, m msg.Message, at types.Time, rng *rand.Rand) Verdict {
+	return Verdict{Delay: l.P.Delay(from, to, m, at, rng)}
+}
+
+// OmissionBudget authorizes true post-GST message omission. The §2 model
+// lets the adversary lose pre-GST traffic for free (the clamp converts
+// those drops into deliveries at GST+Δ), but after GST honest-to-honest
+// messages must arrive within Δ — omission is a fault. The budget makes
+// that fault explicit and bounded so the harness can account it against
+// f. The zero value permits no post-GST omission.
+type OmissionBudget struct {
+	// MaxMessages caps the total number of post-GST omissions granted.
+	MaxMessages int
+	// MaxSenders caps the distinct senders whose post-GST messages may
+	// be omitted (0 = no per-sender cap). The harness requires
+	// MaxSenders ≤ f: omission post-GST is a processor fault, and only
+	// f processors may be faulty.
+	MaxSenders int
 }
 
 // ---------------------------------------------------------------------------
@@ -156,12 +227,17 @@ type Net struct {
 	sched     *sim.Scheduler
 	cfg       types.Config
 	gst       types.Time
-	policy    DelayPolicy
+	link      LinkPolicy
 	handlers  []Handler
 	honest    []bool
 	killed    []bool
 	observers []Observer
 	stopped   bool
+
+	budget      OmissionBudget
+	omitted     int64
+	omittedFrom []bool // senders already charged against MaxSenders
+	omitSenders int
 }
 
 // NewNet creates a network for cfg.N nodes. gst is the global
@@ -173,18 +249,30 @@ func NewNet(sched *sim.Scheduler, cfg types.Config, gst types.Time, policy Delay
 	if policy == nil {
 		policy = Fixed{D: cfg.Delta / 10}
 	}
+	return NewNetLink(sched, cfg, gst, DelayLink{P: policy})
+}
+
+// NewNetLink creates a network driven by a full link-condition policy:
+// per-message delay, drop, and duplication, all clamped to the §2 model
+// (see Verdict for the exact semantics). NewNet is the delay-only
+// convenience wrapper.
+func NewNetLink(sched *sim.Scheduler, cfg types.Config, gst types.Time, link LinkPolicy) *Net {
+	if link == nil {
+		link = DelayLink{P: Fixed{D: cfg.Delta / 10}}
+	}
 	honest := make([]bool, cfg.N)
 	for i := range honest {
 		honest[i] = true
 	}
 	n := &Net{
-		sched:    sched,
-		cfg:      cfg,
-		gst:      gst,
-		policy:   policy,
-		handlers: make([]Handler, cfg.N),
-		honest:   honest,
-		killed:   make([]bool, cfg.N),
+		sched:       sched,
+		cfg:         cfg,
+		gst:         gst,
+		link:        link,
+		handlers:    make([]Handler, cfg.N),
+		honest:      honest,
+		killed:      make([]bool, cfg.N),
+		omittedFrom: make([]bool, cfg.N),
 	}
 	sched.SetSink(n.deliverPayload)
 	return n
@@ -227,8 +315,42 @@ func (n *Net) Stop() { n.stopped = true }
 // until a chosen moment (the classic desynchronization adversary).
 func (n *Net) Kill(id types.NodeID) { n.killed[id] = true }
 
-func (n *Net) deliverAt(sendAt types.Time, from, to types.NodeID, m msg.Message) types.Time {
-	req := n.policy.Delay(from, to, m, sendAt, n.sched.Rand())
+// Revive undoes Kill: the node sends and receives again from now on,
+// with whatever state it kept. Messages addressed to it while it was
+// down are lost — crash-recovery omission, accounted as the node's own
+// fault (it is one of the ≤ f corrupted processors), not against the
+// network's OmissionBudget.
+func (n *Net) Revive(id types.NodeID) { n.killed[id] = false }
+
+// SetOmissionBudget authorizes true post-GST omission (see
+// OmissionBudget). Call before the execution starts; the budget is
+// consumed as drops are granted.
+func (n *Net) SetOmissionBudget(b OmissionBudget) { n.budget = b }
+
+// Omitted returns the number of post-GST omissions charged against the
+// budget so far.
+func (n *Net) Omitted() int64 { return n.omitted }
+
+// allowOmission charges one post-GST omission by from against the
+// budget, reporting whether it was granted.
+func (n *Net) allowOmission(from types.NodeID) bool {
+	if n.omitted >= int64(n.budget.MaxMessages) {
+		return false
+	}
+	if !n.omittedFrom[from] {
+		if n.budget.MaxSenders > 0 && n.omitSenders >= n.budget.MaxSenders {
+			return false
+		}
+		n.omittedFrom[from] = true
+		n.omitSenders++
+	}
+	n.omitted++
+	return true
+}
+
+// clampDelivery converts a requested delay into the actual delivery
+// time: within [sendAt, max(GST, sendAt)+Δ], per §2.
+func (n *Net) clampDelivery(sendAt types.Time, req time.Duration) types.Time {
 	if req < 0 {
 		req = 0
 	}
@@ -260,7 +382,10 @@ func (n *Net) broadcast(from types.NodeID, m msg.Message) {
 }
 
 // sendTo schedules one point-to-point transmission (shared by send and
-// broadcast; stop/kill checks happen in the callers).
+// broadcast; stop/kill checks happen in the callers). The link policy's
+// verdict is applied under the partial-synchrony clamp: delivery (and
+// any duplicate) lands in [now, max(GST, now)+Δ], and drops are granted
+// as true omissions only post-GST under the omission budget.
 func (n *Net) sendTo(now types.Time, from, to types.NodeID, m msg.Message) {
 	if from == to {
 		// Self-delivery at the same instant, not a network message.
@@ -268,7 +393,20 @@ func (n *Net) sendTo(now types.Time, from, to types.NodeID, m msg.Message) {
 		return
 	}
 	n.observeSend(from, to, m, now)
-	n.sched.SendAt(n.deliverAt(now, from, to, m), from, to, m)
+	v := n.link.Link(from, to, m, now, n.sched.Rand())
+	if v.Drop {
+		if now >= n.gst && n.allowOmission(from) {
+			return // granted: a true post-GST omission
+		}
+		// Pre-GST "loss" (or an unfunded post-GST drop) degrades to
+		// the worst delay the model permits: delivery at the bound.
+		n.sched.SendAt(types.MaxTime(n.gst, now).Add(n.cfg.Delta), from, to, m)
+		return
+	}
+	n.sched.SendAt(n.clampDelivery(now, v.Delay), from, to, m)
+	if v.Dup {
+		n.sched.SendAt(n.clampDelivery(now, v.DupDelay), from, to, m)
+	}
 }
 
 // observeSend fans OnSend out to the observers, keeping the common

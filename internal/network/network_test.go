@@ -171,11 +171,25 @@ func (nopHandler) Deliver(types.NodeID, msg.Message) {}
 // scheduler and network layers: a warm n=31 broadcast plus the delivery
 // of all its messages must average well under one allocation (the
 // pre-arena implementation spent 3 allocations per point-to-point send).
+// The drop and duplicate link-policy paths are gated alongside the
+// delay-only baseline: chaos conditions ride the same hot path.
 func TestBroadcastAllocs(t *testing.T) {
-	run := func(t *testing.T, observe bool) {
+	// Half the messages are dropped pre-GST (delivery at the bound),
+	// the other half delivered normally.
+	dropHalf := LinkFunc(func(_, to types.NodeID, _ msg.Message, _ types.Time, _ *rand.Rand) Verdict {
+		return Verdict{Delay: time.Millisecond, Drop: to%2 == 0}
+	})
+	// Every message is duplicated with a jittered second copy.
+	dupAll := LinkFunc(func(_, _ types.NodeID, _ msg.Message, _ types.Time, rng *rand.Rand) Verdict {
+		d := time.Millisecond
+		return Verdict{Delay: d, Dup: true, DupDelay: d + time.Duration(rng.Int63n(int64(time.Millisecond)))}
+	})
+	run := func(t *testing.T, observe bool, link LinkPolicy) {
 		cfg := types.NewConfig(10, 100*time.Millisecond) // n = 31
 		s := sim.New(1)
-		n := NewNet(s, cfg, 0, Fixed{D: time.Millisecond})
+		// GST at 1h keeps every drop in the pre-GST "loss" regime:
+		// the clamp reschedules it rather than omitting it.
+		n := NewNetLink(s, cfg, types.Time(0).Add(time.Hour), link)
 		if observe {
 			n.Observe(observerFuncs{})
 		}
@@ -201,8 +215,199 @@ func TestBroadcastAllocs(t *testing.T) {
 			t.Errorf("broadcast allocates %.4f per send, want <= 0.3 (>=10x below the pre-arena 3.0)", perSend)
 		}
 	}
-	t.Run("no-observer", func(t *testing.T) { run(t, false) })
-	t.Run("one-observer", func(t *testing.T) { run(t, true) })
+	fixed := LinkPolicy(DelayLink{P: Fixed{D: time.Millisecond}})
+	t.Run("no-observer", func(t *testing.T) { run(t, false, fixed) })
+	t.Run("one-observer", func(t *testing.T) { run(t, true, fixed) })
+	t.Run("dropping", func(t *testing.T) { run(t, true, dropHalf) })
+	t.Run("duplicating", func(t *testing.T) { run(t, true, dupAll) })
+}
+
+// linkNet builds a 4-node net with recorders on every node, returning
+// the endpoints and recorders.
+func linkNet(s *sim.Scheduler, gst types.Time, link LinkPolicy) (*Net, []Endpoint, []*recorder) {
+	n := NewNetLink(s, testCfg(), gst, link)
+	eps := make([]Endpoint, 4)
+	recs := make([]*recorder, 4)
+	for i := range eps {
+		recs[i] = &recorder{sched: s}
+		eps[i] = n.Attach(types.NodeID(i), recs[i])
+	}
+	return n, eps, recs
+}
+
+// TestLinkClampEdgeCases pins the partial-synchrony clamp on the link
+// layer, Δ = 100ms, GST = 500ms: delivery never lands outside
+// [t, max(GST, t)+Δ], drops degrade to deliveries at the bound, and
+// adversarially-delayed duplicates collapse onto the same timestamp.
+func TestLinkClampEdgeCases(t *testing.T) {
+	gst := types.Time(0).Add(500 * time.Millisecond)
+	delta := 100 * time.Millisecond
+	eps := time.Nanosecond
+	adversarialDrop := Verdict{Drop: true}
+	collapseDup := Verdict{Delay: 1 << 62, Dup: true, DupDelay: 1 << 62}
+	cases := []struct {
+		name    string
+		sendAt  types.Time
+		verdict Verdict
+		wantAt  []types.Time // delivery times in order
+	}{
+		{
+			// max(GST, t) = t exactly at the boundary: bound is GST+Δ.
+			name:    "adversarial delay sent exactly at GST",
+			sendAt:  gst,
+			verdict: Verdict{Delay: 1 << 62},
+			wantAt:  []types.Time{gst.Add(delta)},
+		},
+		{
+			// The model-faithful "loss": a message dropped just before
+			// GST must still be delivered at GST+Δ.
+			name:    "drop at GST-ε delivered at GST+Δ",
+			sendAt:  gst.Add(-eps),
+			verdict: adversarialDrop,
+			wantAt:  []types.Time{gst.Add(delta)},
+		},
+		{
+			// A drop exactly at GST without a budget degrades to the
+			// worst delay: delivery at t+Δ = GST+Δ.
+			name:    "unfunded drop at GST",
+			sendAt:  gst,
+			verdict: adversarialDrop,
+			wantAt:  []types.Time{gst.Add(delta)},
+		},
+		{
+			name:    "zero verdict delivers immediately",
+			sendAt:  gst.Add(time.Second),
+			verdict: Verdict{},
+			wantAt:  []types.Time{gst.Add(time.Second)},
+		},
+		{
+			// Original and duplicate both request unbounded delay: the
+			// clamp collapses them onto the bound — two deliveries at
+			// the same timestamp.
+			name:    "duplicate collapsing at same timestamp pre-GST",
+			sendAt:  gst.Add(-100 * time.Millisecond),
+			verdict: collapseDup,
+			wantAt:  []types.Time{gst.Add(delta), gst.Add(delta)},
+		},
+		{
+			name:    "duplicate collapsing at same timestamp post-GST",
+			sendAt:  gst.Add(delta),
+			verdict: collapseDup,
+			wantAt:  []types.Time{gst.Add(2 * delta), gst.Add(2 * delta)},
+		},
+		{
+			name:    "negative delay clamps to send time",
+			sendAt:  gst.Add(time.Second),
+			verdict: Verdict{Delay: -time.Second},
+			wantAt:  []types.Time{gst.Add(time.Second)},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			s := sim.New(1)
+			v := tc.verdict
+			_, eps, recs := linkNet(s, gst, LinkFunc(
+				func(_, _ types.NodeID, _ msg.Message, _ types.Time, _ *rand.Rand) Verdict { return v }))
+			s.RunUntil(tc.sendAt)
+			eps[0].Send(1, &msg.ViewMsg{V: 1})
+			s.RunFor(time.Hour)
+			got := recs[1].got
+			if len(got) != len(tc.wantAt) {
+				t.Fatalf("deliveries = %d, want %d", len(got), len(tc.wantAt))
+			}
+			for i, want := range tc.wantAt {
+				if got[i].at != want {
+					t.Errorf("delivery %d at %v, want %v", i, got[i].at, want)
+				}
+			}
+		})
+	}
+}
+
+// TestOmissionBudget pins the post-GST omission accounting: drops are
+// true omissions only within MaxMessages and MaxSenders, and everything
+// beyond the budget degrades to a delivery at the bound.
+func TestOmissionBudget(t *testing.T) {
+	gst := types.Time(0).Add(500 * time.Millisecond)
+	dropAll := LinkFunc(func(_, _ types.NodeID, _ msg.Message, _ types.Time, _ *rand.Rand) Verdict {
+		return Verdict{Drop: true}
+	})
+
+	t.Run("max messages", func(t *testing.T) {
+		s := sim.New(1)
+		n, eps, recs := linkNet(s, gst, dropAll)
+		n.SetOmissionBudget(OmissionBudget{MaxMessages: 2})
+		s.RunUntil(gst)
+		for i := 0; i < 4; i++ {
+			eps[0].Send(1, &msg.ViewMsg{V: types.View(i)})
+		}
+		s.RunFor(time.Hour)
+		if len(recs[1].got) != 2 {
+			t.Fatalf("deliveries = %d, want 2 (2 of 4 omitted)", len(recs[1].got))
+		}
+		if n.Omitted() != 2 {
+			t.Fatalf("Omitted() = %d, want 2", n.Omitted())
+		}
+	})
+
+	t.Run("max senders", func(t *testing.T) {
+		s := sim.New(1)
+		n, eps, recs := linkNet(s, gst, dropAll)
+		n.SetOmissionBudget(OmissionBudget{MaxMessages: 100, MaxSenders: 1})
+		s.RunUntil(gst)
+		eps[0].Send(2, &msg.ViewMsg{V: 1}) // claims the only sender slot
+		eps[1].Send(2, &msg.ViewMsg{V: 2}) // different sender: degrades
+		eps[0].Send(2, &msg.ViewMsg{V: 3}) // same sender: omitted
+		s.RunFor(time.Hour)
+		if len(recs[2].got) != 1 {
+			t.Fatalf("deliveries = %d, want 1 (only p1's message degrades)", len(recs[2].got))
+		}
+		if recs[2].got[0].from != 1 {
+			t.Fatalf("delivered from %v, want p1", recs[2].got[0].from)
+		}
+		if n.Omitted() != 2 {
+			t.Fatalf("Omitted() = %d, want 2", n.Omitted())
+		}
+	})
+
+	t.Run("pre-GST drops never charge the budget", func(t *testing.T) {
+		s := sim.New(1)
+		n, eps, recs := linkNet(s, gst, dropAll)
+		n.SetOmissionBudget(OmissionBudget{MaxMessages: 100})
+		eps[0].Send(1, &msg.ViewMsg{V: 1}) // at t=0, pre-GST
+		s.RunFor(time.Hour)
+		if len(recs[1].got) != 1 || recs[1].got[0].at != gst.Add(100*time.Millisecond) {
+			t.Fatalf("pre-GST drop: %+v, want one delivery at GST+Δ", recs[1].got)
+		}
+		if n.Omitted() != 0 {
+			t.Fatalf("Omitted() = %d, want 0", n.Omitted())
+		}
+	})
+}
+
+// TestReviveRestoresTraffic pins crash-recovery at the network level:
+// a killed node neither sends nor receives, and both directions resume
+// after Revive.
+func TestReviveRestoresTraffic(t *testing.T) {
+	s := sim.New(1)
+	n, eps, recs := linkNet(s, 0, DelayLink{P: Fixed{D: time.Millisecond}})
+	eps[0].Send(1, &msg.ViewMsg{V: 1})
+	s.RunFor(10 * time.Millisecond)
+	n.Kill(1)
+	eps[0].Send(1, &msg.ViewMsg{V: 2}) // lost: receiver down
+	eps[1].Send(0, &msg.ViewMsg{V: 3}) // lost: sender down
+	s.RunFor(10 * time.Millisecond)
+	n.Revive(1)
+	eps[0].Send(1, &msg.ViewMsg{V: 4})
+	eps[1].Send(0, &msg.ViewMsg{V: 5})
+	s.RunFor(10 * time.Millisecond)
+	if len(recs[1].got) != 2 {
+		t.Fatalf("receiver deliveries = %d, want 2 (v1, v4)", len(recs[1].got))
+	}
+	if len(recs[0].got) != 1 {
+		t.Fatalf("sender-side deliveries = %d, want 1 (v5)", len(recs[0].got))
+	}
 }
 
 func TestUniformPolicyWithinBounds(t *testing.T) {

@@ -6,6 +6,7 @@ import (
 	"lumiere/internal/adversary"
 	"lumiere/internal/harness"
 	"lumiere/internal/nettcp"
+	"lumiere/internal/network"
 	"lumiere/internal/types"
 )
 
@@ -40,6 +41,19 @@ type (
 	SweepCell = harness.SweepCell
 	// SweepResult aggregates a sweep in matrix order.
 	SweepResult = harness.SweepResult
+	// LinkPolicy is the adversary's full per-message control: delay,
+	// drop, duplicate — clamped to the §2 model by the network.
+	LinkPolicy = network.LinkPolicy
+	// OmissionBudget authorizes true post-GST message omission
+	// (Scenario.OmissionBudget); MaxSenders must be ≤ f.
+	OmissionBudget = network.OmissionBudget
+	// Downtime is one crash interval of a crash-recovery (churn)
+	// corruption.
+	Downtime = adversary.Downtime
+	// ChaosCell is one checked cell of a chaos conformance sweep.
+	ChaosCell = harness.ChaosCell
+	// ChaosReport aggregates a chaos conformance sweep.
+	ChaosReport = harness.ChaosReport
 )
 
 // Protocols.
@@ -60,6 +74,7 @@ const (
 	BehaviorNonProposing  = adversary.BehaviorNonProposing
 	BehaviorLateProposing = adversary.BehaviorLateProposing
 	BehaviorCrashAt       = adversary.BehaviorCrashAt
+	BehaviorChurn         = adversary.BehaviorChurn
 )
 
 // AllProtocols lists every implemented protocol in Table 1 order.
@@ -98,6 +113,29 @@ func CrashFirst(k int) []Corruption { return adversary.CrashFirst(k) }
 
 // NonProposingSet returns non-proposing corruptions for the given nodes.
 func NonProposingSet(nodes ...NodeID) []Corruption { return adversary.NonProposingSet(nodes...) }
+
+// Churn returns a crash-recovery corruption: the node is silent and
+// deaf during each Downtime and resumes with intact state after.
+func Churn(node NodeID, downs ...Downtime) Corruption { return adversary.Churn(node, downs...) }
+
+// PeriodicChurn returns a churn corruption with cycles downtimes of
+// length downFor, the first starting at start, spaced period apart.
+func PeriodicChurn(node NodeID, start, downFor, period time.Duration, cycles int) Corruption {
+	return adversary.PeriodicChurn(node, start, downFor, period, cycles)
+}
+
+// RunChaosSweep runs the chaos conformance sweep: count generated
+// scenarios with guaranteed link conditions (partitions, loss,
+// duplication, reorder jitter, churn, omission budgets), cycled across
+// AllProtocols and conformance-checked. The report depends only on
+// (count, seed), never on the worker count.
+func RunChaosSweep(count int, seed int64, opts SweepOptions) *ChaosReport {
+	return harness.ChaosSweep(count, seed, opts)
+}
+
+// GenChaosScenario derives a reproducible scenario with at least one
+// chaos axis always on; see GenScenario.
+func GenChaosScenario(seed int64) Scenario { return harness.GenChaosScenario(seed) }
 
 // ---------------------------------------------------------------------------
 // Experiment drivers (the paper's table and figures; see EXPERIMENTS.md)
@@ -156,6 +194,16 @@ func HeavySyncTable(f int, seed int64) *Table { return harness.HeavySyncTable(f,
 // HeavySyncTableOpts is HeavySyncTable with explicit sweep options.
 func HeavySyncTableOpts(f int, seed int64, opts SweepOptions) *Table {
 	return harness.HeavySyncTableOpts(f, seed, opts)
+}
+
+// ChaosTable compares every protocol's view-synchronization latency
+// after GST under partitions healing at GST, pre-GST loss, duplication
+// with reordering, and crash-recovery churn.
+func ChaosTable(f int, seed int64) *Table { return harness.ChaosTable(f, seed) }
+
+// ChaosTableOpts is ChaosTable with explicit sweep options.
+func ChaosTableOpts(f int, seed int64, opts SweepOptions) *Table {
+	return harness.ChaosTableOpts(f, seed, opts)
 }
 
 // GapShrinkage measures §3.5's honest-gap convergence.
