@@ -177,6 +177,33 @@ func BenchmarkChaosTable(b *testing.B) {
 	}
 }
 
+// BenchmarkAttackTable regenerates the adaptive-attack comparison cell
+// by cell: per (strategy, protocol) post-GST view-synchronization
+// latency and W_GST in words under the vote-then-silence desync,
+// next-leader omission, GST-straddle and complexity-saturation
+// strategies. The attack/proto path segments give BENCH_sweep.json
+// structured rows (cmd/benchjson parses key=value segments into
+// Params).
+func BenchmarkAttackTable(b *testing.B) {
+	for si, spec := range harness.AttackSpecs() {
+		si, name := si, spec.Name
+		for _, p := range harness.AllProtocols {
+			p := p
+			b.Run("attack="+name+"/proto="+string(p), func(b *testing.B) {
+				var c harness.AttackCell
+				for i := 0; i < b.N; i++ {
+					c = harness.Attack(p, 1, si, benchSeed)
+				}
+				if !c.Decided {
+					b.Fatalf("%s under %s: no decision after GST", p, name)
+				}
+				b.ReportMetric(float64(c.SyncLatency)/float64(harness.AttackDelta), "sync_delta")
+				b.ReportMetric(float64(c.WindowWords), "wgst_words")
+			})
+		}
+	}
+}
+
 // BenchmarkHonestGapShrinkage regenerates §3.5's gap-trajectory claim.
 func BenchmarkHonestGapShrinkage(b *testing.B) {
 	var r harness.GapShrinkageResult

@@ -8,6 +8,8 @@
 //	lumiere-bench             # quick sweep (minutes)
 //	lumiere-bench -full       # full sweep including n=61
 //	lumiere-bench -workers 1  # serial reference run
+//	lumiere-bench -chaos      # chaos suite only (fault conditions + conformance)
+//	lumiere-bench -attack     # attack suite only (adaptive strategies + word complexity)
 package main
 
 import (
@@ -30,6 +32,7 @@ func main() {
 		progress = flag.Bool("progress", false, "print per-cell sweep progress to stderr")
 		sendlog  = flag.Bool("sendlog", false, "retain full per-send record logs (debugging; large memory)")
 		chaos    = flag.Bool("chaos", false, "run only the chaos suite: fault-condition table + chaos conformance sweep")
+		attack   = flag.Bool("attack", false, "run only the attack suite: adaptive-strategy table + word-complexity tables")
 	)
 	flag.Parse()
 
@@ -80,6 +83,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("all %d chaos cells conformant; done in %v\n", len(rep.Cells), time.Since(start).Round(time.Second))
+		return
+	}
+	if *attack {
+		fmt.Printf("attack suite (seed %d, %d workers)\n\n", *seed, *workers)
+		attackF := 1
+		fas := []int{0, 1, 2, 3}
+		if *full {
+			attackF = 3
+		}
+		rep := lumiere.RunAttackSweep(attackF, *seed, opts)
+		emit("attack_table", rep.Table())
+		if !rep.AllDecided() {
+			fmt.Fprintln(os.Stderr, "attack sweep has stalled cells: a model-legal attack defeated a protocol")
+			os.Exit(1)
+		}
+		emit("eventual_words", lumiere.EventualWordsTable(3, fas, *seed, opts))
+		emit("word_scaling", lumiere.WordScalingTable(fs, 1, *seed, opts))
+		fmt.Printf("all %d attack cells decided after GST; done in %v\n", len(rep.Cells), time.Since(start).Round(time.Second))
 		return
 	}
 	fmt.Printf("regenerating the paper's evaluation (seed %d, %d workers)\n\n", *seed, *workers)

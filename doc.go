@@ -18,7 +18,10 @@
 //   - a real TCP runtime running the same protocol code as actual
 //     processes;
 //   - the benchmark harness that regenerates the paper's Table 1 and
-//     Figure 1 (see EXPERIMENTS.md).
+//     Figure 1 (see EXPERIMENTS.md);
+//   - a fault-injection layer (partitions, loss, duplication,
+//     reordering, crash-recovery churn, omission budgets) and an
+//     adaptive attack subsystem with per-word communication accounting.
 //
 // This package is the public facade: it re-exports the simulation
 // harness, the experiment drivers and the TCP cluster API. A minimal
@@ -31,6 +34,35 @@
 //		Duration: 30 * time.Second,        // virtual time
 //	})
 //	fmt.Println("decisions:", res.DecisionCount())
+//
+// # Adaptive attacks and word complexity
+//
+// Scenario.Attack arms one of the adaptive strategies — adversaries
+// that observe protocol traffic through read-only hooks (message kind,
+// view, sender, leader schedule) and steer the corrupted processors
+// dynamically:
+//
+//	AttackViewDesync    vote-then-silence: help certify f+1 views, vanish, repeat
+//	AttackLeaderTarget  omit traffic to/from the next k leaders as views advance
+//	AttackGSTStraddle   flawless until GST, worst-case timing and silence after
+//	AttackSaturate      protocol-legal sync spam pushing toward the O(n²) bound
+//
+//	res := lumiere.Run(lumiere.Scenario{
+//		Protocol: lumiere.ProtoLumiere,
+//		F:        3,
+//		GST:      2 * time.Second,
+//		Attack:   lumiere.AttackSpec{Name: lumiere.AttackSaturate},
+//	})
+//
+// Every execution accounts honest communication in words (one word =
+// one κ-bit signature, certificate, hash or bounded integer):
+// Result.Collector exposes WordsTotal, WordsWindowAfter (W_T in words),
+// WordsByEpoch, and per-decision word statistics via Stats. The
+// experiment drivers built on them — AttackTable/RunAttackSweep (every
+// protocol × every strategy), EventualWordsTable (words vs f_a) and
+// WordScalingTable (words vs n) — exhibit the paper's headline claim
+// that Lumiere's eventual word count is linear in the number of actual
+// faults rather than in n.
 //
 // See examples/ for runnable programs and DESIGN.md for the architecture.
 package lumiere

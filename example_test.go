@@ -75,6 +75,77 @@ func ExampleRunChaosSweep() {
 	// conformant: true
 }
 
+// ExampleRunAttackSweep runs every protocol under every adaptive attack
+// strategy — vote-then-silence desync, next-leader omission, GST
+// straddling, protocol-legal sync spam — and checks that all of them
+// stay live: the strategies are model-legal, so a stalled cell would be
+// a protocol failure. The report depends only on (f, seed), so the
+// output is exact at any worker count.
+func ExampleRunAttackSweep() {
+	rep := lumiere.RunAttackSweep(1, 42, lumiere.SweepOptions{})
+	fmt.Println("cells:", len(rep.Cells))
+	fmt.Println("all decided after GST:", rep.AllDecided())
+	// Output:
+	// cells: 24
+	// all decided after GST: true
+}
+
+// Example_wordComplexity shows the per-word communication accounting:
+// every honest send is charged its size in words (one word per κ-bit
+// signature, certificate, hash or bounded integer), queryable as run
+// totals, post-GST windows (the paper's W_T), and per-epoch series.
+func Example_wordComplexity() {
+	res := lumiere.Run(lumiere.Scenario{
+		Protocol: lumiere.ProtoLumiere,
+		F:        1,
+		Delta:    100 * time.Millisecond,
+		Duration: 10 * time.Second,
+		Seed:     1,
+	})
+	words, _, _ := res.Collector.WordsWindowAfter(res.GST)
+	n := res.Cfg.N
+	fmt.Println("accounted words:", res.Collector.WordsTotal() > 0)
+	fmt.Println("W_GST within 8n^2 words:", words <= int64(8*n*n))
+	fmt.Println("epochs tracked:", len(res.Collector.WordsByEpoch()) > 0)
+	// Output:
+	// accounted words: true
+	// W_GST within 8n^2 words: true
+	// epochs tracked: true
+}
+
+// ExampleRun_attack arms the complexity-saturation attack: the
+// corrupted processor goes dark during its leadership slots (its views
+// fail, forcing the view-change machinery to fire continuously) and
+// spams protocol-legal sync traffic the rest of the time. Progress
+// slows — but the per-decision word cost stays within the O(n²)
+// ceiling the protocol guarantees. The baseline corrupts the same
+// processor without a strategy, so both runs charge the same honest
+// set.
+func ExampleRun_attack() {
+	base := lumiere.Scenario{
+		Protocol:    lumiere.ProtoLumiere,
+		F:           1,
+		Delta:       50 * time.Millisecond,
+		DeltaActual: 5 * time.Millisecond,
+		Duration:    20 * time.Second,
+		Seed:        1,
+	}
+	quiet := base
+	quiet.Corruptions = []lumiere.Corruption{{Node: 3, Behavior: lumiere.BehaviorStrategic}}
+	attacked := base
+	attacked.Attack = lumiere.AttackSpec{Name: lumiere.AttackSaturate}
+	q, a := lumiere.Run(quiet), lumiere.Run(attacked)
+	perDec := a.Collector.Stats(a.GST, 2).MeanWords
+	n := a.Cfg.N
+	fmt.Println("still live:", a.DecisionCount() > 0)
+	fmt.Println("attack slowed decisions:", a.DecisionCount() < q.DecisionCount()/2)
+	fmt.Println("words per decision within 4n^2:", perDec <= float64(4*n*n))
+	// Output:
+	// still live: true
+	// attack slowed decisions: true
+	// words per decision within 4n^2: true
+}
+
 // ExampleRun_smr runs full chained-HotStuff state machine replication
 // under the Lumiere pacemaker.
 func ExampleRun_smr() {

@@ -110,6 +110,42 @@ func TestFacadeChaos(t *testing.T) {
 	}
 }
 
+// TestFacadeAttack runs an adaptive attack through the facade: the
+// scenario stays conformant (the strategy is model-legal), the
+// strategic corruption is recorded, and the word accounting is live.
+func TestFacadeAttack(t *testing.T) {
+	res := lumiere.Run(lumiere.Scenario{
+		Protocol: lumiere.ProtoLumiere,
+		F:        1,
+		Delta:    100 * time.Millisecond,
+		GST:      2 * time.Second,
+		Attack:   lumiere.AttackSpec{Name: lumiere.AttackViewDesync},
+		Duration: 30 * time.Second,
+		Seed:     5,
+	})
+	if _, ok := res.Collector.FirstDecisionAfter(res.GST); !ok {
+		t.Fatal("no decision after GST under attack")
+	}
+	if problems := lumiere.ConformanceReport(res); len(problems) != 0 {
+		t.Fatalf("conformance: %v", problems)
+	}
+	found := false
+	for _, c := range res.Scenario.Corruptions {
+		if c.Behavior == lumiere.BehaviorStrategic {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("strategic corruption not recorded in the scenario")
+	}
+	if res.Collector.WordsTotal() <= 0 {
+		t.Fatal("no words accounted")
+	}
+	if len(lumiere.AttackNames()) != len(lumiere.AttackSpecs()) {
+		t.Fatal("attack registry mismatch")
+	}
+}
+
 // TestFacadeSMR runs the SMR path through the facade.
 func TestFacadeSMR(t *testing.T) {
 	res := lumiere.Run(lumiere.Scenario{

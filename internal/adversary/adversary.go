@@ -1,7 +1,12 @@
-// Package adversary models corruptions: which processors are Byzantine
-// and how they misbehave. Combined with network.DelayPolicy (the
-// adversary's control over message scheduling) this realizes the §2
-// adversary for the worst-case scenarios the experiments measure.
+// Package adversary models the §2 adversary in three escalating forms:
+// static corruptions (which processors are Byzantine and how they
+// misbehave — this file), composable link conditions (partitions, loss,
+// duplication, reordering — conditions.go), and adaptive attack
+// strategies that observe protocol traffic through read-only hooks and
+// steer the corrupted processors and the message schedule dynamically
+// (Strategy, strategy.go). Combined with the network's delay/link
+// policies this realizes the full §2 adversary for the worst-case
+// scenarios the experiments measure.
 package adversary
 
 import (
@@ -49,6 +54,11 @@ const (
 	// omission fault), and it resumes with intact state afterwards.
 	// The canonical crash-recovery churn of the pre-GST regime.
 	BehaviorChurn
+	// BehaviorStrategic marks a processor controlled by an adaptive
+	// attack Strategy (see strategy.go): it runs the protocol honestly
+	// by default and the strategy decides dynamically when it is
+	// silenced, revived, or made to inject protocol-legal traffic.
+	BehaviorStrategic
 )
 
 // String implements fmt.Stringer.
@@ -68,6 +78,8 @@ func (b Behavior) String() string {
 		return "equivocating"
 	case BehaviorChurn:
 		return "churn"
+	case BehaviorStrategic:
+		return "strategic"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,568 @@
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"lumiere/internal/msg"
+	"lumiere/internal/network"
+	"lumiere/internal/pacemaker"
+	"lumiere/internal/types"
+)
+
+// This file implements the adaptive attack-strategy subsystem: where the
+// static corruptions of adversary.go fix each Byzantine processor's
+// behavior up front, a Strategy observes the protocol as it runs —
+// message kinds, views, certificate formation, view entries — and steers
+// the corrupted processors and the network schedule dynamically. This is
+// the §2 adversary at full power: it sees all traffic, controls delivery
+// timing within the partial-synchrony clamp, and adapts the corrupted
+// processors' participation to what the honest processors are doing.
+//
+// Strategies act through an Env the harness wires up per execution. All
+// strategy state is per-run and every action flows through the
+// deterministic scheduler, so attacked executions remain reproducible
+// and sweep results stay byte-identical at any worker count. The
+// Observe and Link hot paths must not allocate (the send path is pinned
+// at zero allocations; see TestStrategyHookAllocs).
+
+// HookEvent discriminates the read-only observation hooks a Strategy
+// receives.
+type HookEvent uint8
+
+// Observation hooks. Enumeration starts at 1 so the zero value is
+// invalid.
+const (
+	// HookSend fires once per point-to-point transmission.
+	HookSend HookEvent = iota + 1
+	// HookDeliver fires when a message reaches its destination.
+	HookDeliver
+	// HookEnterView fires when a processor enters a view.
+	HookEnterView
+	// HookEnterEpoch fires when a processor enters an epoch.
+	HookEnterEpoch
+	// HookHeavySync fires when a processor starts participating in a
+	// heavy Θ(n²) epoch synchronization.
+	HookHeavySync
+)
+
+// Observation is one read-only protocol event surfaced to a Strategy:
+// network traffic (kind, view, endpoints) and pacemaker lifecycle
+// (view/epoch entries, heavy syncs). It is passed by value on the send
+// hot path and must stay allocation-free.
+type Observation struct {
+	Event HookEvent
+	At    types.Time
+	// Node is the acting processor: the sender (HookSend), the receiver
+	// (HookDeliver), or the processor entering a view/epoch.
+	Node types.NodeID
+	// Peer is the other endpoint for HookSend/HookDeliver.
+	Peer types.NodeID
+	// Kind and View describe the message (HookSend/HookDeliver) or the
+	// entered view (HookEnterView/HookHeavySync).
+	Kind  msg.Kind
+	View  types.View
+	Epoch types.Epoch
+	// Honest reports whether Node is an honest processor (HookSend).
+	Honest bool
+}
+
+// Env is the control surface the harness exposes to a Strategy: static
+// execution facts, read-only schedule access, and the adversary's
+// legitimate powers over its corrupted processors (silence, revive,
+// inject protocol-legal traffic). All scheduling closures run on the
+// execution's deterministic scheduler.
+type Env struct {
+	// Cfg is the execution's (n, f, Δ) configuration.
+	Cfg types.Config
+	// GST is the global stabilization time.
+	GST types.Time
+	// Corrupted lists the processors the strategy controls.
+	Corrupted []types.NodeID
+	// Leader returns the leader of view v under the protocol's schedule
+	// (-1 before any replica has booted).
+	Leader func(v types.View) types.NodeID
+	// Now returns the current simulated time.
+	Now func() types.Time
+	// At schedules fn at time t; After schedules fn after d.
+	At    func(t types.Time, fn func())
+	After func(d time.Duration, fn func())
+	// Silence crashes a corrupted processor from now on (it neither
+	// sends nor receives); Unsilence revives it with intact state.
+	Silence   func(id types.NodeID)
+	Unsilence func(id types.NodeID)
+	// Broadcast transmits m from corrupted processor from to everyone.
+	Broadcast func(from types.NodeID, m msg.Message)
+	// SyncMsg builds a protocol-legal, correctly signed view-
+	// synchronization message from the given corrupted processor for
+	// (the protocol's relevant view at or above) view v — an epoch-view
+	// message, wish, or timeout depending on the protocol under test.
+	SyncMsg func(from types.NodeID, v types.View) msg.Message
+	// Base is the scenario's underlying link policy; strategies that
+	// override scheduling for some messages delegate the rest here.
+	Base network.LinkPolicy
+}
+
+// Strategy is an adaptive attack: it observes protocol traffic through
+// read-only hooks and steers the corrupted processors and the message
+// schedule dynamically. Implementations must be deterministic (state
+// machines over observations and scheduler callbacks, randomness only
+// from the rng handed to Link) and must not allocate in Observe or Link.
+type Strategy interface {
+	// Name returns the strategy's registry name (see AttackNames).
+	Name() string
+	// Init binds the strategy to an execution before it starts.
+	Init(env *Env)
+	// Observe is the read-only protocol hook; it fires for every
+	// transmission, delivery, view/epoch entry and heavy sync.
+	Observe(o Observation)
+	// Link is the strategy's adversarial message schedule, consulted
+	// once per point-to-point transmission under the §2 clamp.
+	Link(from, to types.NodeID, m msg.Message, at types.Time, rng *rand.Rand) network.Verdict
+}
+
+// Attack strategy names.
+const (
+	// AttackViewDesync is the vote-then-silence desynchronizer: the
+	// corrupted processors participate honestly until their votes have
+	// helped certify a stride of views, then vanish, splitting honest
+	// views between the bumped quorum and the stragglers — repeatedly.
+	AttackViewDesync = "view-desync"
+	// AttackLeaderTarget omits/delays only traffic to and from the next
+	// K leaders, tracking the honest frontier view as it moves.
+	AttackLeaderTarget = "leader-target"
+	// AttackGSTStraddle behaves perfectly until GST — fast network,
+	// honest corrupted processors — then silences the corrupted set at
+	// GST exactly and stretches every delivery to the Δ bound.
+	AttackGSTStraddle = "gst-straddle"
+	// AttackSaturate (ComplexitySaturate) keeps every protocol's
+	// view-change machinery firing: the corrupted processors go dark
+	// exactly during their leadership slots (their views fail, forcing
+	// synchronization work) and spam protocol-legal sync traffic the
+	// rest of the time, pushing communication toward the O(n²) bound.
+	AttackSaturate = "complexity-saturate"
+)
+
+// AttackNames lists the implemented strategies in presentation order.
+func AttackNames() []string {
+	return []string{AttackViewDesync, AttackLeaderTarget, AttackGSTStraddle, AttackSaturate}
+}
+
+// AttackSpec is the declarative form of an attack, carried by scenarios
+// so sweeps stay printable and reproducible. The zero value means "no
+// attack".
+type AttackSpec struct {
+	// Name selects the strategy (an AttackNames entry).
+	Name string
+	// Nodes is the number of corrupted processors the strategy
+	// controls (0 = the scenario's f). They count against f.
+	Nodes int
+	// K is LeaderTarget's horizon: how many upcoming leaders are
+	// targeted (0 = f).
+	K int
+	// Period is ViewDesync's silence length and ComplexitySaturate's
+	// spam interval (0 = a strategy-specific multiple of Δ).
+	Period time.Duration
+}
+
+// Enabled reports whether the spec names a strategy.
+func (s AttackSpec) Enabled() bool { return s.Name != "" }
+
+// Strategy instantiates the named strategy with the spec's parameters.
+// Instances are single-execution: build a fresh one per run.
+func (s AttackSpec) Strategy() (Strategy, error) {
+	switch s.Name {
+	case AttackViewDesync:
+		return &ViewDesync{SilenceFor: s.Period}, nil
+	case AttackLeaderTarget:
+		return &LeaderTarget{K: s.K}, nil
+	case AttackGSTStraddle:
+		return &GSTStraddle{}, nil
+	case AttackSaturate:
+		return &ComplexitySaturate{Period: s.Period}, nil
+	default:
+		return nil, fmt.Errorf("adversary: unknown attack strategy %q", s.Name)
+	}
+}
+
+// maxDelay requests an unbounded delay; the network clamps delivery to
+// the partial-synchrony bound max(GST, t)+Δ — the §2 worst case.
+const maxDelay = time.Duration(1<<62 - 1)
+
+// isCertKind reports whether a message kind certifies view progress:
+// the observations the strategies use to track the honest frontier.
+func isCertKind(k msg.Kind) bool {
+	switch k {
+	case msg.KindVC, msg.KindEC, msg.KindTC, msg.KindQC:
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// ViewDesync
+// ---------------------------------------------------------------------------
+
+// ViewDesync is the adaptive vote-then-silence desynchronizer. The
+// corrupted processors run the protocol honestly, so their votes and
+// view messages help certify views and bump honest clocks; every time
+// the certified frontier advances a stride of f+1 views past the last
+// cut, the strategy silences all corrupted processors for SilenceFor —
+// the help the bumped quorum was counting on disappears exactly when
+// the stragglers need f+1 contributions — then revives them and
+// repeats. Unlike the static BehaviorCrashAt schedule, the cut times
+// adapt to the protocol's actual pace.
+type ViewDesync struct {
+	// SilenceFor is the length of each silence window (0 = 20Δ).
+	SilenceFor time.Duration
+
+	env      *Env
+	frontier types.View // max view certified by honest traffic
+	lastCut  types.View
+	down     bool
+}
+
+// Name implements Strategy.
+func (s *ViewDesync) Name() string { return AttackViewDesync }
+
+// Init implements Strategy.
+func (s *ViewDesync) Init(env *Env) {
+	s.env = env
+	if s.SilenceFor <= 0 {
+		s.SilenceFor = 20 * env.Cfg.Delta
+	}
+}
+
+// Observe implements Strategy: honest certificate traffic moves the
+// frontier; a stride of progress since the last cut triggers the next
+// silence window.
+func (s *ViewDesync) Observe(o Observation) {
+	if o.Event != HookSend || !o.Honest || !isCertKind(o.Kind) {
+		return
+	}
+	if o.View > s.frontier {
+		s.frontier = o.View
+	}
+	if s.down || s.frontier < s.lastCut+types.View(s.env.Cfg.F+1) {
+		return
+	}
+	s.down = true
+	s.lastCut = s.frontier
+	for _, id := range s.env.Corrupted {
+		s.env.Silence(id)
+	}
+	s.env.After(s.SilenceFor, func() {
+		s.down = false
+		for _, id := range s.env.Corrupted {
+			s.env.Unsilence(id)
+		}
+	})
+}
+
+// Link implements Strategy: ViewDesync leaves scheduling to the base
+// policy; the attack is participation, not delay.
+func (s *ViewDesync) Link(from, to types.NodeID, m msg.Message, at types.Time, rng *rand.Rand) network.Verdict {
+	return s.env.Base.Link(from, to, m, at, rng)
+}
+
+// ---------------------------------------------------------------------------
+// LeaderTarget
+// ---------------------------------------------------------------------------
+
+// LeaderTarget omits or maximally delays only the traffic to and from
+// the next K leaders, tracked against the moving honest frontier: as
+// views advance, the targeted set slides with them. Everyone else sees
+// the base network, so the attack is invisible except exactly where
+// leadership is about to matter — the focused version of the classic
+// "slow the leader" adversary.
+type LeaderTarget struct {
+	// K is how many upcoming leaders are targeted (0 = f).
+	K int
+
+	env      *Env
+	frontier types.View // max view observed entered or certified
+	// targets caches the leaders of views frontier+1..frontier+K;
+	// targetsFor is the frontier it was computed at (-1 = never). The
+	// cache is refreshed lazily on the Link hot path, so Link pays K
+	// schedule lookups per frontier move instead of per transmission.
+	targets    []types.NodeID
+	targetsFor types.View
+}
+
+// Name implements Strategy.
+func (s *LeaderTarget) Name() string { return AttackLeaderTarget }
+
+// Init implements Strategy.
+func (s *LeaderTarget) Init(env *Env) {
+	s.env = env
+	if s.K <= 0 {
+		s.K = env.Cfg.F
+	}
+	s.targets = make([]types.NodeID, s.K)
+	s.targetsFor = -1
+}
+
+// Observe implements Strategy: view entries and certificates move the
+// frontier the targeted window slides against.
+func (s *LeaderTarget) Observe(o Observation) {
+	switch o.Event {
+	case HookEnterView:
+	case HookSend:
+		if !o.Honest || !isCertKind(o.Kind) {
+			return
+		}
+	default:
+		return
+	}
+	if o.View > s.frontier {
+		s.frontier = o.View
+	}
+}
+
+// isTarget reports whether id leads one of the next K views, against
+// the cached target set.
+func (s *LeaderTarget) isTarget(id types.NodeID) bool {
+	for _, t := range s.targets {
+		if t == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Link implements Strategy: traffic touching an upcoming leader is
+// omitted (the clamp converts that into the worst delivery the model
+// permits); everything else passes through the base policy.
+func (s *LeaderTarget) Link(from, to types.NodeID, m msg.Message, at types.Time, rng *rand.Rand) network.Verdict {
+	if s.targetsFor != s.frontier {
+		for i := range s.targets {
+			s.targets[i] = s.env.Leader(s.frontier + types.View(i+1))
+		}
+		s.targetsFor = s.frontier
+	}
+	if s.isTarget(from) || s.isTarget(to) {
+		return network.Verdict{Drop: true}
+	}
+	return s.env.Base.Link(from, to, m, at, rng)
+}
+
+// ---------------------------------------------------------------------------
+// GSTStraddle
+// ---------------------------------------------------------------------------
+
+// GSTStraddle is the stabilization-boundary attack: before GST the
+// network runs the scenario's base policy and the corrupted processors
+// participate honestly — their contributions are baked into every
+// pre-GST certificate — then at GST exactly the corrupted set goes
+// silent and every delivery is stretched to the t+Δ bound. The
+// protocols' post-GST guarantees are measured under the worst timing
+// the model permits, entered from the most poisoned state the adversary
+// could prepare.
+type GSTStraddle struct {
+	env *Env
+}
+
+// Name implements Strategy.
+func (s *GSTStraddle) Name() string { return AttackGSTStraddle }
+
+// Init implements Strategy: the corrupted set is scheduled to vanish at
+// GST.
+func (s *GSTStraddle) Init(env *Env) {
+	s.env = env
+	env.At(env.GST, func() {
+		for _, id := range env.Corrupted {
+			env.Silence(id)
+		}
+	})
+}
+
+// Observe implements Strategy.
+func (s *GSTStraddle) Observe(Observation) {}
+
+// Link implements Strategy: base scheduling before GST, the Δ bound
+// from GST on.
+func (s *GSTStraddle) Link(from, to types.NodeID, m msg.Message, at types.Time, rng *rand.Rand) network.Verdict {
+	if at < s.env.GST {
+		return s.env.Base.Link(from, to, m, at, rng)
+	}
+	return network.Verdict{Delay: maxDelay}
+}
+
+// ---------------------------------------------------------------------------
+// ComplexitySaturate
+// ---------------------------------------------------------------------------
+
+// ComplexitySaturate pushes communication toward the O(n²) bound by
+// forcing every protocol to keep running its view-change machinery —
+// the traffic whose cost the quadratic bounds cap — at full network
+// speed. Two protocol-legal levers combine:
+//
+// First, each corrupted processor goes dark exactly while it holds an
+// upcoming leadership slot and participates honestly otherwise (tracked
+// against the moving honest frontier). Its views fail, so the
+// view-change machinery fires on every one of them: Lumiere's
+// per-leader success criterion keeps failing and its heavy Θ(n²) epoch
+// synchronizations never retire; NK20 pays an all-to-all timeout round
+// per failed view; Cogsworth re-enters its wish/relay chains. Outside
+// its slots the processor helps, so the run advances quickly and the
+// sync work repeats as often as possible.
+//
+// Second, every Period each corrupted processor broadcasts a correctly
+// signed synchronization message (epoch-view, wish or timeout per the
+// protocol under test) for the next relevant view above the frontier:
+// honest processors verify and buffer the signatures, and certificate
+// thresholds complete with up to f adversarial contributions the moment
+// the first honest participant arrives — every forced synchronization
+// starts as early as the model allows.
+//
+// The words-accounting experiments measure how close each protocol is
+// driven to its quadratic ceiling (see the per-view ≤ c·n² regression
+// gate).
+type ComplexitySaturate struct {
+	// Period is the spam interval (0 = Δ).
+	Period time.Duration
+
+	env      *Env
+	frontier types.View
+	down     []bool // down[i]: Corrupted[i] currently silenced
+}
+
+// Name implements Strategy.
+func (s *ComplexitySaturate) Name() string { return AttackSaturate }
+
+// Init implements Strategy: the spam tick is armed on the execution's
+// scheduler.
+func (s *ComplexitySaturate) Init(env *Env) {
+	s.env = env
+	s.down = make([]bool, len(env.Corrupted))
+	if s.Period <= 0 {
+		s.Period = env.Cfg.Delta
+	}
+	var tick func()
+	tick = func() {
+		for _, id := range env.Corrupted {
+			if s.silencedNode(id) {
+				continue // a dark node cannot send
+			}
+			if m := env.SyncMsg(id, s.frontier+1); m != nil {
+				env.Broadcast(id, m)
+			}
+		}
+		env.After(s.Period, tick)
+	}
+	env.After(s.Period, tick)
+}
+
+// silencedNode reports whether id is currently dark.
+func (s *ComplexitySaturate) silencedNode(id types.NodeID) bool {
+	for i, c := range s.env.Corrupted {
+		if c == id {
+			return s.down[i]
+		}
+	}
+	return false
+}
+
+// Observe implements Strategy: honest view entries and certificates
+// move the frontier, and the corrupted processors' darkness follows
+// their leadership slots.
+func (s *ComplexitySaturate) Observe(o Observation) {
+	switch o.Event {
+	case HookEnterView:
+	case HookSend:
+		if !o.Honest || !isCertKind(o.Kind) {
+			return
+		}
+	default:
+		return
+	}
+	if o.View <= s.frontier {
+		return
+	}
+	s.frontier = o.View
+	// Darkness tracks leadership: silenced while holding the current or
+	// next slot (so it is already dark when its view starts and stays
+	// dark through it), revived with intact state otherwise.
+	for i, id := range s.env.Corrupted {
+		leads := s.env.Leader(s.frontier) == id || s.env.Leader(s.frontier+1) == id
+		if leads && !s.down[i] {
+			s.down[i] = true
+			s.env.Silence(id)
+		} else if !leads && s.down[i] {
+			s.down[i] = false
+			s.env.Unsilence(id)
+		}
+	}
+}
+
+// Link implements Strategy: scheduling stays with the base policy — the
+// attack repeats sync work as fast as the network allows rather than
+// slowing it down.
+func (s *ComplexitySaturate) Link(from, to types.NodeID, m msg.Message, at types.Time, rng *rand.Rand) network.Verdict {
+	return s.env.Base.Link(from, to, m, at, rng)
+}
+
+// Compile-time interface checks.
+var (
+	_ Strategy = (*ViewDesync)(nil)
+	_ Strategy = (*LeaderTarget)(nil)
+	_ Strategy = (*GSTStraddle)(nil)
+	_ Strategy = (*ComplexitySaturate)(nil)
+)
+
+// ---------------------------------------------------------------------------
+// Hook adapters
+// ---------------------------------------------------------------------------
+
+// netObserver adapts a Strategy to network.Observer, reducing each
+// transmission to a read-only Observation. It allocates nothing per
+// event.
+type netObserver struct{ s Strategy }
+
+// NetObserver returns a network.Observer forwarding traffic to the
+// strategy's Observe hook.
+func NetObserver(s Strategy) network.Observer { return netObserver{s: s} }
+
+// OnSend implements network.Observer.
+func (o netObserver) OnSend(from, to types.NodeID, m msg.Message, at types.Time, honestSender bool) {
+	o.s.Observe(Observation{
+		Event: HookSend, At: at, Node: from, Peer: to,
+		Kind: m.Kind(), View: m.View(), Honest: honestSender,
+	})
+}
+
+// OnDeliver implements network.Observer.
+func (o netObserver) OnDeliver(from, to types.NodeID, m msg.Message, at types.Time) {
+	o.s.Observe(Observation{
+		Event: HookDeliver, At: at, Node: to, Peer: from,
+		Kind: m.Kind(), View: m.View(),
+	})
+}
+
+// pmObserver adapts a Strategy to one node's pacemaker.Observer.
+type pmObserver struct {
+	s    Strategy
+	node types.NodeID
+}
+
+// PMObserver returns a pacemaker.Observer surfacing one node's view and
+// epoch entries (and heavy syncs) to the strategy.
+func PMObserver(s Strategy, node types.NodeID) pacemaker.Observer {
+	return pmObserver{s: s, node: node}
+}
+
+// OnEnterView implements pacemaker.Observer.
+func (o pmObserver) OnEnterView(v types.View, at types.Time) {
+	o.s.Observe(Observation{Event: HookEnterView, At: at, Node: o.node, View: v})
+}
+
+// OnEnterEpoch implements pacemaker.Observer.
+func (o pmObserver) OnEnterEpoch(e types.Epoch, at types.Time) {
+	o.s.Observe(Observation{Event: HookEnterEpoch, At: at, Node: o.node, Epoch: e})
+}
+
+// OnHeavySync implements pacemaker.Observer.
+func (o pmObserver) OnHeavySync(v types.View, at types.Time) {
+	o.s.Observe(Observation{Event: HookHeavySync, At: at, Node: o.node, View: v})
+}

@@ -1,0 +1,391 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"lumiere/internal/adversary"
+	"lumiere/internal/baseline/lp22"
+	"lumiere/internal/baseline/raresync"
+	"lumiere/internal/core"
+	"lumiere/internal/crypto"
+	"lumiere/internal/msg"
+	"lumiere/internal/types"
+)
+
+// This file implements the adaptive-attack arm of the harness: the glue
+// between Scenario.Attack and the adversary.Strategy subsystem (node
+// selection, protocol-legal spam construction, epoch accounting), and
+// the AttackTable experiment — every protocol run under every attack
+// strategy, reporting post-GST view-synchronization latency and honest
+// communication in words. See DESIGN.md §1c for the attack model and
+// EXPERIMENTS.md ("Attack corpus") for the reference table.
+
+// withStrategicNodes returns corr extended with BehaviorStrategic
+// corruptions for the k highest-numbered processors not already
+// corrupted (k = 0 means f). The result is a fresh slice — scenarios
+// are shared across sweep workers, so the caller's backing array is
+// never mutated. Strategic processors count against f: the combined
+// corruption set must not exceed it.
+func withStrategicNodes(corr []adversary.Corruption, cfg types.Config, k int) []adversary.Corruption {
+	if k <= 0 {
+		k = cfg.F
+	}
+	taken := make(map[types.NodeID]bool, len(corr))
+	for _, c := range corr {
+		if c.Behavior != adversary.BehaviorHonest {
+			taken[c.Node] = true
+		}
+	}
+	out := make([]adversary.Corruption, len(corr), len(corr)+k)
+	copy(out, corr)
+	added := 0
+	for id := cfg.N - 1; id >= 0 && added < k; id-- {
+		n := types.NodeID(id)
+		if taken[n] {
+			continue
+		}
+		out = append(out, adversary.Corruption{Node: n, Behavior: adversary.BehaviorStrategic})
+		added++
+	}
+	if corrupted := len(taken) + added; corrupted > cfg.F {
+		panic(fmt.Sprintf("harness: attack corrupts %d processors, model allows f=%d", corrupted, cfg.F))
+	}
+	return out
+}
+
+// strategicNodes returns the processors under strategy control.
+func strategicNodes(corr []adversary.Corruption) []types.NodeID {
+	var out []types.NodeID
+	for _, c := range corr {
+		if c.Behavior == adversary.BehaviorStrategic {
+			out = append(out, c.Node)
+		}
+	}
+	return out
+}
+
+// accountingEpochLen returns the views-per-epoch grouping used for the
+// Collector's per-epoch word series: the protocol's own epoch length
+// where it has one, f+1 (the classic epoch) as the nominal grouping for
+// the epoch-less protocols.
+func accountingEpochLen(s Scenario, cfg types.Config) types.View {
+	switch s.Protocol {
+	case ProtoLumiere:
+		return core.Config{Base: cfg, Variant: core.VariantFull, BlocksPerEpoch: s.CoreBlocksPerEpoch}.EpochLen()
+	case ProtoBasic:
+		return core.Config{Base: cfg, Variant: core.VariantBasic}.EpochLen()
+	case ProtoLP22:
+		return lp22.Config{Base: cfg}.EpochLen()
+	case ProtoRareSync:
+		return raresync.Config{Base: cfg}.EpochLen()
+	default:
+		return types.View(cfg.F + 1)
+	}
+}
+
+// syncSpamBuilder returns the protocol-legal view-synchronization spam
+// constructor for adversary.Env.SyncMsg: given a corrupted sender and a
+// frontier view, it builds the correctly signed message that protocol's
+// honest processors verify and buffer — an epoch-view message for the
+// next epoch boundary (Lumiere, Basic, LP22, RareSync), a view message
+// for the next initial view (Fever), a wish (Cogsworth), or a timeout
+// (NK20).
+func syncSpamBuilder(s Scenario, cfg types.Config, suite crypto.Suite) func(types.NodeID, types.View) msg.Message {
+	switch s.Protocol {
+	case ProtoLumiere, ProtoBasic, ProtoLP22, ProtoRareSync:
+		// accountingEpochLen returns the protocol's own epoch length
+		// for all four epoch-based protocols.
+		return epochViewSpam(suite, accountingEpochLen(s, cfg))
+	case ProtoFever:
+		return func(from types.NodeID, v types.View) msg.Message {
+			w := v
+			if w < 0 {
+				w = 0
+			}
+			if !w.Initial() {
+				w++
+			}
+			return &msg.ViewMsg{V: w, Sig: suite.SignerFor(from).Sign(msg.ViewStatement(w))}
+		}
+	case ProtoCogsworth:
+		return func(from types.NodeID, v types.View) msg.Message {
+			if v < 1 {
+				v = 1
+			}
+			return &msg.Wish{V: v, Sig: suite.SignerFor(from).Sign(msg.WishStatement(v))}
+		}
+	case ProtoNK20:
+		return func(from types.NodeID, v types.View) msg.Message {
+			if v < 1 {
+				v = 1
+			}
+			return &msg.Timeout{V: v, Sig: suite.SignerFor(from).Sign(msg.TimeoutStatement(v))}
+		}
+	default:
+		return func(types.NodeID, types.View) msg.Message { return nil }
+	}
+}
+
+// epochViewSpam builds epoch-view spam for epoch-based protocols: the
+// message targets the next epoch boundary at or above the frontier, the
+// only views those protocols' handlers accept.
+func epochViewSpam(suite crypto.Suite, epochLen types.View) func(types.NodeID, types.View) msg.Message {
+	return func(from types.NodeID, v types.View) msg.Message {
+		if epochLen <= 0 {
+			return nil
+		}
+		if v < 0 {
+			v = 0
+		}
+		w := ((v + epochLen - 1) / epochLen) * epochLen
+		return &msg.EpochViewMsg{V: w, Sig: suite.SignerFor(from).Sign(msg.EpochViewStatement(w))}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// The AttackTable experiment
+// ---------------------------------------------------------------------------
+
+// AttackSpecs lists the attack table's strategies in column order, with
+// default parameters (f strategy nodes, horizon f, strategy-default
+// periods).
+func AttackSpecs() []adversary.AttackSpec {
+	names := adversary.AttackNames()
+	out := make([]adversary.AttackSpec, len(names))
+	for i, name := range names {
+		out[i] = adversary.AttackSpec{Name: name}
+	}
+	return out
+}
+
+// AttackDelta is the Δ every attack-table cell runs with; the table
+// renderer and BenchmarkAttackTable report latencies in this unit.
+const AttackDelta = 50 * time.Millisecond
+
+// attackScenario builds one cell of the attack table: GST = 2s so the
+// pre-GST strategies (view-desync, gst-straddle) have room to poison
+// the initial state, a fast base network (δ = Δ/10) so the measured
+// damage is the attack's, and a steady post-GST window long enough for
+// per-decision word statistics.
+func attackScenario(p Protocol, f int, spec adversary.AttackSpec, seed int64) Scenario {
+	delta := AttackDelta
+	gst := 2 * time.Second
+	gamma := gammaOf(p, delta)
+	return Scenario{
+		Name:        fmt.Sprintf("attack-%s-%s-f%d", spec.Name, p, f),
+		Protocol:    p,
+		F:           f,
+		Delta:       delta,
+		DeltaActual: delta / 10,
+		GST:         gst,
+		Attack:      spec,
+		Duration:    gst + 30*time.Duration(f+1)*gamma,
+		Seed:        seed,
+	}
+}
+
+// AttackCell is one protocol × strategy cell of an attack sweep.
+type AttackCell struct {
+	// Protocol and Attack identify the cell.
+	Protocol Protocol
+	Attack   string
+	// Seed is the cell's derived seed.
+	Seed int64
+	// Decided reports whether an honest-leader decision landed after
+	// GST; SyncLatency is its distance from GST.
+	Decided     bool
+	SyncLatency time.Duration
+	// WindowWords is W_GST in words: honest communication from GST to
+	// the first honest-leader decision after it.
+	WindowWords int64
+	// TotalWords is the honest word total over the whole run.
+	TotalWords int64
+	// Decisions counts honest-leader decisions over the whole run;
+	// MeanWords is the steady-state mean words per decision window
+	// after GST.
+	Decisions int
+	MeanWords float64
+}
+
+// AttackReport aggregates an attack sweep.
+type AttackReport struct {
+	// Cells holds one entry per protocol × strategy, protocols outer
+	// (AllProtocols order), strategies inner (AttackSpecs order).
+	Cells []AttackCell
+	// Workers is the worker-pool size the sweep used.
+	Workers int
+	// Elapsed is the sweep's wall-clock time.
+	Elapsed time.Duration
+}
+
+// AllDecided reports whether every cell resynchronized after GST — the
+// attacks are all model-legal, so a stalled cell is a protocol failure.
+func (r *AttackReport) AllDecided() bool {
+	for i := range r.Cells {
+		if !r.Cells[i].Decided {
+			return false
+		}
+	}
+	return true
+}
+
+// Table renders the report: one row per protocol, one column per
+// strategy, each cell "latency words" (post-GST view-synchronization
+// latency in Δ and total honest words over the run). The rendering is a
+// pure function of the simulated executions, so it is byte-identical at
+// every worker count.
+func (r *AttackReport) Table() *Table {
+	delta := AttackDelta
+	t := &Table{Title: "Attack table: view-sync latency after GST (in Δ) and total honest words under adaptive strategies"}
+	t.Header = []string{"protocol"}
+	for _, spec := range AttackSpecs() {
+		t.Header = append(t.Header, spec.Name)
+	}
+	stride := len(AttackSpecs())
+	for pi, p := range AllProtocols {
+		row := []string{string(p)}
+		for si := 0; si < stride; si++ {
+			c := &r.Cells[pi*stride+si]
+			if !c.Decided {
+				row = append(row, "stalled")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.2fΔ %dw", float64(c.SyncLatency)/float64(delta), c.TotalWords))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.AddNote("strategies: vote-then-silence desync, next-f-leaders omission, honest-till-GST straddle, leader-slot darkness + sync spam")
+	t.AddNote("words charge honest sends only (msg.Words per message); W_GST windows are in AttackCell.WindowWords")
+	return t
+}
+
+// measureAttack extracts one cell from a finished attacked run.
+func measureAttack(res *Result) AttackCell {
+	s := res.Scenario
+	cell := AttackCell{
+		Protocol:   s.Protocol,
+		Attack:     s.Attack.Name,
+		Seed:       s.Seed,
+		Decisions:  res.DecisionCount(),
+		TotalWords: res.Collector.WordsTotal(),
+	}
+	if w, lat, ok := res.Collector.WordsWindowAfter(res.GST); ok {
+		cell.Decided = true
+		cell.SyncLatency = lat
+		cell.WindowWords = w
+	}
+	cell.MeanWords = res.Collector.Stats(res.GST, 2).MeanWords
+	return cell
+}
+
+// Attack runs one attack strategy (by index into AttackSpecs) for one
+// protocol and size.
+func Attack(p Protocol, f, si int, seed int64) AttackCell {
+	return measureAttack(Run(attackScenario(p, f, AttackSpecs()[si], seed)))
+}
+
+// AttackSweep runs every protocol under every attack strategy (the
+// AllProtocols × AttackSpecs matrix) on the sweep engine. Cell seeds
+// derive from (seed, cell index), so the report is byte-identical at
+// every worker count.
+func AttackSweep(f int, seed int64, opts SweepOptions) *AttackReport {
+	specs := AttackSpecs()
+	scenarios := make([]Scenario, 0, len(AllProtocols)*len(specs))
+	for _, p := range AllProtocols {
+		for _, spec := range specs {
+			scenarios = append(scenarios, attackScenario(p, f, spec, 0))
+		}
+	}
+	opts.BaseSeed, opts.KeepSeeds = seed, false
+	sr := Sweep(scenarios, opts)
+
+	rep := &AttackReport{Workers: sr.Workers, Elapsed: sr.Elapsed}
+	for i := range sr.Cells {
+		cell := measureAttack(sr.Cells[i].Result)
+		cell.Seed = sr.Cells[i].Scenario.Seed
+		rep.Cells = append(rep.Cells, cell)
+	}
+	return rep
+}
+
+// AttackTable renders the attack comparison: every protocol's post-GST
+// view-synchronization latency and words under the four adaptive
+// strategies.
+func AttackTable(f int, seed int64) *Table {
+	return AttackTableOpts(f, seed, SweepOptions{})
+}
+
+// AttackTableOpts is AttackTable with explicit sweep options.
+func AttackTableOpts(f int, seed int64, opts SweepOptions) *Table {
+	return AttackSweep(f, seed, opts).Table()
+}
+
+// ---------------------------------------------------------------------------
+// Word-complexity scaling (the eventual linear-in-f_a claim, in words)
+// ---------------------------------------------------------------------------
+
+// wordsTable runs the AllProtocols × axis matrix (protocols outer,
+// per-cell derived seeds) on the sweep engine and renders the maximum
+// honest words per decision window, one column per axis value.
+func wordsTable(title string, axis []int, col func(v int) string, scenario func(p Protocol, v int) Scenario, seed int64, opts SweepOptions) *Table {
+	scenarios := make([]Scenario, 0, len(AllProtocols)*len(axis))
+	for _, p := range AllProtocols {
+		for _, v := range axis {
+			scenarios = append(scenarios, scenario(p, v))
+		}
+	}
+	opts.BaseSeed, opts.KeepSeeds = seed, false
+	results := Sweep(scenarios, opts).Results()
+
+	t := &Table{Title: title}
+	t.Header = []string{"protocol"}
+	for _, v := range axis {
+		t.Header = append(t.Header, col(v))
+	}
+	for pi, p := range AllProtocols {
+		row := []string{string(p)}
+		for vi := range axis {
+			r := measureEventual(results[pi*len(axis)+vi])
+			if r.Decisions == 0 {
+				row = append(row, "stalled")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.0f", r.MaxWords))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// EventualWordsTable regenerates the eventual worst-case communication
+// comparison in words: the maximum honest words between consecutive
+// decisions as f_a grows at fixed n = 3f+1. Lumiere and Fever grow
+// linearly in f_a (O(n·f_a + n) words); LP22 and NK20 pay their Θ(n²)
+// synchronizations regardless of how many processors actually failed.
+func EventualWordsTable(f int, fas []int, seed int64, opts SweepOptions) *Table {
+	t := wordsTable(
+		fmt.Sprintf("Eventual worst-case communication in words, n=%d: max words between consecutive decisions", 3*f+1),
+		fas,
+		func(fa int) string { return fmt.Sprintf("fa=%d", fa) },
+		func(p Protocol, fa int) Scenario { return eventualScenario(p, f, fa, 0) },
+		seed, opts)
+	t.AddNote("paper: Lumiere/Fever O(n·f_a+n) words — growing with actual faults; LP22/NK20 O(n²) regardless of f_a")
+	return t
+}
+
+// WordScalingTable sweeps n at fixed f_a and reports the maximum words
+// per decision window: the word-complexity counterpart of
+// EventualScaling. Lumiere's and Fever's rows grow ~linearly in n,
+// LP22's and NK20's quadratically — the scenario family where eventual
+// word counts track actual faults rather than system size.
+func WordScalingTable(fs []int, fa int, seed int64, opts SweepOptions) *Table {
+	t := wordsTable(
+		fmt.Sprintf("Eventual word-complexity scaling (f_a=%d): max words between consecutive decisions", fa),
+		fs,
+		func(f int) string { return fmt.Sprintf("n=%d", 3*f+1) },
+		func(p Protocol, f int) Scenario { return eventualScenario(p, f, fa, 0) },
+		seed, opts)
+	t.AddNote("divide a row by n: ~flat for Lumiere/Fever (words linear in n), growing for LP22/NK20 (quadratic)")
+	return t
+}

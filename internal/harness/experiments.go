@@ -328,6 +328,8 @@ type EventualResult struct {
 	F, N, Fa  int
 	MaxMsgs   float64
 	MeanMsgs  float64
+	MaxWords  float64
+	MeanWords float64
 	MaxGap    time.Duration
 	MeanGap   time.Duration
 	Decisions int
@@ -364,6 +366,8 @@ func measureEventual(res *Result) EventualResult {
 		Fa:        len(s.Corruptions),
 		MaxMsgs:   stats.MaxMsgs,
 		MeanMsgs:  stats.MeanMsgs,
+		MaxWords:  stats.MaxWords,
+		MeanWords: stats.MeanWords,
 		MaxGap:    stats.MaxGap,
 		MeanGap:   stats.MeanGap,
 		Decisions: stats.Count,

@@ -108,6 +108,14 @@ type Scenario struct {
 	// Corruptions marks Byzantine processors and their behaviors.
 	Corruptions []adversary.Corruption
 
+	// Attack selects an adaptive attack strategy (adversary.Strategy):
+	// the strategy observes protocol traffic through read-only hooks
+	// and steers its corrupted processors dynamically. The zero value
+	// disables the attack. The strategy's processors (Attack.Nodes,
+	// default F) are the highest IDs not otherwise corrupted; together
+	// with Corruptions they must not exceed F.
+	Attack adversary.AttackSpec
+
 	// InitialOffsets sets each processor's initial local-clock value
 	// (Fever's bounded initial skew); nil means all zero.
 	InitialOffsets []time.Duration
@@ -258,7 +266,24 @@ func Run(s Scenario) *Result {
 	if s.PreGSTChaos {
 		policy = network.PreGSTChaos{GST: gst, After: policy}
 	}
-	net := network.NewNetLink(sched, cfg, gst, s.linkPolicy(cfg, gst, policy))
+
+	// Adaptive attack: instantiate the strategy and extend the
+	// corruption set with its processors before honesty is classified;
+	// the strategy's Link becomes the outermost message schedule, with
+	// the scenario's composed policy as its base.
+	var strat adversary.Strategy
+	baseLink := s.linkPolicy(cfg, gst, policy)
+	link := baseLink
+	if s.Attack.Enabled() {
+		st, err := s.Attack.Strategy()
+		if err != nil {
+			panic(fmt.Sprintf("harness: %v", err))
+		}
+		strat = st
+		s.Corruptions = withStrategicNodes(s.Corruptions, cfg, s.Attack.Nodes)
+		link = network.LinkFunc(strat.Link)
+	}
+	net := network.NewNetLink(sched, cfg, gst, link)
 	if s.OmissionBudget != (network.OmissionBudget{}) {
 		// The network treats MaxSenders 0 as "no per-sender cap", which
 		// would let omissions touch more than f senders — reject it
@@ -278,7 +303,7 @@ func Run(s Scenario) *Result {
 			net.SetByzantine(c.Node)
 		}
 	}
-	var copts []metrics.Option
+	copts := []metrics.Option{metrics.WithEpochWords(accountingEpochLen(s, cfg))}
 	if s.KeepSendLog {
 		copts = append(copts, metrics.WithSendLog())
 	}
@@ -293,6 +318,7 @@ func Run(s Scenario) *Result {
 
 	replicas := make([]*replica.Replica, cfg.N)
 	clocks := make([]*clock.Clock, cfg.N)
+	eps := make([]network.Endpoint, cfg.N)
 	honest := make([]bool, cfg.N)
 	sms := make([]statemachine.StateMachine, cfg.N)
 	var gamma time.Duration
@@ -303,6 +329,7 @@ func Run(s Scenario) *Result {
 		r := replica.New(id, nil, nil)
 		replicas[i] = r
 		ep := net.Attach(id, r)
+		eps[i] = ep
 		corr := behaviors[id]
 		if corr.Behavior == adversary.BehaviorCrash {
 			r.Crashed = true
@@ -334,15 +361,57 @@ func Run(s Scenario) *Result {
 				sms[i] = statemachine.NewKV()
 			}
 		}
+		// Only honest replicas feed the strategy's pacemaker hooks:
+		// the attack frontier tracks honest progress, not the attacker's
+		// own (possibly silenced, clock-driven) view entries.
+		pobs := pacemaker.Observer(pacemaker.NopObserver{})
+		if strat != nil && net.Honest(id) {
+			pobs = adversary.PMObserver(strat, id)
+		}
 		i := i
 		sched.At(startAt, func() {
 			clk := clock.New(sched, offset)
 			clocks[i] = clk
-			pm, engine, g := buildProtocol(s, cfg, ep, sched, clk, suite, corr, tracer, collector, sms[i])
+			pm, engine, g := buildProtocol(s, cfg, ep, sched, clk, suite, corr, tracer, collector, pobs, sms[i])
 			gamma = g
 			r.PM = pm
 			r.Core = engine
 			r.Start()
+		})
+	}
+
+	if strat != nil {
+		net.Observe(adversary.NetObserver(strat))
+		// The leader schedule is shared by all replicas; resolve (and
+		// cache) the first booted pacemaker — Leader sits on the
+		// strategy Link/Observe hot paths.
+		var leaderPM pacemaker.Pacemaker
+		strat.Init(&adversary.Env{
+			Cfg:       cfg,
+			GST:       gst,
+			Corrupted: strategicNodes(s.Corruptions),
+			Leader: func(v types.View) types.NodeID {
+				if leaderPM == nil {
+					for _, r := range replicas {
+						if r.PM != nil {
+							leaderPM = r.PM
+							break
+						}
+					}
+					if leaderPM == nil {
+						return -1
+					}
+				}
+				return leaderPM.Leader(v)
+			},
+			Now:       sched.Now,
+			At:        func(t types.Time, fn func()) { sched.At(t, fn) },
+			After:     func(d time.Duration, fn func()) { sched.After(d, fn) },
+			Silence:   net.Kill,
+			Unsilence: net.Revive,
+			Broadcast: func(from types.NodeID, m msg.Message) { eps[from].Broadcast(m) },
+			SyncMsg:   syncSpamBuilder(s, cfg, suite),
+			Base:      baseLink,
 		})
 	}
 
@@ -469,10 +538,12 @@ func (o *qcObserver) OnQCProduced(qc *msg.QC, at types.Time) {
 }
 
 // buildProtocol constructs the pacemaker + consensus engine pair for one
-// node.
+// node. pobs receives the pacemaker's lifecycle notifications (view and
+// epoch entries, heavy syncs) — the observation hooks adaptive attack
+// strategies read.
 func buildProtocol(s Scenario, cfg types.Config, ep network.Endpoint, sched *sim.Scheduler,
 	clk *clock.Clock, suite crypto.Suite, corr adversary.Corruption,
-	tracer *trace.Tracer, collector *metrics.Collector,
+	tracer *trace.Tracer, collector *metrics.Collector, pobs pacemaker.Observer,
 	sm statemachine.StateMachine) (pacemaker.Pacemaker, replica.Engine, time.Duration) {
 
 	var pm pacemaker.Pacemaker
@@ -508,27 +579,27 @@ func buildProtocol(s Scenario, cfg types.Config, ep network.Endpoint, sched *sim
 		if s.Protocol == ProtoBasic {
 			ccfg.Variant = core.VariantBasic
 		}
-		p := core.New(ccfg, ep, sched, clk, suite, driver, pacemaker.NopObserver{}, tracer)
+		p := core.New(ccfg, ep, sched, clk, suite, driver, pobs, tracer)
 		gamma = p.Gamma()
 		pm = p
 	case ProtoLP22:
-		p := lp22.New(lp22.Config{Base: cfg, GammaOverride: s.GammaOverride}, ep, sched, clk, suite, driver, pacemaker.NopObserver{}, tracer)
+		p := lp22.New(lp22.Config{Base: cfg, GammaOverride: s.GammaOverride}, ep, sched, clk, suite, driver, pobs, tracer)
 		gamma = p.Gamma()
 		pm = p
 	case ProtoRareSync:
-		p := raresync.New(raresync.Config{Base: cfg, GammaOverride: s.GammaOverride}, ep, sched, clk, suite, driver, pacemaker.NopObserver{}, tracer)
+		p := raresync.New(raresync.Config{Base: cfg, GammaOverride: s.GammaOverride}, ep, sched, clk, suite, driver, pobs, tracer)
 		gamma = p.Gamma()
 		pm = p
 	case ProtoFever:
-		p := fever.New(fever.Config{Base: cfg, GammaOverride: s.GammaOverride}, ep, sched, clk, suite, driver, pacemaker.NopObserver{}, tracer)
+		p := fever.New(fever.Config{Base: cfg, GammaOverride: s.GammaOverride}, ep, sched, clk, suite, driver, pobs, tracer)
 		gamma = p.Gamma()
 		pm = p
 	case ProtoCogsworth:
-		p := cogsworth.New(cogsworth.Config{Base: cfg}, ep, sched, suite, driver, pacemaker.NopObserver{}, tracer)
+		p := cogsworth.New(cogsworth.Config{Base: cfg}, ep, sched, suite, driver, pobs, tracer)
 		gamma = time.Duration(cfg.X+1) * cfg.Delta
 		pm = p
 	case ProtoNK20:
-		p := nk20.New(nk20.Config{Base: cfg}, ep, sched, suite, driver, pacemaker.NopObserver{}, tracer)
+		p := nk20.New(nk20.Config{Base: cfg}, ep, sched, suite, driver, pobs, tracer)
 		gamma = time.Duration(cfg.X+1) * cfg.Delta
 		pm = p
 	default:

@@ -43,10 +43,11 @@ type Decision struct {
 }
 
 // sendPoint is one entry of the compressed cumulative send series: count
-// honest sends happened at exactly instant at.
+// honest sends totalling words words happened at exactly instant at.
 type sendPoint struct {
 	at    types.Time
 	count int64
+	words int64
 }
 
 // Option configures a Collector.
@@ -59,6 +60,19 @@ func WithSendLog() Option {
 	return func(c *Collector) { c.keepLog = true }
 }
 
+// WithEpochWords enables the per-epoch cumulative word series: every
+// honest send is charged msg.Words to the epoch View()/viewsPerEpoch of
+// the view it refers to (see WordsByEpoch). viewsPerEpoch is the
+// protocol's epoch length — a nominal grouping for protocols without
+// epochs.
+func WithEpochWords(viewsPerEpoch types.View) Option {
+	return func(c *Collector) {
+		if viewsPerEpoch > 0 {
+			c.epochLen = viewsPerEpoch
+		}
+	}
+}
+
 // Collector observes network traffic and decision events for one
 // execution. It is safe for concurrent use (the TCP runtime delivers from
 // multiple goroutines); under the simulator the mutex is uncontended.
@@ -68,14 +82,18 @@ type Collector struct {
 	sends   []SendRecord // WithSendLog only
 
 	// Streaming aggregates.
-	points      []sendPoint // per-distinct-timestamp honest send counts
+	points      []sendPoint // per-distinct-timestamp honest send counts and words
 	prefix      []int64     // prefix[i] = sends strictly before points[i]; len(points)+1 entries
-	pointsDirty bool        // prefix (and possibly point order) needs rebuilding
+	prefixW     []int64     // prefixW[i] = words strictly before points[i]; len(points)+1 entries
+	pointsDirty bool        // prefixes (and possibly point order) need rebuilding
 	pointsInOrd bool        // appends observed in non-decreasing At order so far
 	byKind      map[msg.Kind]int64
 	epochLast   map[types.View]types.Time // last epoch-view send per view
+	epochLen    types.View                // views per epoch for epochWords (0 = disabled)
+	epochWords  []int64                   // honest words per epoch (WithEpochWords)
 	honestTotal int64
 	kappaTotal  int64
+	wordsTotal  int64
 	byzTotal    int64
 
 	decisions []Decision
@@ -116,6 +134,8 @@ func (c *Collector) OnSend(from, _ types.NodeID, m msg.Message, at types.Time, h
 	}
 	c.honestTotal++
 	c.kappaTotal += int64(msg.KappaSize(m))
+	words := int64(msg.Words(m))
+	c.wordsTotal += words
 	kind := m.Kind()
 	c.byKind[kind]++
 	if kind == msg.KindEpochView {
@@ -124,13 +144,23 @@ func (c *Collector) OnSend(from, _ types.NodeID, m msg.Message, at types.Time, h
 			c.epochLast[v] = at
 		}
 	}
+	if c.epochLen > 0 {
+		if v := m.View(); v >= 0 {
+			e := int(v / c.epochLen)
+			for len(c.epochWords) <= e {
+				c.epochWords = append(c.epochWords, 0)
+			}
+			c.epochWords[e] += words
+		}
+	}
 	if n := len(c.points); n > 0 && c.points[n-1].at == at {
 		c.points[n-1].count++
+		c.points[n-1].words += words
 	} else {
 		if n > 0 && at < c.points[n-1].at {
 			c.pointsInOrd = false
 		}
-		c.points = append(c.points, sendPoint{at: at, count: 1})
+		c.points = append(c.points, sendPoint{at: at, count: 1, words: words})
 	}
 	c.pointsDirty = true
 	if c.keepLog {
@@ -170,6 +200,7 @@ func (c *Collector) normalizeLocked() {
 		for _, p := range c.points {
 			if n := len(merged); n > 0 && merged[n-1].at == p.at {
 				merged[n-1].count += p.count
+				merged[n-1].words += p.words
 			} else {
 				merged = append(merged, p)
 			}
@@ -179,11 +210,14 @@ func (c *Collector) normalizeLocked() {
 	}
 	if cap(c.prefix) < len(c.points)+1 {
 		c.prefix = make([]int64, len(c.points)+1)
+		c.prefixW = make([]int64, len(c.points)+1)
 	}
 	c.prefix = c.prefix[:len(c.points)+1]
-	c.prefix[0] = 0
+	c.prefixW = c.prefixW[:len(c.points)+1]
+	c.prefix[0], c.prefixW[0] = 0, 0
 	for i, p := range c.points {
 		c.prefix[i+1] = c.prefix[i] + p.count
+		c.prefixW[i+1] = c.prefixW[i] + p.words
 	}
 	c.pointsDirty = false
 }
@@ -252,12 +286,13 @@ func (c *Collector) Sends() []SendRecord {
 	return append([]SendRecord(nil), c.sends...)
 }
 
-// sendsBetween counts honest sends with At in (a, b] from the compressed
-// cumulative series. Callers must hold mu and have normalized.
-func (c *Collector) sendsBetween(a, b types.Time) int64 {
+// sendsBetween counts honest sends and their words with At in (a, b]
+// from the compressed cumulative series. Callers must hold mu and have
+// normalized.
+func (c *Collector) sendsBetween(a, b types.Time) (msgs, words int64) {
 	lo := sort.Search(len(c.points), func(i int) bool { return c.points[i].at > a })
 	hi := sort.Search(len(c.points), func(i int) bool { return c.points[i].at > b })
-	return c.prefix[hi] - c.prefix[lo]
+	return c.prefix[hi] - c.prefix[lo], c.prefixW[hi] - c.prefixW[lo]
 }
 
 // FirstDecisionAfter returns the first decision strictly after t.
@@ -276,24 +311,44 @@ func (c *Collector) firstDecisionAfterLocked(t types.Time) (Decision, bool) {
 	return c.decisions[i], true
 }
 
+// windowAfterLocked is the shared body of WindowAfter and
+// WordsWindowAfter: messages, words and elapsed time from t to the
+// first honest-leader decision after it. Callers must hold mu.
+func (c *Collector) windowAfterLocked(t types.Time) (msgs, words int64, latency time.Duration, ok bool) {
+	d, found := c.firstDecisionAfterLocked(t)
+	if !found {
+		return 0, 0, 0, false
+	}
+	c.normalizeLocked()
+	m, w := c.sendsBetween(t, d.At)
+	return m, w, d.At.Sub(t), true
+}
+
 // WindowAfter computes the paper's W_T and t*_T − T for a given T: the
 // number of honest messages and elapsed time from T to the first
 // honest-leader decision after T. ok is false when no decision follows T.
 func (c *Collector) WindowAfter(t types.Time) (msgs int64, latency time.Duration, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	d, found := c.firstDecisionAfterLocked(t)
-	if !found {
-		return 0, 0, false
-	}
-	c.normalizeLocked()
-	return c.sendsBetween(t, d.At), d.At.Sub(t), true
+	m, _, lat, ok := c.windowAfterLocked(t)
+	return m, lat, ok
+}
+
+// WordsWindowAfter is WindowAfter in words: the honest communication in
+// words (msg.Words per send) and elapsed time from T to the first
+// honest-leader decision after T.
+func (c *Collector) WordsWindowAfter(t types.Time) (words int64, latency time.Duration, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, w, lat, ok := c.windowAfterLocked(t)
+	return w, lat, ok
 }
 
 // Interval summarizes one window between consecutive decisions.
 type Interval struct {
 	From, To types.Time
 	Msgs     int64
+	Words    int64
 	Gap      time.Duration
 }
 
@@ -313,11 +368,13 @@ func (c *Collector) Intervals(t types.Time, skip int) []Interval {
 			continue
 		}
 		if seen >= skip {
+			m, w := c.sendsBetween(prev, d.At)
 			out = append(out, Interval{
-				From: prev,
-				To:   d.At,
-				Msgs: c.sendsBetween(prev, d.At),
-				Gap:  d.At.Sub(prev),
+				From:  prev,
+				To:    d.At,
+				Msgs:  m,
+				Words: w,
+				Gap:   d.At.Sub(prev),
 			})
 		}
 		prev = d.At
@@ -330,8 +387,10 @@ func (c *Collector) Intervals(t types.Time, skip int) []Interval {
 type IntervalStats struct {
 	Count                int
 	MaxMsgs, MeanMsgs    float64
+	MaxWords, MeanWords  float64
 	MaxGap, MeanGap      time.Duration
 	TotalMsgs            int64
+	TotalWords           int64
 	TotalSpan            time.Duration
 	P99Msgs              float64
 	DecisionsPerSecSimed float64
@@ -346,14 +405,18 @@ func (c *Collector) Stats(t types.Time, skip int) IntervalStats {
 		return s
 	}
 	msgs := make([]int64, 0, len(ivs))
-	var sumMsgs int64
+	var sumMsgs, sumWords int64
 	var sumGap time.Duration
 	for _, iv := range ivs {
 		msgs = append(msgs, iv.Msgs)
 		sumMsgs += iv.Msgs
+		sumWords += iv.Words
 		sumGap += iv.Gap
 		if float64(iv.Msgs) > s.MaxMsgs {
 			s.MaxMsgs = float64(iv.Msgs)
+		}
+		if float64(iv.Words) > s.MaxWords {
+			s.MaxWords = float64(iv.Words)
 		}
 		if iv.Gap > s.MaxGap {
 			s.MaxGap = iv.Gap
@@ -362,8 +425,10 @@ func (c *Collector) Stats(t types.Time, skip int) IntervalStats {
 	sort.Slice(msgs, func(i, j int) bool { return msgs[i] < msgs[j] })
 	s.P99Msgs = float64(msgs[(len(msgs)*99)/100])
 	s.MeanMsgs = float64(sumMsgs) / float64(len(ivs))
+	s.MeanWords = float64(sumWords) / float64(len(ivs))
 	s.MeanGap = sumGap / time.Duration(len(ivs))
 	s.TotalMsgs = sumMsgs
+	s.TotalWords = sumWords
 	s.TotalSpan = ivs[len(ivs)-1].To.Sub(ivs[0].From)
 	if s.TotalSpan > 0 {
 		s.DecisionsPerSecSimed = float64(len(ivs)) / s.TotalSpan.Seconds()
@@ -401,4 +466,35 @@ func (c *Collector) KappaBytes() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.kappaTotal
+}
+
+// WordsTotal returns the total honest communication in words (msg.Words
+// per send): the paper's word complexity, accumulated over the whole
+// execution.
+func (c *Collector) WordsTotal() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wordsTotal
+}
+
+// WordsBetween returns the honest words sent in (a, b].
+func (c *Collector) WordsBetween(a, b types.Time) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.normalizeLocked()
+	_, w := c.sendsBetween(a, b)
+	return w
+}
+
+// WordsByEpoch returns a copy of the per-epoch honest word totals:
+// entry e holds the words of messages referring to views in epoch e
+// (View/viewsPerEpoch per WithEpochWords). Nil unless the Collector was
+// built WithEpochWords.
+func (c *Collector) WordsByEpoch() []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.epochLen == 0 {
+		return nil
+	}
+	return append([]int64(nil), c.epochWords...)
 }

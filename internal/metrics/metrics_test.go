@@ -235,3 +235,79 @@ func TestKappaAccounting(t *testing.T) {
 		t.Fatalf("kappa = %d, want 1 (view) + 2 (proposal)", got)
 	}
 }
+
+func TestWordsAccounting(t *testing.T) {
+	c := newTestCollector()
+	c.OnSend(0, 1, &msg.ViewMsg{V: 1}, 1, true)  // 2 words
+	c.OnSend(0, 1, &msg.QC{V: 1}, 2, true)       // 3 words
+	c.OnSend(2, 1, &msg.QC{V: 1}, 3, false)      // byzantine: not charged
+	c.OnSend(0, 1, &msg.Proposal{V: 2}, 4, true) // no justify: 2 words
+	if got := c.WordsTotal(); got != 7 {
+		t.Fatalf("words = %d, want 2+3+2", got)
+	}
+	if got := c.WordsBetween(1, 4); got != 5 {
+		t.Fatalf("words in (1,4] = %d, want 5", got)
+	}
+	c.RecordDecision(1, 0, 3)
+	w, lat, ok := c.WordsWindowAfter(0)
+	if !ok || w != 5 || lat != 3 {
+		t.Fatalf("words window = (%d, %v, %v), want (5, 3, true)", w, lat, ok)
+	}
+}
+
+func TestWordsByEpoch(t *testing.T) {
+	c := NewCollector(nil, WithEpochWords(2))        // epochs of 2 views
+	c.OnSend(0, 1, &msg.ViewMsg{V: 0}, 1, true)      // epoch 0: 2 words
+	c.OnSend(0, 1, &msg.ViewMsg{V: 1}, 2, true)      // epoch 0: 2 words
+	c.OnSend(0, 1, &msg.EpochViewMsg{V: 4}, 3, true) // epoch 2: 2 words
+	c.OnSend(2, 1, &msg.ViewMsg{V: 4}, 4, false)     // byzantine: not charged
+	got := c.WordsByEpoch()
+	want := []int64{4, 0, 2}
+	if len(got) != len(want) {
+		t.Fatalf("epochs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("epochs = %v, want %v", got, want)
+		}
+	}
+	if NewCollector(nil).WordsByEpoch() != nil {
+		t.Fatal("epoch words must be nil when not enabled")
+	}
+}
+
+func TestIntervalWords(t *testing.T) {
+	c := newTestCollector()
+	fill(c) // 10 ViewMsgs (2 words each) at t=1..10; decisions at 3, 9
+	ivs := c.Intervals(0, 0)
+	if len(ivs) != 2 {
+		t.Fatalf("intervals = %d", len(ivs))
+	}
+	if ivs[0].Words != 6 || ivs[1].Words != 12 {
+		t.Fatalf("interval words = %d, %d; want 6, 12", ivs[0].Words, ivs[1].Words)
+	}
+	s := c.Stats(0, 0)
+	if s.TotalWords != 18 || s.MaxWords != 12 || s.MeanWords != 9 {
+		t.Fatalf("stats words = %+v", s)
+	}
+}
+
+// TestWordsAllocs extends the hot-path gate to the words and epoch-words
+// accounting: a warm collector with the epoch series enabled must not
+// allocate per send.
+func TestWordsAllocs(t *testing.T) {
+	c := NewCollector(nil, WithEpochWords(10))
+	m := &msg.ViewMsg{V: 1}
+	at := types.Time(0)
+	for i := 0; i < 100; i++ {
+		at++
+		c.OnSend(0, 1, m, at, true)
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		at++
+		c.OnSend(0, 1, m, at, true)
+	})
+	if avg > 0.1 {
+		t.Errorf("OnSend with epoch words allocates %.3f per send, want ~0", avg)
+	}
+}

@@ -104,3 +104,27 @@ func TestKappaSizeConstantPerKind(t *testing.T) {
 		}
 	}
 }
+
+func TestWordsModel(t *testing.T) {
+	// Words is the documented per-kind model: small constants, never
+	// below KappaSize (words charge the integers too), and sensitive
+	// only to which certificates a message actually carries.
+	for _, tc := range []struct {
+		m    Message
+		want int
+	}{
+		{&ViewMsg{}, 2}, {&EpochViewMsg{}, 2}, {&Wish{}, 2}, {&Timeout{}, 2},
+		{&VC{}, 2}, {&EC{}, 2}, {&TC{}, 2},
+		{&Vote{}, 3}, {&QC{}, 3},
+		{&Proposal{}, 2}, {&Proposal{Justify: &QC{}}, 5},
+		{&NewView{}, 1}, {&NewView{HighQC: &QC{}}, 4},
+		{&Request{}, 2},
+	} {
+		if got := Words(tc.m); got != tc.want {
+			t.Errorf("Words(%T) = %d, want %d", tc.m, got, tc.want)
+		}
+		if got, k := Words(tc.m), KappaSize(tc.m); got < k {
+			t.Errorf("Words(%T) = %d below KappaSize %d", tc.m, got, k)
+		}
+	}
+}

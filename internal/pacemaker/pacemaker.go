@@ -55,8 +55,10 @@ type Pacemaker interface {
 	Leader(v types.View) types.NodeID
 }
 
-// Observer receives pacemaker-level lifecycle notifications (for tracing
-// and metrics). All methods may be nil-safe no-ops.
+// Observer receives pacemaker-level lifecycle notifications: tracing,
+// metrics, and the read-only observation hooks adaptive attack
+// strategies consume (adversary.PMObserver). All methods may be
+// nil-safe no-ops.
 type Observer interface {
 	// OnEnterView fires when the processor enters a view.
 	OnEnterView(v types.View, at types.Time)

@@ -54,6 +54,15 @@ type (
 	ChaosCell = harness.ChaosCell
 	// ChaosReport aggregates a chaos conformance sweep.
 	ChaosReport = harness.ChaosReport
+	// AttackSpec selects an adaptive attack strategy for a scenario
+	// (Scenario.Attack): a named Strategy observing protocol traffic
+	// through read-only hooks and steering the corrupted processors
+	// dynamically.
+	AttackSpec = adversary.AttackSpec
+	// AttackCell is one protocol × strategy cell of an attack sweep.
+	AttackCell = harness.AttackCell
+	// AttackReport aggregates an attack sweep.
+	AttackReport = harness.AttackReport
 )
 
 // Protocols.
@@ -75,7 +84,23 @@ const (
 	BehaviorLateProposing = adversary.BehaviorLateProposing
 	BehaviorCrashAt       = adversary.BehaviorCrashAt
 	BehaviorChurn         = adversary.BehaviorChurn
+	BehaviorStrategic     = adversary.BehaviorStrategic
 )
+
+// Adaptive attack strategies (Scenario.Attack / RunAttackSweep).
+const (
+	// AttackViewDesync is the vote-then-silence desynchronizer.
+	AttackViewDesync = adversary.AttackViewDesync
+	// AttackLeaderTarget omits traffic to/from the next k leaders.
+	AttackLeaderTarget = adversary.AttackLeaderTarget
+	// AttackGSTStraddle is honest until GST, worst-case after.
+	AttackGSTStraddle = adversary.AttackGSTStraddle
+	// AttackSaturate spams protocol-legal sync traffic toward O(n²).
+	AttackSaturate = adversary.AttackSaturate
+)
+
+// AttackNames lists the implemented attack strategies.
+func AttackNames() []string { return adversary.AttackNames() }
 
 // AllProtocols lists every implemented protocol in Table 1 order.
 var AllProtocols = harness.AllProtocols
@@ -136,6 +161,19 @@ func RunChaosSweep(count int, seed int64, opts SweepOptions) *ChaosReport {
 // GenChaosScenario derives a reproducible scenario with at least one
 // chaos axis always on; see GenScenario.
 func GenChaosScenario(seed int64) Scenario { return harness.GenChaosScenario(seed) }
+
+// RunAttackSweep runs every protocol under every adaptive attack
+// strategy (AllProtocols × AttackNames) and reports each cell's
+// post-GST view-synchronization latency and honest communication in
+// words. The report depends only on (f, seed), never on the worker
+// count.
+func RunAttackSweep(f int, seed int64, opts SweepOptions) *AttackReport {
+	return harness.AttackSweep(f, seed, opts)
+}
+
+// AttackSpecs lists the attack table's strategies (default parameters)
+// in column order.
+func AttackSpecs() []AttackSpec { return harness.AttackSpecs() }
 
 // ---------------------------------------------------------------------------
 // Experiment drivers (the paper's table and figures; see EXPERIMENTS.md)
@@ -204,6 +242,30 @@ func ChaosTable(f int, seed int64) *Table { return harness.ChaosTable(f, seed) }
 // ChaosTableOpts is ChaosTable with explicit sweep options.
 func ChaosTableOpts(f int, seed int64, opts SweepOptions) *Table {
 	return harness.ChaosTableOpts(f, seed, opts)
+}
+
+// AttackTable compares every protocol under the four adaptive attack
+// strategies: post-GST view-synchronization latency (in Δ) and W_GST in
+// words per cell.
+func AttackTable(f int, seed int64) *Table { return harness.AttackTable(f, seed) }
+
+// AttackTableOpts is AttackTable with explicit sweep options.
+func AttackTableOpts(f int, seed int64, opts SweepOptions) *Table {
+	return harness.AttackTableOpts(f, seed, opts)
+}
+
+// EventualWordsTable reports the maximum honest words between
+// consecutive decisions as f_a grows at fixed n = 3f+1: Lumiere/Fever
+// grow linearly with the actual faults, LP22/NK20 pay Θ(n²) regardless.
+func EventualWordsTable(f int, fas []int, seed int64, opts SweepOptions) *Table {
+	return harness.EventualWordsTable(f, fas, seed, opts)
+}
+
+// WordScalingTable sweeps n at fixed f_a and reports the maximum words
+// per decision window: Lumiere's words grow ~linearly in n (driven by
+// actual faults), LP22's and NK20's quadratically.
+func WordScalingTable(fs []int, fa int, seed int64, opts SweepOptions) *Table {
+	return harness.WordScalingTable(fs, fa, seed, opts)
 }
 
 // GapShrinkage measures §3.5's honest-gap convergence.
