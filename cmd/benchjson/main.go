@@ -5,11 +5,21 @@
 //
 //	go test -run '^$' -bench 'SweepWorkers|AllocsPerSend' -benchtime 1x -benchmem . \
 //	  | go run ./cmd/benchjson > BENCH_sweep.json
+//
+// With -baseline old.json the emitted document also carries per-benchmark
+// deltas against the baseline report (vs_baseline: percent change of
+// ns/op, allocs/op and B/op, matched by benchmark name), and the command
+// exits nonzero when any benchmark regresses its allocs_per_op by more
+// than -max-alloc-regress percent (default 20). Allocation counts are
+// deterministic, so CI gates on them rather than on noisy wall-clock:
+//
+//	go run ./cmd/benchjson -baseline BENCH_sweep.json < bench.out > BENCH_new.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -43,6 +53,19 @@ type Benchmark struct {
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	// Metrics holds custom b.ReportMetric units (e.g. "sweep_ms").
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// VsBaseline holds percent deltas against a -baseline report's
+	// benchmark of the same Name (absent without -baseline or when the
+	// baseline lacks the benchmark).
+	VsBaseline *Delta `json:"vs_baseline,omitempty"`
+}
+
+// Delta is the percent change of one benchmark against the baseline:
+// 100·(new−old)/old per measure, present where both reports carry the
+// measure.
+type Delta struct {
+	NsPerOpPct     *float64 `json:"ns_per_op_pct,omitempty"`
+	AllocsPerOpPct *float64 `json:"allocs_per_op_pct,omitempty"`
+	BytesPerOpPct  *float64 `json:"bytes_per_op_pct,omitempty"`
 }
 
 // Report is the emitted document.
@@ -159,7 +182,64 @@ func splitProcsSuffix(name string) (string, int) {
 	return name[:i], procs
 }
 
+// pct returns 100·(new−old)/old, or nil when either side is missing or
+// old is zero (no meaningful ratio).
+func pct(newV, oldV *float64) *float64 {
+	if newV == nil || oldV == nil || *oldV == 0 {
+		return nil
+	}
+	p := 100 * (*newV - *oldV) / *oldV
+	return &p
+}
+
+// diffAgainst annotates every benchmark of rep that the baseline also
+// carries with its percent deltas. It returns the benchmarks whose
+// allocs_per_op regressed by more than maxAllocRegress percent, and the
+// baseline benchmarks absent from the new run — also a gate failure:
+// a renamed benchmark or a drifted -bench regex would otherwise turn
+// the regression gate into a silent no-op (intentional removals are
+// accompanied by a regenerated baseline in the same change).
+func diffAgainst(rep, baseline *Report, maxAllocRegress float64) (regressed, missing []string) {
+	base := make(map[string]*Benchmark, len(baseline.Benchmarks))
+	for i := range baseline.Benchmarks {
+		base[baseline.Benchmarks[i].Name] = &baseline.Benchmarks[i]
+	}
+	matched := make(map[string]bool, len(rep.Benchmarks))
+	for i := range rep.Benchmarks {
+		b := &rep.Benchmarks[i]
+		old, ok := base[b.Name]
+		if !ok {
+			continue
+		}
+		matched[b.Name] = true
+		ns := b.NsPerOp
+		oldNs := old.NsPerOp
+		d := &Delta{
+			NsPerOpPct:     pct(&ns, &oldNs),
+			AllocsPerOpPct: pct(b.AllocsPerOp, old.AllocsPerOp),
+			BytesPerOpPct:  pct(b.BytesPerOp, old.BytesPerOp),
+		}
+		b.VsBaseline = d
+		if d.AllocsPerOpPct != nil && *d.AllocsPerOpPct > maxAllocRegress {
+			regressed = append(regressed, fmt.Sprintf("%s: allocs/op %+.1f%% (%.0f -> %.0f)",
+				b.Name, *d.AllocsPerOpPct, *old.AllocsPerOp, *b.AllocsPerOp))
+		}
+	}
+	for i := range baseline.Benchmarks {
+		if name := baseline.Benchmarks[i].Name; !matched[name] {
+			missing = append(missing, name)
+		}
+	}
+	return regressed, missing
+}
+
 func main() {
+	var (
+		baselinePath    = flag.String("baseline", "", "baseline report to diff against (a prior benchjson output)")
+		maxAllocRegress = flag.Float64("max-alloc-regress", 20, "with -baseline: max tolerated allocs_per_op regression in percent before exiting nonzero")
+	)
+	flag.Parse()
+
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -169,10 +249,46 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+
+	var regressed, missing []string
+	if *baselinePath != "" {
+		raw, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		var baseline Report
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parse baseline %s: %v\n", *baselinePath, err)
+			os.Exit(1)
+		}
+		regressed, missing = diffAgainst(rep, &baseline, *maxAllocRegress)
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+	fail := false
+	if len(regressed) > 0 {
+		fail = true
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed allocs_per_op by more than %.0f%% vs %s:\n",
+			len(regressed), *maxAllocRegress, *baselinePath)
+		for _, r := range regressed {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+	}
+	if len(missing) > 0 {
+		fail = true
+		fmt.Fprintf(os.Stderr, "benchjson: %d baseline benchmark(s) missing from this run (renamed, or the -bench pattern drifted?); regenerate %s if intentional:\n",
+			len(missing), *baselinePath)
+		for _, m := range missing {
+			fmt.Fprintln(os.Stderr, "  "+m)
+		}
+	}
+	if fail {
+		os.Exit(2)
 	}
 }

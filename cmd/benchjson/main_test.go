@@ -129,3 +129,63 @@ func TestSplitProcsSuffix(t *testing.T) {
 		}
 	}
 }
+
+func fp(v float64) *float64 { return &v }
+
+// TestDiffAgainst pins the -baseline diff mode: deltas are percent
+// changes matched by name, missing measures and unmatched benchmarks
+// produce no delta, and only allocs_per_op regressions beyond the
+// threshold are reported.
+func TestDiffAgainst(t *testing.T) {
+	rep := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 150, AllocsPerOp: fp(130), BytesPerOp: fp(2000)},
+		{Name: "BenchmarkB", NsPerOp: 100, AllocsPerOp: fp(90)},
+		{Name: "BenchmarkNew", NsPerOp: 50},
+	}}
+	baseline := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: fp(100), BytesPerOp: fp(1000)},
+		{Name: "BenchmarkB", NsPerOp: 100, AllocsPerOp: fp(100)},
+		{Name: "BenchmarkGone", NsPerOp: 10, AllocsPerOp: fp(10)},
+	}}
+	regressed, missing := diffAgainst(rep, baseline, 20)
+	a := rep.Benchmarks[0].VsBaseline
+	if a == nil || *a.NsPerOpPct != 50 || *a.AllocsPerOpPct != 30 || *a.BytesPerOpPct != 100 {
+		t.Fatalf("BenchmarkA deltas = %+v", a)
+	}
+	if b := rep.Benchmarks[1].VsBaseline; b == nil || *b.AllocsPerOpPct != -10 || b.BytesPerOpPct != nil {
+		t.Fatalf("BenchmarkB deltas = %+v", b)
+	}
+	if rep.Benchmarks[2].VsBaseline != nil {
+		t.Fatalf("BenchmarkNew unexpectedly matched: %+v", rep.Benchmarks[2].VsBaseline)
+	}
+	if len(regressed) != 1 || !strings.Contains(regressed[0], "BenchmarkA") {
+		t.Fatalf("regressed = %v", regressed)
+	}
+	// A baseline benchmark the new run no longer carries is a gate
+	// failure in its own right — a silent rename or -bench drift must
+	// not turn the gate into a no-op.
+	if len(missing) != 1 || missing[0] != "BenchmarkGone" {
+		t.Fatalf("missing = %v", missing)
+	}
+	// A 30%% regression passes a 50%% threshold.
+	rep.Benchmarks[0].VsBaseline = nil
+	if r, _ := diffAgainst(rep, baseline, 50); len(r) != 0 {
+		t.Fatalf("regressed at 50%% threshold = %v", r)
+	}
+}
+
+// TestPct pins the delta helper's nil handling.
+func TestPct(t *testing.T) {
+	if p := pct(fp(120), fp(100)); p == nil || *p != 20 {
+		t.Fatalf("pct(120,100) = %v", p)
+	}
+	if p := pct(nil, fp(100)); p != nil {
+		t.Fatalf("pct(nil,100) = %v", p)
+	}
+	if p := pct(fp(1), nil); p != nil {
+		t.Fatalf("pct(1,nil) = %v", p)
+	}
+	if p := pct(fp(1), fp(0)); p != nil {
+		t.Fatalf("pct(1,0) = %v", p)
+	}
+}

@@ -18,23 +18,63 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"lumiere"
 )
 
 func main() {
+	// All failure paths return through realMain so the profile-writing
+	// defers (-cpuprofile/-memprofile) always flush before the process
+	// exits.
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
-		full     = flag.Bool("full", false, "run the full sweep (larger n; slower)")
-		seed     = flag.Int64("seed", 42, "randomness seed")
-		csvDir   = flag.String("csv", "", "directory for CSV output (optional)")
-		workers  = flag.Int("workers", runtime.NumCPU(), "sweep worker-pool size")
-		progress = flag.Bool("progress", false, "print per-cell sweep progress to stderr")
-		sendlog  = flag.Bool("sendlog", false, "retain full per-send record logs (debugging; large memory)")
-		chaos    = flag.Bool("chaos", false, "run only the chaos suite: fault-condition table + chaos conformance sweep")
-		attack   = flag.Bool("attack", false, "run only the attack suite: adaptive-strategy table + word-complexity tables")
+		full       = flag.Bool("full", false, "run the full sweep (larger n; slower)")
+		seed       = flag.Int64("seed", 42, "randomness seed")
+		csvDir     = flag.String("csv", "", "directory for CSV output (optional)")
+		workers    = flag.Int("workers", runtime.NumCPU(), "sweep worker-pool size")
+		progress   = flag.Bool("progress", false, "print per-cell sweep progress to stderr")
+		sendlog    = flag.Bool("sendlog", false, "retain full per-send record logs (debugging; large memory)")
+		chaos      = flag.Bool("chaos", false, "run only the chaos suite: fault-condition table + chaos conformance sweep")
+		attack     = flag.Bool("attack", false, "run only the attack suite: adaptive-strategy table + word-complexity tables")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write an allocation profile taken at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *cpuprofile, err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "start cpu profile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		// No early exit in here: it would skip the CPU-profile defers
+		// registered above and leave that profile unflushed.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "create %s: %v\n", *memprofile, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "write mem profile: %v\n", err)
+			}
+		}()
+	}
 
 	fs := []int{1, 3, 5, 10}
 	if *full {
@@ -62,7 +102,7 @@ func main() {
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "mkdir %s: %v\n", *csvDir, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -80,10 +120,10 @@ func main() {
 		emit("chaos_conformance", rep.Table())
 		if !rep.Conformant() {
 			fmt.Fprintf(os.Stderr, "chaos sweep NOT conformant: %d problems\n", rep.Problems)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("all %d chaos cells conformant; done in %v\n", len(rep.Cells), time.Since(start).Round(time.Second))
-		return
+		return 0
 	}
 	if *attack {
 		fmt.Printf("attack suite (seed %d, %d workers)\n\n", *seed, *workers)
@@ -96,12 +136,12 @@ func main() {
 		emit("attack_table", rep.Table())
 		if !rep.AllDecided() {
 			fmt.Fprintln(os.Stderr, "attack sweep has stalled cells: a model-legal attack defeated a protocol")
-			os.Exit(1)
+			return 1
 		}
 		emit("eventual_words", lumiere.EventualWordsTable(3, fas, *seed, opts))
 		emit("word_scaling", lumiere.WordScalingTable(fs, 1, *seed, opts))
 		fmt.Printf("all %d attack cells decided after GST; done in %v\n", len(rep.Cells), time.Since(start).Round(time.Second))
-		return
+		return 0
 	}
 	fmt.Printf("regenerating the paper's evaluation (seed %d, %d workers)\n\n", *seed, *workers)
 
@@ -137,4 +177,5 @@ func main() {
 	fmt.Printf("heavy syncs after warmup: with Δ-wait=%d, without=%d\n\n", w, wo)
 
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Second))
+	return 0
 }

@@ -58,6 +58,10 @@ type Pacemaker struct {
 	rt     clock.Runtime
 	suite  crypto.Suite
 	signer crypto.Signer
+	// stmt is the statement scratch: sign/verify statements are
+	// rebuilt in place, keeping the message hot paths free of
+	// per-call statement allocations.
+	stmt   msg.StmtScratch
 	driver pacemaker.Driver
 	obs    pacemaker.Observer
 	tr     *trace.Tracer
@@ -192,7 +196,7 @@ func (p *Pacemaker) sendWish() {
 	}
 	agg := p.aggregator(target, p.attempt)
 	p.tr.Emitf(p.rt.Now(), p.id, trace.SendView, target, "wish attempt %d -> %v", p.attempt, agg)
-	p.ep.Send(agg, &msg.Wish{V: target, Sig: p.signer.Sign(msg.WishStatement(target))})
+	p.ep.Send(agg, &msg.Wish{V: target, Sig: p.signer.Sign(p.stmt.Wish(target))})
 	attempt := p.attempt
 	p.retryCancel = p.rt.After(p.cfg.retryTimeout(), func() {
 		if p.syncTarget != target || p.view >= target || p.attempt != attempt {
@@ -212,7 +216,7 @@ func (p *Pacemaker) onWish(from types.NodeID, w *msg.Wish) {
 	if t <= p.view || p.tcSent[t] {
 		return
 	}
-	if w.Sig.Signer != from || p.suite.Verify(msg.WishStatement(t), w.Sig) != nil {
+	if w.Sig.Signer != from || p.suite.Verify(p.stmt.Wish(t), w.Sig) != nil {
 		return
 	}
 	sigs := p.wishes[t]
@@ -228,7 +232,7 @@ func (p *Pacemaker) onWish(from types.NodeID, w *msg.Wish) {
 	for _, s := range sigs {
 		flat = append(flat, s)
 	}
-	agg, err := p.suite.Aggregate(msg.WishStatement(t), flat)
+	agg, err := p.suite.Aggregate(p.stmt.Wish(t), flat)
 	if err != nil {
 		return
 	}
@@ -242,7 +246,7 @@ func (p *Pacemaker) onTC(tc *msg.TC) {
 	if t <= p.view || p.tcSeen[t] {
 		return
 	}
-	if p.suite.VerifyAggregate(msg.WishStatement(t), tc.Agg, p.cfg.Base.Majority()) != nil {
+	if p.suite.VerifyAggregate(p.stmt.Wish(t), tc.Agg, p.cfg.Base.Majority()) != nil {
 		return
 	}
 	p.tcSeen[t] = true
@@ -255,7 +259,7 @@ func (p *Pacemaker) onQC(qc *msg.QC) {
 	if v < p.view || p.qcDone[v] {
 		return
 	}
-	if p.suite.VerifyAggregate(msg.VoteStatement(v, qc.BlockHash), qc.Agg, p.cfg.Base.Quorum()) != nil {
+	if p.suite.VerifyAggregate(p.stmt.Vote(v, &qc.BlockHash), qc.Agg, p.cfg.Base.Quorum()) != nil {
 		return
 	}
 	p.qcDone[v] = true

@@ -51,6 +51,10 @@ type Pacemaker struct {
 	ticker *clock.Ticker
 	suite  crypto.Suite
 	signer crypto.Signer
+	// stmt is the statement scratch: sign/verify statements are
+	// rebuilt in place, keeping the message hot paths free of
+	// per-call statement allocations.
+	stmt   msg.StmtScratch
 	driver pacemaker.Driver
 	obs    pacemaker.Observer
 	tr     *trace.Tracer
@@ -171,7 +175,7 @@ func (p *Pacemaker) sendViewMsg(w types.View) {
 	}
 	p.sentView[w] = true
 	p.tr.Emit(p.rt.Now(), p.id, trace.SendView, w, "")
-	p.ep.Send(p.Leader(w), &msg.ViewMsg{V: w, Sig: p.signer.Sign(msg.ViewStatement(w))})
+	p.ep.Send(p.Leader(w), &msg.ViewMsg{V: w, Sig: p.signer.Sign(p.stmt.View(w))})
 }
 
 func (p *Pacemaker) onViewMsg(from types.NodeID, vm *msg.ViewMsg) {
@@ -179,7 +183,7 @@ func (p *Pacemaker) onViewMsg(from types.NodeID, vm *msg.ViewMsg) {
 	if !w.Initial() || p.Leader(w) != p.id || w < p.view || p.vcFormed[w] {
 		return
 	}
-	if vm.Sig.Signer != from || p.suite.Verify(msg.ViewStatement(w), vm.Sig) != nil {
+	if vm.Sig.Signer != from || p.suite.Verify(p.stmt.View(w), vm.Sig) != nil {
 		return
 	}
 	sigs := p.viewMsgs[w]
@@ -195,7 +199,7 @@ func (p *Pacemaker) onViewMsg(from types.NodeID, vm *msg.ViewMsg) {
 	for _, s := range sigs {
 		flat = append(flat, s)
 	}
-	agg, err := p.suite.Aggregate(msg.ViewStatement(w), flat)
+	agg, err := p.suite.Aggregate(p.stmt.View(w), flat)
 	if err != nil {
 		return
 	}
@@ -218,7 +222,7 @@ func (p *Pacemaker) onVC(vc *msg.VC) {
 	if !w.Initial() || p.vcSeen[w] {
 		return
 	}
-	if p.suite.VerifyAggregate(msg.ViewStatement(w), vc.Agg, p.cfg.Base.Majority()) != nil {
+	if p.suite.VerifyAggregate(p.stmt.View(w), vc.Agg, p.cfg.Base.Majority()) != nil {
 		return
 	}
 	p.vcSeen[w] = true
@@ -234,7 +238,7 @@ func (p *Pacemaker) onQC(qc *msg.QC) {
 	if p.qcDone[v] {
 		return
 	}
-	if p.suite.VerifyAggregate(msg.VoteStatement(v, qc.BlockHash), qc.Agg, p.cfg.Base.Quorum()) != nil {
+	if p.suite.VerifyAggregate(p.stmt.Vote(v, &qc.BlockHash), qc.Agg, p.cfg.Base.Quorum()) != nil {
 		return
 	}
 	p.qcDone[v] = true

@@ -56,6 +56,10 @@ type Pacemaker struct {
 	rt     clock.Runtime
 	suite  crypto.Suite
 	signer crypto.Signer
+	// stmt is the statement scratch: sign/verify statements are
+	// rebuilt in place, keeping the message hot paths free of
+	// per-call statement allocations.
+	stmt   msg.StmtScratch
 	driver pacemaker.Driver
 	obs    pacemaker.Observer
 	tr     *trace.Tracer
@@ -157,7 +161,7 @@ func (p *Pacemaker) onViewExpired(w types.View) {
 	}
 	for k := 1; k <= p.cfg.fanout(); k++ {
 		t := w + types.View(k)
-		p.ep.Send(p.Leader(t), &msg.Timeout{V: t, Sig: p.signer.Sign(msg.TimeoutStatement(t))})
+		p.ep.Send(p.Leader(t), &msg.Timeout{V: t, Sig: p.signer.Sign(p.stmt.Timeout(t))})
 	}
 	p.tr.Emitf(p.rt.Now(), p.id, trace.SendView, w+1, "timeout fanout %d", p.cfg.fanout())
 	// Re-arm: if synchronization fails (all f+1 leaders faulty cannot
@@ -171,7 +175,7 @@ func (p *Pacemaker) onTimeout(from types.NodeID, tm *msg.Timeout) {
 	if t <= p.view || p.Leader(t) != p.id || p.tcSent[t] {
 		return
 	}
-	if tm.Sig.Signer != from || p.suite.Verify(msg.TimeoutStatement(t), tm.Sig) != nil {
+	if tm.Sig.Signer != from || p.suite.Verify(p.stmt.Timeout(t), tm.Sig) != nil {
 		return
 	}
 	sigs := p.timeouts[t]
@@ -187,7 +191,7 @@ func (p *Pacemaker) onTimeout(from types.NodeID, tm *msg.Timeout) {
 	for _, s := range sigs {
 		flat = append(flat, s)
 	}
-	agg, err := p.suite.Aggregate(msg.TimeoutStatement(t), flat)
+	agg, err := p.suite.Aggregate(p.stmt.Timeout(t), flat)
 	if err != nil {
 		return
 	}
@@ -201,7 +205,7 @@ func (p *Pacemaker) onTC(tc *msg.TC) {
 	if t <= p.view || p.tcSeen[t] {
 		return
 	}
-	if p.suite.VerifyAggregate(msg.TimeoutStatement(t), tc.Agg, p.cfg.Base.Majority()) != nil {
+	if p.suite.VerifyAggregate(p.stmt.Timeout(t), tc.Agg, p.cfg.Base.Majority()) != nil {
 		return
 	}
 	p.tcSeen[t] = true
@@ -214,7 +218,7 @@ func (p *Pacemaker) onQC(qc *msg.QC) {
 	if v < p.view || p.qcDone[v] {
 		return
 	}
-	if p.suite.VerifyAggregate(msg.VoteStatement(v, qc.BlockHash), qc.Agg, p.cfg.Base.Quorum()) != nil {
+	if p.suite.VerifyAggregate(p.stmt.Vote(v, &qc.BlockHash), qc.Agg, p.cfg.Base.Quorum()) != nil {
 		return
 	}
 	p.qcDone[v] = true

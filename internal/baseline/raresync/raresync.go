@@ -54,6 +54,10 @@ type Pacemaker struct {
 	ticker *clock.Ticker
 	suite  crypto.Suite
 	signer crypto.Signer
+	// stmt is the statement scratch: sign/verify statements are
+	// rebuilt in place, keeping the message hot paths free of
+	// per-call statement allocations.
+	stmt   msg.StmtScratch
 	driver pacemaker.Driver
 	obs    pacemaker.Observer
 	tr     *trace.Tracer
@@ -173,7 +177,7 @@ func (p *Pacemaker) sendEpochViewMsg(w types.View) {
 	p.sentEpochView[w] = true
 	p.obs.OnHeavySync(w, p.rt.Now())
 	p.tr.Emit(p.rt.Now(), p.id, trace.SendEpoch, w, "")
-	p.ep.Broadcast(&msg.EpochViewMsg{V: w, Sig: p.signer.Sign(msg.EpochViewStatement(w))})
+	p.ep.Broadcast(&msg.EpochViewMsg{V: w, Sig: p.signer.Sign(p.stmt.EpochView(w))})
 }
 
 func (p *Pacemaker) onEpochViewMsg(from types.NodeID, em *msg.EpochViewMsg) {
@@ -181,7 +185,7 @@ func (p *Pacemaker) onEpochViewMsg(from types.NodeID, em *msg.EpochViewMsg) {
 	if !p.isEpochView(w) || p.ecDone[w] || w <= p.view {
 		return
 	}
-	if em.Sig.Signer != from || p.suite.Verify(msg.EpochViewStatement(w), em.Sig) != nil {
+	if em.Sig.Signer != from || p.suite.Verify(p.stmt.EpochView(w), em.Sig) != nil {
 		return
 	}
 	sigs := p.epochViewMsgs[w]
@@ -197,7 +201,7 @@ func (p *Pacemaker) onEpochViewMsg(from types.NodeID, em *msg.EpochViewMsg) {
 	for _, s := range sigs {
 		flat = append(flat, s)
 	}
-	agg, err := p.suite.Aggregate(msg.EpochViewStatement(w), flat)
+	agg, err := p.suite.Aggregate(p.stmt.EpochView(w), flat)
 	if err != nil {
 		return
 	}
@@ -210,7 +214,7 @@ func (p *Pacemaker) onECMessage(ec *msg.EC) {
 	if !p.isEpochView(w) || w <= p.view {
 		return
 	}
-	if p.suite.VerifyAggregate(msg.EpochViewStatement(w), ec.Agg, p.cfg.Base.Quorum()) != nil {
+	if p.suite.VerifyAggregate(p.stmt.EpochView(w), ec.Agg, p.cfg.Base.Quorum()) != nil {
 		return
 	}
 	p.enterEpoch(w)

@@ -16,6 +16,7 @@ package clock
 import (
 	"time"
 
+	"lumiere/internal/sim"
 	"lumiere/internal/types"
 )
 
@@ -31,6 +32,30 @@ type Runtime interface {
 	After(d time.Duration, fn func()) (cancel func())
 }
 
+// TimerRuntime is an optional Runtime extension providing handle-based
+// one-shot timers with eager cancellation. When the runtime supports
+// it, Clock arms and cancels its alarm through reusable Timer handles
+// and cached callbacks, so the alarm hot path — exercised at every view
+// boundary by every clock-driven pacemaker — performs no per-alarm
+// closure or cancel-handle allocation.
+//
+// The handle is the concrete sim.Timer: a zero-allocation handle needs
+// a concrete value type, and the simulator is the only runtime where
+// alarm churn matters (laptop-scale sweeps fire millions of
+// boundaries; the wall-clock runtime fires a handful per second and
+// keeps the closure-based fallback path below). This deliberately ties
+// the fast path to the simulator rather than inventing a second handle
+// abstraction.
+type TimerRuntime interface {
+	Runtime
+	// AtTimer schedules fn at absolute time t and returns a handle for
+	// Cancel. Past times are clamped to now.
+	AtTimer(t types.Time, fn func()) sim.Timer
+	// Cancel removes a scheduled timer; stale or zero handles are
+	// no-ops.
+	Cancel(tm sim.Timer)
+}
+
 // Clock is a pausable, bumpable local clock (lc(p) in the paper). The
 // zero value is not usable; use New. Clock is not internally synchronized:
 // the owning Runtime serializes access.
@@ -44,11 +69,32 @@ type Clock struct {
 	alarmFn     func()
 	alarmCancel func()
 	alarmGen    uint64
+
+	// Allocation-free alarm path, used when rt implements TimerRuntime:
+	// the pending alarm is a cancellable Timer handle and the callbacks
+	// are cached once at construction. Cancellation is eager (the timer
+	// leaves the runtime's queue immediately), which subsumes the
+	// generation checks of the closure-based fallback path.
+	trt     TimerRuntime
+	tm      sim.Timer
+	physFn  func() // physical-alarm callback (guards against pause races)
+	asyncFn func() // already-reached-target callback
 }
 
 // New returns a running Clock with lc = initial.
 func New(rt Runtime, initial types.Time) *Clock {
-	return &Clock{rt: rt, value: initial, anchor: rt.Now(), alarmTarget: types.TimeInf}
+	c := &Clock{rt: rt, value: initial, anchor: rt.Now(), alarmTarget: types.TimeInf}
+	if trt, ok := rt.(TimerRuntime); ok {
+		c.trt = trt
+		c.physFn = func() {
+			if c.paused {
+				return
+			}
+			c.fireAlarm()
+		}
+		c.asyncFn = c.fireAlarm
+	}
+	return c
 }
 
 // Read returns the current local-clock value lc(p).
@@ -116,6 +162,10 @@ func (c *Clock) SetAlarm(target types.Time, fn func()) {
 	c.alarmTarget = target
 	c.alarmFn = fn
 	if target <= c.Read() {
+		if c.trt != nil {
+			c.tm = c.trt.AtTimer(c.trt.Now(), c.asyncFn)
+			return
+		}
 		gen := c.alarmGen
 		c.alarmCancel = c.rt.After(0, func() {
 			if gen == c.alarmGen {
@@ -140,6 +190,11 @@ func (c *Clock) clearAlarm() {
 }
 
 func (c *Clock) cancelPhysical() {
+	if c.trt != nil {
+		c.trt.Cancel(c.tm)
+		c.tm = sim.Timer{}
+		return
+	}
 	if c.alarmCancel != nil {
 		c.alarmCancel()
 		c.alarmCancel = nil
@@ -151,6 +206,10 @@ func (c *Clock) armPhysical() {
 		return
 	}
 	d := c.alarmTarget.Sub(c.Read())
+	if c.trt != nil {
+		c.tm = c.trt.AtTimer(c.trt.Now().Add(d), c.physFn)
+		return
+	}
 	gen := c.alarmGen
 	c.alarmCancel = c.rt.After(d, func() {
 		if gen != c.alarmGen || c.paused {
@@ -165,6 +224,7 @@ func (c *Clock) fireAlarm() {
 	c.alarmFn = nil
 	c.alarmTarget = types.TimeInf
 	c.alarmCancel = nil
+	c.tm = sim.Timer{}
 	c.alarmGen++
 	if fn != nil {
 		fn()

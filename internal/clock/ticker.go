@@ -23,6 +23,7 @@ type Ticker struct {
 	clk    *Clock
 	gamma  time.Duration
 	handle func(v types.View)
+	syncFn func() // cached alarm callback: one closure per Ticker, not per boundary
 
 	cursor  types.Time // lc value up to which triggers have been evaluated
 	syncing bool
@@ -35,7 +36,9 @@ func NewTicker(clk *Clock, gamma time.Duration, handle func(v types.View)) *Tick
 	if gamma <= 0 {
 		panic("clock: non-positive gamma")
 	}
-	return &Ticker{clk: clk, gamma: gamma, handle: handle}
+	t := &Ticker{clk: clk, gamma: gamma, handle: handle}
+	t.syncFn = t.sync
+	return t
 }
 
 // Start begins delivering triggers for boundaries strictly greater than
@@ -124,7 +127,7 @@ func (t *Ticker) sync() {
 		t.fire(t.viewAt(next))
 	}
 	t.syncing = false
-	t.clk.SetAlarm(t.nextBoundaryAfter(t.cursor), func() { t.sync() })
+	t.clk.SetAlarm(t.nextBoundaryAfter(t.cursor), t.syncFn)
 }
 
 func (t *Ticker) fire(v types.View) {

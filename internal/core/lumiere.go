@@ -64,6 +64,10 @@ type Pacemaker struct {
 
 	violations []string
 	lastLC     types.Time
+
+	// stmt is the statement scratch: sign/verify statements are rebuilt
+	// in place, so the message hot paths allocate no statement buffers.
+	stmt msg.StmtScratch
 }
 
 var _ pacemaker.Pacemaker = (*Pacemaker)(nil)
@@ -177,7 +181,9 @@ func (p *Pacemaker) Handle(from types.NodeID, m msg.Message) {
 	case *msg.QC:
 		p.onQC(mm)
 	}
-	p.checkInvariants(fmt.Sprintf("handle %v", m.Kind()))
+	if p.cfg.CheckInvariants {
+		p.checkInvariants(fmt.Sprintf("handle %v", m.Kind()))
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -191,7 +197,9 @@ func (p *Pacemaker) onBoundary(w types.View) {
 	case w.Initial():
 		p.onInitialBoundary(w)
 	}
-	p.checkInvariants(fmt.Sprintf("boundary %v", w))
+	if p.cfg.CheckInvariants {
+		p.checkInvariants(fmt.Sprintf("boundary %v", w))
+	}
 }
 
 // onEpochBoundary implements lines 9-14: the clock attained c_w for an
@@ -259,7 +267,7 @@ func (p *Pacemaker) onViewMsg(from types.NodeID, vm *msg.ViewMsg) {
 	if !w.Initial() || p.schedule.Leader(w) != p.id || w < p.view || p.vcFormed[w] {
 		return
 	}
-	if vm.Sig.Signer != from || p.suite.Verify(msg.ViewStatement(w), vm.Sig) != nil {
+	if vm.Sig.Signer != from || p.suite.Verify(p.stmt.View(w), vm.Sig) != nil {
 		return
 	}
 	sigs := p.viewMsgs[w]
@@ -275,7 +283,7 @@ func (p *Pacemaker) onViewMsg(from types.NodeID, vm *msg.ViewMsg) {
 	for _, s := range sigs {
 		flat = append(flat, s)
 	}
-	agg, err := p.suite.Aggregate(msg.ViewStatement(w), flat)
+	agg, err := p.suite.Aggregate(p.stmt.View(w), flat)
 	if err != nil {
 		return
 	}
@@ -294,7 +302,7 @@ func (p *Pacemaker) onVC(vc *msg.VC) {
 	if !w.Initial() || w <= p.view || p.vcSeen[w] {
 		return
 	}
-	if p.suite.VerifyAggregate(msg.ViewStatement(w), vc.Agg, p.cfg.Base.Majority()) != nil {
+	if p.suite.VerifyAggregate(p.stmt.View(w), vc.Agg, p.cfg.Base.Majority()) != nil {
 		return
 	}
 	p.vcSeen[w] = true
@@ -323,7 +331,7 @@ func (p *Pacemaker) onEpochViewMsg(from types.NodeID, em *msg.EpochViewMsg) {
 	if !p.cfg.IsEpochView(w) || p.cfg.EpochOf(w) <= p.epoch-1 {
 		return
 	}
-	if em.Sig.Signer != from || p.suite.Verify(msg.EpochViewStatement(w), em.Sig) != nil {
+	if em.Sig.Signer != from || p.suite.Verify(p.stmt.EpochView(w), em.Sig) != nil {
 		return
 	}
 	sigs := p.epochViewMsgs[w]
@@ -352,7 +360,7 @@ func (p *Pacemaker) aggregateEpochViews(w types.View) (crypto.Aggregate, error) 
 	for _, s := range sigs {
 		flat = append(flat, s)
 	}
-	return p.suite.Aggregate(msg.EpochViewStatement(w), flat)
+	return p.suite.Aggregate(p.stmt.EpochView(w), flat)
 }
 
 // onTCMessage verifies a relayed compact TC.
@@ -361,7 +369,7 @@ func (p *Pacemaker) onTCMessage(tc *msg.TC) {
 	if p.cfg.Variant != VariantFull || !p.cfg.IsEpochView(w) || p.tcDone[w] {
 		return
 	}
-	if p.suite.VerifyAggregate(msg.EpochViewStatement(w), tc.Agg, p.cfg.Base.Majority()) != nil {
+	if p.suite.VerifyAggregate(p.stmt.EpochView(w), tc.Agg, p.cfg.Base.Majority()) != nil {
 		return
 	}
 	p.onTC(w)
@@ -373,7 +381,7 @@ func (p *Pacemaker) onECMessage(ec *msg.EC) {
 	if !p.cfg.IsEpochView(w) || p.ecDone[w] {
 		return
 	}
-	if p.suite.VerifyAggregate(msg.EpochViewStatement(w), ec.Agg, p.cfg.Base.Quorum()) != nil {
+	if p.suite.VerifyAggregate(p.stmt.EpochView(w), ec.Agg, p.cfg.Base.Quorum()) != nil {
 		return
 	}
 	if p.cfg.Variant == VariantFull && !p.tcDone[w] {
@@ -441,7 +449,7 @@ func (p *Pacemaker) onEC(w types.View) {
 func (p *Pacemaker) onQC(qc *msg.QC) {
 	v := qc.V
 	if !p.credited[v] && !p.qcDone[v] {
-		if p.suite.VerifyAggregate(msg.VoteStatement(v, qc.BlockHash), qc.Agg, p.cfg.Base.Quorum()) != nil {
+		if p.suite.VerifyAggregate(p.stmt.Vote(v, &qc.BlockHash), qc.Agg, p.cfg.Base.Quorum()) != nil {
 			return
 		}
 	}
@@ -586,7 +594,7 @@ func (p *Pacemaker) sendViewMsg(w types.View) {
 		return
 	}
 	p.sentView[w] = true
-	sig := p.signer.Sign(msg.ViewStatement(w))
+	sig := p.signer.Sign(p.stmt.View(w))
 	p.tr.Emit(p.rt.Now(), p.id, trace.SendView, w, "")
 	p.ep.Send(p.schedule.Leader(w), &msg.ViewMsg{V: w, Sig: sig})
 }
@@ -612,7 +620,7 @@ func (p *Pacemaker) sendEpochViewMsg(w types.View) {
 		return
 	}
 	p.sentEpochView[w] = true
-	sig := p.signer.Sign(msg.EpochViewStatement(w))
+	sig := p.signer.Sign(p.stmt.EpochView(w))
 	p.tr.Emit(p.rt.Now(), p.id, trace.SendEpoch, w, "")
 	p.obs.OnHeavySync(w, p.rt.Now())
 	p.ep.Broadcast(&msg.EpochViewMsg{V: w, Sig: sig})

@@ -21,14 +21,16 @@
 package crypto
 
 import (
+	"cmp"
 	"crypto/ed25519"
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"lumiere/internal/types"
 )
@@ -63,8 +65,8 @@ func (a *Aggregate) Count() int { return len(a.Signers) }
 
 // Has reports whether id contributed to the aggregate.
 func (a *Aggregate) Has(id types.NodeID) bool {
-	i := sort.Search(len(a.Signers), func(i int) bool { return a.Signers[i] >= id })
-	return i < len(a.Signers) && a.Signers[i] == id
+	_, ok := slices.BinarySearch(a.Signers, id)
+	return ok
 }
 
 // Clone returns a deep copy of the aggregate.
@@ -113,7 +115,10 @@ type Suite interface {
 // aggregate is the shared combine logic used by both suites.
 func aggregate(s Suite, data []byte, sigs []Signature) (Aggregate, error) {
 	sorted := append([]Signature(nil), sigs...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Signer < sorted[j].Signer })
+	// slices.SortFunc rather than sort.Slice: the non-capturing
+	// comparison keeps the certificate-assembly path free of closure
+	// allocations.
+	slices.SortFunc(sorted, func(a, b Signature) int { return cmp.Compare(a.Signer, b.Signer) })
 	agg := Aggregate{
 		Signers: make([]types.NodeID, 0, len(sorted)),
 		Bytes:   make([][]byte, 0, len(sorted)),
@@ -155,24 +160,68 @@ func verifyAggregate(s Suite, data []byte, agg Aggregate, threshold int) error {
 // SimSuite
 // ---------------------------------------------------------------------------
 
-// SimSuite is the HMAC-based suite used by the simulator.
+// SimSuite is the HMAC-based suite used by the simulator. Unlike
+// Ed25519Suite it is NOT safe for concurrent use: it reuses one keyed
+// HMAC state per node across operations and bump-allocates signature
+// outputs from shared blocks, so each suite must be confined to a single
+// execution's event loop (the harness creates or resets one per run).
 type SimSuite struct {
 	keys [][]byte
+	// macs caches one keyed HMAC state per node, initialized lazily and
+	// recycled via hash.Reset — signing and verification allocate no
+	// hash state in steady state.
+	macs []hash.Hash
+	// sigs is the bump arena signature outputs are cut from: Sum appends
+	// into the current block, and a fresh block is chained when it
+	// fills. Reset detaches the block instead of truncating it, so
+	// signatures held by a previous execution's messages stay intact.
+	sigs []byte
+	// vbuf is the verification scratch: recomputed MACs are compared
+	// against the candidate and never escape.
+	vbuf []byte
 }
+
+// sigBlock is the byte size of one signature-output block (1024
+// signatures of sha256.Size bytes each).
+const sigBlock = 1024 * sha256.Size
 
 var _ Suite = (*SimSuite)(nil)
 
 // NewSimSuite creates a SimSuite for n nodes with keys derived from seed.
 func NewSimSuite(n int, seed int64) *SimSuite {
+	s := &SimSuite{}
+	s.Reset(n, seed)
+	return s
+}
+
+// Reset re-keys the suite for n nodes from seed, reusing key buffers and
+// dropping the cached per-node HMAC states (they re-key lazily). The
+// current signature block is detached, not truncated: signatures already
+// handed out keep their bytes. The result is indistinguishable from
+// NewSimSuite(n, seed).
+func (s *SimSuite) Reset(n int, seed int64) {
 	rng := rand.New(rand.NewSource(seed))
-	keys := make([][]byte, n)
-	for i := range keys {
-		k := make([]byte, 32)
-		// rand.Rand.Read never returns an error.
-		rng.Read(k)
-		keys[i] = k
+	if cap(s.keys) < n {
+		grown := make([][]byte, n)
+		copy(grown, s.keys)
+		s.keys = grown
 	}
-	return &SimSuite{keys: keys}
+	s.keys = s.keys[:n]
+	for i := range s.keys {
+		if s.keys[i] == nil {
+			s.keys[i] = make([]byte, 32)
+		}
+		// rand.Rand.Read never returns an error.
+		rng.Read(s.keys[i])
+	}
+	if cap(s.macs) < n {
+		s.macs = make([]hash.Hash, n)
+	}
+	s.macs = s.macs[:n]
+	for i := range s.macs {
+		s.macs[i] = nil
+	}
+	s.sigs = nil
 }
 
 // N implements Suite.
@@ -194,13 +243,27 @@ func (s *SimSuite) SignerFor(id types.NodeID) Signer {
 func (ss simSigner) ID() types.NodeID { return ss.id }
 
 func (ss simSigner) Sign(data []byte) Signature {
-	return Signature{Signer: ss.id, Bytes: ss.suite.mac(ss.id, data)}
+	s := ss.suite
+	h := s.macState(ss.id)
+	h.Write(data)
+	if cap(s.sigs)-len(s.sigs) < sha256.Size {
+		s.sigs = make([]byte, 0, sigBlock)
+	}
+	n := len(s.sigs)
+	s.sigs = h.Sum(s.sigs)
+	return Signature{Signer: ss.id, Bytes: s.sigs[n:len(s.sigs):len(s.sigs)]}
 }
 
-func (s *SimSuite) mac(id types.NodeID, data []byte) []byte {
-	h := hmac.New(sha256.New, s.keys[id])
-	h.Write(data)
-	return h.Sum(nil)
+// macState returns node id's keyed HMAC state, reset and ready to write.
+func (s *SimSuite) macState(id types.NodeID) hash.Hash {
+	h := s.macs[id]
+	if h == nil {
+		h = hmac.New(sha256.New, s.keys[id])
+		s.macs[id] = h
+	} else {
+		h.Reset()
+	}
+	return h
 }
 
 // Verify implements Suite.
@@ -208,7 +271,10 @@ func (s *SimSuite) Verify(data []byte, sig Signature) error {
 	if int(sig.Signer) < 0 || int(sig.Signer) >= len(s.keys) {
 		return fmt.Errorf("%w: %v", ErrUnknownSigner, sig.Signer)
 	}
-	if !hmac.Equal(sig.Bytes, s.mac(sig.Signer, data)) {
+	h := s.macState(sig.Signer)
+	h.Write(data)
+	s.vbuf = h.Sum(s.vbuf[:0])
+	if !hmac.Equal(sig.Bytes, s.vbuf) {
 		return fmt.Errorf("%w: signer %v", ErrBadSignature, sig.Signer)
 	}
 	return nil
@@ -305,10 +371,17 @@ func (s *Ed25519Suite) VerifyAggregate(data []byte, agg Aggregate, threshold int
 // a domain tag, a view number and an optional hash. Using a fixed encoding
 // keeps the two suites and the two runtimes interoperable.
 func Statement(domain string, view types.View, hash []byte) []byte {
-	buf := make([]byte, 0, len(domain)+1+8+len(hash))
+	return AppendStatement(make([]byte, 0, len(domain)+1+8+len(hash)), domain, view, hash)
+}
+
+// AppendStatement appends the canonical statement encoding to buf and
+// returns the extended slice. Engines on the signing hot path keep a
+// per-instance scratch buffer and rebuild statements in place
+// (buf[:0]), so steady-state signing and verification allocate nothing;
+// Statement is the allocating convenience form.
+func AppendStatement(buf []byte, domain string, view types.View, hash []byte) []byte {
 	buf = append(buf, domain...)
 	buf = append(buf, 0)
 	buf = binary.BigEndian.AppendUint64(buf, uint64(view))
-	buf = append(buf, hash...)
-	return buf
+	return append(buf, hash...)
 }

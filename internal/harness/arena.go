@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"lumiere/internal/crypto"
+	"lumiere/internal/metrics"
+	"lumiere/internal/network"
+	"lumiere/internal/replica"
+	"lumiere/internal/sim"
+	"lumiere/internal/types"
+)
+
+// This file implements the cell-reuse execution arena: a per-worker
+// bundle of the long-lived, Reset()-able layers one simulated execution
+// needs — scheduler, network, metrics collector, crypto suite and
+// replica shells. harness.Run constructs all of them from scratch per
+// call; across the thousands of cells of a Table 1 / chaos / attack
+// sweep that setup churn dominates allocation traffic. An Arena instead
+// pays construction once per worker and rewinds the stack between cells
+// (sim.Scheduler.Reset, network.Net.Reset, metrics.Collector.Reset,
+// crypto.SimSuite.Reset, replica.Replica.Reset), so an N-cell sweep
+// performs O(workers) constructions instead of O(N).
+//
+// Reuse is invisible in results: each layer's Reset restores the exact
+// observable state of a fresh construction (only buffer capacities
+// survive), all randomness re-derives from the cell seed, and every
+// table is byte-identical with arenas on or off at any worker count
+// (see arena_test.go). What a Result hands out for inspection —
+// pacemakers, engines, state machines, the metrics Collector (detached
+// as a Snapshot), tracers and gap trackers — is built fresh per cell
+// and never recycled: the paid-per-cell rebind path for state that must
+// outlive the cell.
+
+// Arena owns one long-lived instance of each execution layer for serial
+// reuse across scenario runs. The zero Arena is ready to use (layers are
+// constructed lazily on first run); an Arena must not be shared between
+// goroutines — sweeps thread one per worker.
+type Arena struct {
+	sched     *sim.Scheduler
+	net       *network.Net
+	collector *metrics.Collector
+	suite     *crypto.SimSuite
+	replicas  []*replica.Replica
+}
+
+// NewArena creates an empty execution arena. Layers are built on first
+// use and recycled by every subsequent RunIn.
+func NewArena() *Arena { return &Arena{} }
+
+// RunIn executes a scenario inside the arena, recycling its layers, and
+// returns a Result that is independent of the arena: the metrics
+// Collector is detached as a snapshot, and the pacemakers, engines and
+// state machines it exposes are per-cell constructions. The result is
+// byte-identical to Run(s). A nil arena runs the scenario on a fresh
+// one-shot arena, making RunIn(nil, s) equivalent to Run(s).
+func RunIn(a *Arena, s Scenario) *Result {
+	if a == nil {
+		return Run(s)
+	}
+	return a.run(s, true)
+}
+
+// scheduler returns the arena's scheduler, reset for seed.
+func (a *Arena) scheduler(seed int64) *sim.Scheduler {
+	if a.sched == nil {
+		a.sched = sim.New(seed)
+	} else {
+		a.sched.Reset(seed)
+	}
+	return a.sched
+}
+
+// network returns the arena's network, re-armed for the execution.
+func (a *Arena) network(cfg types.Config, gst types.Time, link network.LinkPolicy) *network.Net {
+	if a.net == nil {
+		a.net = network.NewNetLink(a.sched, cfg, gst, link)
+	} else {
+		a.net.Reset(cfg, gst, link)
+	}
+	return a.net
+}
+
+// metricsCollector returns the arena's collector, reset with the given
+// honesty classifier and options.
+func (a *Arena) metricsCollector(honest func(types.NodeID) bool, opts ...metrics.Option) *metrics.Collector {
+	if a.collector == nil {
+		a.collector = metrics.NewCollector(honest, opts...)
+	} else {
+		a.collector.Reset(honest, opts...)
+	}
+	return a.collector
+}
+
+// simSuite returns the arena's crypto suite, re-keyed for the execution.
+func (a *Arena) simSuite(n int, seed int64) *crypto.SimSuite {
+	if a.suite == nil {
+		a.suite = crypto.NewSimSuite(n, seed)
+	} else {
+		a.suite.Reset(n, seed)
+	}
+	return a.suite
+}
+
+// replicaSlots returns n reset replica shells, reusing prior ones.
+func (a *Arena) replicaSlots(n int) []*replica.Replica {
+	if cap(a.replicas) < n {
+		grown := make([]*replica.Replica, len(a.replicas), n)
+		copy(grown, a.replicas)
+		a.replicas = grown
+	}
+	for len(a.replicas) < n {
+		a.replicas = append(a.replicas, replica.New(types.NodeID(len(a.replicas)), nil, nil))
+	}
+	a.replicas = a.replicas[:n]
+	for i, r := range a.replicas {
+		r.Reset(types.NodeID(i))
+	}
+	return a.replicas
+}

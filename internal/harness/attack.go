@@ -282,7 +282,14 @@ func measureAttack(res *Result) AttackCell {
 // Attack runs one attack strategy (by index into AttackSpecs) for one
 // protocol and size.
 func Attack(p Protocol, f, si int, seed int64) AttackCell {
-	return measureAttack(Run(attackScenario(p, f, AttackSpecs()[si], seed)))
+	return AttackIn(nil, p, f, si, seed)
+}
+
+// AttackIn is Attack inside an execution arena (see ChaosIn): repeated
+// cells amortize their setup through the arena. A nil arena runs
+// standalone.
+func AttackIn(a *Arena, p Protocol, f, si int, seed int64) AttackCell {
+	return measureAttack(RunIn(a, attackScenario(p, f, AttackSpecs()[si], seed)))
 }
 
 // AttackSweep runs every protocol under every attack strategy (the

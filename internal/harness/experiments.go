@@ -856,7 +856,14 @@ func measureChaos(res *Result) ChaosResult {
 // Chaos runs one chaos condition (by index into chaosConditions) for
 // one protocol and size.
 func Chaos(p Protocol, f, ci int, seed int64) ChaosResult {
-	r := measureChaos(Run(chaosScenario(p, f, ci, seed)))
+	return ChaosIn(nil, p, f, ci, seed)
+}
+
+// ChaosIn is Chaos inside an execution arena: callers measuring many
+// cells back to back (BenchmarkChaosTable) amortize the per-cell setup
+// by threading one arena through. A nil arena runs standalone.
+func ChaosIn(a *Arena, p Protocol, f, ci int, seed int64) ChaosResult {
+	r := measureChaos(RunIn(a, chaosScenario(p, f, ci, seed)))
 	r.Condition = chaosConditions[ci].name
 	return r
 }

@@ -249,14 +249,24 @@ type Result struct {
 // DecisionCount returns the number of honest-leader decisions.
 func (r *Result) DecisionCount() int { return r.Collector.DecisionCount() }
 
-// Run executes a scenario to completion.
+// Run executes a scenario to completion on a fresh one-shot arena. For
+// sweeps, thread an Arena through RunIn instead: the result is
+// byte-identical and the per-cell setup cost amortizes away.
 func Run(s Scenario) *Result {
+	return (&Arena{}).run(s, false)
+}
+
+// run executes a scenario inside the arena. With detach set the Result
+// receives a snapshot of the arena's metrics Collector (so the arena can
+// be reused while the Result stays valid); without it the live Collector
+// is handed out and the arena is assumed discarded.
+func (a *Arena) run(s Scenario, detach bool) *Result {
 	s = s.withDefaults()
 	cfg := types.Config{N: s.N, F: s.F, Delta: s.Delta, X: types.DefaultX}
 	if err := cfg.Validate(); err != nil {
 		panic(fmt.Sprintf("harness: %v", err))
 	}
-	sched := sim.New(s.Seed)
+	sched := a.scheduler(s.Seed)
 	gst := types.Time(0).Add(s.GST)
 
 	policy := s.Delay
@@ -283,7 +293,7 @@ func Run(s Scenario) *Result {
 		s.Corruptions = withStrategicNodes(s.Corruptions, cfg, s.Attack.Nodes)
 		link = network.LinkFunc(strat.Link)
 	}
-	net := network.NewNetLink(sched, cfg, gst, link)
+	net := a.network(cfg, gst, link)
 	if s.OmissionBudget != (network.OmissionBudget{}) {
 		// The network treats MaxSenders 0 as "no per-sender cap", which
 		// would let omissions touch more than f senders — reject it
@@ -307,16 +317,20 @@ func Run(s Scenario) *Result {
 	if s.KeepSendLog {
 		copts = append(copts, metrics.WithSendLog())
 	}
-	collector := metrics.NewCollector(net.Honest, copts...)
+	collector := a.metricsCollector(net.Honest, copts...)
 	net.Observe(collector)
 
 	var tracer *trace.Tracer
 	if s.TraceLimit > 0 {
 		tracer = trace.New(s.TraceLimit)
 	}
-	suite := crypto.NewSimSuite(cfg.N, s.Seed+1)
+	suite := a.simSuite(cfg.N, s.Seed+1)
 
-	replicas := make([]*replica.Replica, cfg.N)
+	// The replica shells are arena slots; everything below that a Result
+	// keeps a reference to (clocks via pacemakers, endpoints via the
+	// strategy Env, state machines, the honest mask via the gap tracker)
+	// is built fresh per cell.
+	replicas := a.replicaSlots(cfg.N)
 	clocks := make([]*clock.Clock, cfg.N)
 	eps := make([]network.Endpoint, cfg.N)
 	honest := make([]bool, cfg.N)
@@ -326,8 +340,7 @@ func Run(s Scenario) *Result {
 	for i := 0; i < cfg.N; i++ {
 		id := types.NodeID(i)
 		honest[i] = net.Honest(id)
-		r := replica.New(id, nil, nil)
-		replicas[i] = r
+		r := replicas[i]
 		ep := net.Attach(id, r)
 		eps[i] = ep
 		corr := behaviors[id]
@@ -466,12 +479,19 @@ func Run(s Scenario) *Result {
 	}
 	net.Stop()
 
+	resCollector := collector
+	if detach {
+		// Detach the metrics so the Result stays valid across the
+		// arena's next cell: the snapshot is an exactly-sized deep copy
+		// answering every query identically to the live Collector.
+		resCollector = collector.Snapshot()
+	}
 	res := &Result{
 		Scenario:   s,
 		Cfg:        cfg,
 		GST:        gst,
 		Gamma:      gamma,
-		Collector:  collector,
+		Collector:  resCollector,
 		Tracer:     tracer,
 		Gaps:       gaps,
 		FinalViews: make([]types.View, cfg.N),

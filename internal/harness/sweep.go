@@ -48,6 +48,14 @@ type SweepOptions struct {
 	// sweeps aggregate online so each cell runs in memory proportional
 	// to distinct network-activity instants, not total sends.
 	KeepSendLog bool
+	// FreshCells disables the per-worker execution arenas: every cell
+	// constructs its full scheduler/network/crypto/metrics/replica
+	// stack from scratch instead of recycling the worker's. Results are
+	// byte-identical either way (the determinism suites assert it);
+	// the switch exists for those suites and for memory-constrained
+	// runs, since an arena retains high-water-mark buffers for the
+	// worker's lifetime.
+	FreshCells bool
 }
 
 // SweepCell is one completed cell of a sweep.
@@ -110,6 +118,15 @@ func Sweep(scenarios []Scenario, opts SweepOptions) *SweepResult {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One execution arena per worker: cell setup (scheduler,
+			// network, crypto suite, metrics buffers, replica shells)
+			// is constructed once here and recycled across all cells
+			// the worker drains, so the sweep performs O(workers)
+			// constructions instead of O(cells).
+			var arena *Arena
+			if !opts.FreshCells {
+				arena = NewArena()
+			}
 			for i := range jobs {
 				s := scenarios[i]
 				if !opts.KeepSeeds {
@@ -119,7 +136,7 @@ func Sweep(scenarios []Scenario, opts SweepOptions) *SweepResult {
 					s.KeepSendLog = true
 				}
 				t0 := time.Now()
-				res := Run(s)
+				res := RunIn(arena, s)
 				cells[i] = SweepCell{Index: i, Scenario: s, Result: res, Elapsed: time.Since(t0)}
 				if opts.Progress != nil {
 					mu.Lock()

@@ -49,12 +49,16 @@ type CommitObserver func(b *Block, at types.Time)
 // double as the BVS layer's decision events) and commits blocks on
 // three-chains of consecutive views.
 type Core struct {
-	cfg      Config
-	id       types.NodeID
-	ep       network.Endpoint
-	rt       clock.Runtime
-	suite    crypto.Suite
-	signer   crypto.Signer
+	cfg    Config
+	id     types.NodeID
+	ep     network.Endpoint
+	rt     clock.Runtime
+	suite  crypto.Suite
+	signer crypto.Signer
+	// stmt is the statement scratch: sign/verify statements are
+	// rebuilt in place, keeping the vote/QC hot paths free of
+	// per-call statement allocations.
+	stmt     msg.StmtScratch
 	leader   func(types.View) types.NodeID
 	onQC     func(*msg.QC)
 	obs      viewcore.QCObserver
@@ -260,7 +264,7 @@ func (c *Core) maybeVote(p *msg.Proposal) {
 		return
 	}
 	c.voted[p.V] = true
-	sig := c.signer.Sign(msg.VoteStatement(p.V, p.Hash))
+	sig := c.signer.Sign(c.stmt.Vote(p.V, &p.Hash))
 	c.ep.Send(p.Leader, &msg.Vote{V: p.V, BlockHash: p.Hash, Sig: sig})
 }
 
@@ -285,7 +289,7 @@ func (c *Core) handleVote(from types.NodeID, v *msg.Vote) {
 	if v.Sig.Signer != from || c.leading != v.V || c.done {
 		return
 	}
-	if c.suite.Verify(msg.VoteStatement(v.V, v.BlockHash), v.Sig) != nil {
+	if c.suite.Verify(c.stmt.Vote(v.V, &v.BlockHash), v.Sig) != nil {
 		return
 	}
 	c.votes[from] = v.Sig
@@ -300,7 +304,7 @@ func (c *Core) handleVote(from types.NodeID, v *msg.Vote) {
 	for _, s := range c.votes {
 		sigs = append(sigs, s)
 	}
-	agg, err := c.suite.Aggregate(msg.VoteStatement(v.V, v.BlockHash), sigs)
+	agg, err := c.suite.Aggregate(c.stmt.Vote(v.V, &v.BlockHash), sigs)
 	if err != nil {
 		return
 	}
@@ -316,7 +320,7 @@ func (c *Core) verifyQC(qc *msg.QC) bool {
 	if qc.V == types.NoView && qc.BlockHash == GenesisHash {
 		return true
 	}
-	return c.suite.VerifyAggregate(msg.VoteStatement(qc.V, qc.BlockHash), qc.Agg, c.cfg.Base.Quorum()) == nil
+	return c.suite.VerifyAggregate(c.stmt.Vote(qc.V, &qc.BlockHash), qc.Agg, c.cfg.Base.Quorum()) == nil
 }
 
 // observeQC updates highQC/lockedQC and runs the three-chain commit rule.

@@ -122,6 +122,90 @@ func NewCollector(honest func(types.NodeID) bool, opts ...Option) *Collector {
 	return c
 }
 
+// Reset re-arms the Collector for a fresh execution, reusing the
+// compressed send series, prefix-sum, epoch-words, decision and
+// (optional) send-log backing storage. All aggregates, counters and maps
+// are cleared and the options are re-applied from scratch: a reset
+// Collector answers every query exactly as NewCollector(honest, opts...)
+// would. Callers that hand results across executions take a Snapshot
+// first — the arena resets the live Collector only after detaching one.
+func (c *Collector) Reset(honest func(types.NodeID) bool, opts ...Option) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if honest == nil {
+		honest = func(types.NodeID) bool { return true }
+	}
+	c.honest = honest
+	c.keepLog = false
+	c.sends = c.sends[:0]
+	c.points = c.points[:0]
+	c.prefix = c.prefix[:0]
+	c.prefixW = c.prefixW[:0]
+	c.pointsDirty = false
+	c.pointsInOrd = true
+	clear(c.byKind)
+	clear(c.epochLast)
+	c.epochLen = 0
+	c.epochWords = c.epochWords[:0]
+	c.honestTotal = 0
+	c.kappaTotal = 0
+	c.wordsTotal = 0
+	c.byzTotal = 0
+	c.decisions = c.decisions[:0]
+	c.decInOrd = true
+	for _, opt := range opts {
+		opt(c)
+	}
+}
+
+// Snapshot returns an independent copy of the Collector: every series,
+// counter and map is deep-copied into exactly-sized storage, so the copy
+// answers all queries identically to the original at the moment of the
+// call and shares no mutable state with it. The execution arena hands
+// snapshots to Results so the live Collector's buffers can be recycled
+// for the next cell.
+func (c *Collector) Snapshot() *Collector {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := &Collector{
+		keepLog:     c.keepLog,
+		pointsDirty: c.pointsDirty,
+		pointsInOrd: c.pointsInOrd,
+		epochLen:    c.epochLen,
+		honestTotal: c.honestTotal,
+		kappaTotal:  c.kappaTotal,
+		wordsTotal:  c.wordsTotal,
+		byzTotal:    c.byzTotal,
+		decInOrd:    c.decInOrd,
+		honest:      c.honest,
+		byKind:      make(map[msg.Kind]int64, len(c.byKind)),
+		epochLast:   make(map[types.View]types.Time, len(c.epochLast)),
+	}
+	if c.sends != nil {
+		out.sends = append([]SendRecord(nil), c.sends...)
+	}
+	if c.points != nil {
+		out.points = append([]sendPoint(nil), c.points...)
+	}
+	if c.prefix != nil {
+		out.prefix = append([]int64(nil), c.prefix...)
+		out.prefixW = append([]int64(nil), c.prefixW...)
+	}
+	if c.epochWords != nil {
+		out.epochWords = append([]int64(nil), c.epochWords...)
+	}
+	if c.decisions != nil {
+		out.decisions = append([]Decision(nil), c.decisions...)
+	}
+	for k, v := range c.byKind {
+		out.byKind[k] = v
+	}
+	for k, v := range c.epochLast {
+		out.epochLast[k] = v
+	}
+	return out
+}
+
 // OnSend implements network.Observer. It is the per-transmission hot
 // path: counter bumps and (at most) one amortized append per distinct
 // timestamp, no per-send allocation.

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -309,5 +310,81 @@ func TestWordsAllocs(t *testing.T) {
 	})
 	if avg > 0.1 {
 		t.Errorf("OnSend with epoch words allocates %.3f per send, want ~0", avg)
+	}
+}
+
+// querySurface renders every query the experiment drivers use, so the
+// Reset and Snapshot tests can compare collectors wholesale.
+func querySurface(c *Collector) string {
+	m, lat, ok := c.WindowAfter(2)
+	w, _, _ := c.WordsWindowAfter(2)
+	return fmt.Sprint(
+		c.HonestSends(), c.ByzantineSends(), c.KappaBytes(), c.WordsTotal(),
+		c.KindCount(msg.KindView), c.DecisionCount(), c.Decisions(),
+		c.WordsBetween(0, 100), c.WordsByEpoch(), c.HeavySyncViews(0),
+		c.Intervals(0, 0), c.Stats(0, 1), m, lat, ok, w, c.Sends(),
+	)
+}
+
+// TestCollectorResetEquivalence pins the arena contract: a reset
+// collector must answer every query exactly as a fresh one, including
+// when options change across the reset.
+func TestCollectorResetEquivalence(t *testing.T) {
+	dirty := NewCollector(nil, WithSendLog(), WithEpochWords(2))
+	fill(dirty)
+	honest := func(id types.NodeID) bool { return id != 9 }
+	dirty.Reset(honest, WithEpochWords(3))
+	fresh := NewCollector(honest, WithEpochWords(3))
+	if got, want := querySurface(dirty), querySurface(fresh); got != want {
+		t.Fatalf("empty reset != fresh:\nreset: %s\nfresh: %s", got, want)
+	}
+	fill(dirty)
+	fill(fresh)
+	if got, want := querySurface(dirty), querySurface(fresh); got != want {
+		t.Fatalf("refilled reset != fresh:\nreset: %s\nfresh: %s", got, want)
+	}
+	// The send log must be off after a reset without WithSendLog.
+	if dirty.Sends() != nil {
+		t.Fatal("send log survived reset")
+	}
+}
+
+// TestCollectorSnapshotIndependence pins Snapshot: identical answers at
+// the moment of the call, unaffected by later mutation or reset of the
+// original.
+func TestCollectorSnapshotIndependence(t *testing.T) {
+	c := NewCollector(func(id types.NodeID) bool { return id != 9 }, WithEpochWords(2))
+	fill(c)
+	snap := c.Snapshot()
+	want := querySurface(c)
+	if got := querySurface(snap); got != want {
+		t.Fatalf("snapshot != original:\nsnap: %s\norig: %s", got, want)
+	}
+	// Mutate and reset the original; the snapshot must not move.
+	c.OnSend(0, 1, &msg.ViewMsg{V: 99}, 50, true)
+	c.RecordDecision(99, 0, 60)
+	if got := querySurface(snap); got != want {
+		t.Fatalf("snapshot moved after original mutated:\nsnap: %s\nwant: %s", got, want)
+	}
+	c.Reset(nil)
+	if got := querySurface(snap); got != want {
+		t.Fatalf("snapshot moved after original reset:\nsnap: %s\nwant: %s", got, want)
+	}
+}
+
+// TestCollectorSnapshotWithSendLog verifies the opt-in send log survives
+// into snapshots as an independent copy.
+func TestCollectorSnapshotWithSendLog(t *testing.T) {
+	c := NewCollector(nil, WithSendLog())
+	fill(c)
+	snap := c.Snapshot()
+	orig := c.Sends()
+	got := snap.Sends()
+	if len(got) != len(orig) {
+		t.Fatalf("snapshot log has %d records, want %d", len(got), len(orig))
+	}
+	c.Reset(nil, WithSendLog())
+	if len(snap.Sends()) != len(orig) {
+		t.Fatal("snapshot log shrank after original reset")
 	}
 }

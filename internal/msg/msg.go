@@ -231,6 +231,44 @@ func VoteStatement(v types.View, blockHash [32]byte) []byte {
 	return crypto.Statement(DomainVote, v, blockHash[:])
 }
 
+// StmtScratch is a reusable statement buffer for the signing hot path:
+// each method rebuilds the corresponding *Statement encoding in place
+// and returns it, so engines that keep one StmtScratch per instance
+// sign and verify without per-call statement allocations. The returned
+// slice is valid until the next method call; none of its consumers
+// (Suite.Sign/Verify/Aggregate/VerifyAggregate) retain it.
+type StmtScratch struct{ buf []byte }
+
+// View rebuilds ViewStatement(v) in the scratch.
+func (s *StmtScratch) View(v types.View) []byte {
+	s.buf = crypto.AppendStatement(s.buf[:0], DomainView, v, nil)
+	return s.buf
+}
+
+// EpochView rebuilds EpochViewStatement(v) in the scratch.
+func (s *StmtScratch) EpochView(v types.View) []byte {
+	s.buf = crypto.AppendStatement(s.buf[:0], DomainEpochView, v, nil)
+	return s.buf
+}
+
+// Wish rebuilds WishStatement(v) in the scratch.
+func (s *StmtScratch) Wish(v types.View) []byte {
+	s.buf = crypto.AppendStatement(s.buf[:0], DomainWish, v, nil)
+	return s.buf
+}
+
+// Timeout rebuilds TimeoutStatement(v) in the scratch.
+func (s *StmtScratch) Timeout(v types.View) []byte {
+	s.buf = crypto.AppendStatement(s.buf[:0], DomainTimeout, v, nil)
+	return s.buf
+}
+
+// Vote rebuilds VoteStatement(v, *blockHash) in the scratch.
+func (s *StmtScratch) Vote(v types.View, blockHash *[32]byte) []byte {
+	s.buf = crypto.AppendStatement(s.buf[:0], DomainVote, v, blockHash[:])
+	return s.buf
+}
+
 // Proposal is the leader's per-view proposal. Justify is the QC the
 // proposal extends (nil for the plain view core's first views). Block is
 // the serialized block payload for HotStuff, nil for the plain view core.

@@ -278,6 +278,42 @@ func NewNetLink(sched *sim.Scheduler, cfg types.Config, gst types.Time, link Lin
 	return n
 }
 
+// Reset re-arms the network for a fresh execution on the same scheduler,
+// reusing the per-node handler, honesty, liveness and omission-charge
+// slots and the observer slice's backing storage. Everything mutable is
+// cleared: all nodes return to honest and alive, observers are detached,
+// the omission budget and its charges are zeroed, and the stop flag is
+// lifted. The MsgSink registration with the scheduler persists — one
+// network per scheduler for both of their lifetimes. A nil link falls
+// back to Fixed{Δ/10}, as in NewNetLink.
+func (n *Net) Reset(cfg types.Config, gst types.Time, link LinkPolicy) {
+	if link == nil {
+		link = DelayLink{P: Fixed{D: cfg.Delta / 10}}
+	}
+	n.cfg, n.gst, n.link = cfg, gst, link
+	if cap(n.handlers) < cfg.N {
+		n.handlers = make([]Handler, cfg.N)
+		n.honest = make([]bool, cfg.N)
+		n.killed = make([]bool, cfg.N)
+		n.omittedFrom = make([]bool, cfg.N)
+	}
+	n.handlers = n.handlers[:cfg.N]
+	n.honest = n.honest[:cfg.N]
+	n.killed = n.killed[:cfg.N]
+	n.omittedFrom = n.omittedFrom[:cfg.N]
+	for i := range n.handlers {
+		n.handlers[i] = nil
+		n.honest[i] = true
+		n.killed[i] = false
+		n.omittedFrom[i] = false
+	}
+	n.observers = n.observers[:0]
+	n.stopped = false
+	n.budget = OmissionBudget{}
+	n.omitted = 0
+	n.omitSenders = 0
+}
+
 // deliverPayload is the scheduler's MsgSink: it fires when a scheduled
 // transmission reaches its delivery time.
 func (n *Net) deliverPayload(from, to types.NodeID, m any) {

@@ -469,3 +469,57 @@ func TestPreGSTChaos(t *testing.T) {
 		t.Fatalf("post-GST = %v", d)
 	}
 }
+
+// TestNetResetEquivalence pins the arena contract for the network: after
+// kills, Byzantine marks, omission charges, observers and a stop, Reset
+// must restore the exact observable state of a fresh NewNetLink on the
+// same (reset) scheduler.
+func TestNetResetEquivalence(t *testing.T) {
+	cfg := testCfg() // n = 4
+	sched := sim.New(1)
+	gst := types.Time(0).Add(time.Second)
+	n := NewNetLink(sched, cfg, gst, nil)
+
+	// Dirty every axis of mutable state.
+	sends := 0
+	n.Observe(observerFuncs{onSend: func(bool) { sends++ }})
+	n.SetByzantine(1)
+	n.Kill(2)
+	n.SetOmissionBudget(OmissionBudget{MaxMessages: 5, MaxSenders: 1})
+	rec := &recorder{sched: sched}
+	ep := n.Attach(0, rec)
+	n.Attach(3, rec)
+	ep.Broadcast(&msg.ViewMsg{V: 1})
+	sched.RunFor(5 * time.Second)
+	n.Stop()
+
+	sched.Reset(2)
+	cfg2 := types.NewConfig(2, 50*time.Millisecond) // different shape: n = 7
+	gst2 := types.Time(0).Add(2 * time.Second)
+	n.Reset(cfg2, gst2, nil)
+
+	if n.GST() != gst2 {
+		t.Fatalf("gst = %v, want %v", n.GST(), gst2)
+	}
+	if n.Omitted() != 0 {
+		t.Fatalf("omission charges survived reset: %d", n.Omitted())
+	}
+	for i := 0; i < cfg2.N; i++ {
+		if !n.Honest(types.NodeID(i)) {
+			t.Fatalf("node %d not honest after reset", i)
+		}
+	}
+	// The reset network must deliver again (stop lifted, kills cleared,
+	// observers detached).
+	rec2 := &recorder{sched: sched}
+	ep2 := n.Attach(2, rec2)
+	n.Attach(5, rec2)
+	ep2.Send(5, &msg.ViewMsg{V: 1})
+	sched.RunFor(10 * time.Second)
+	if len(rec2.got) != 1 || rec2.got[0].from != 2 {
+		t.Fatalf("reset network delivered %v", rec2.got)
+	}
+	if sends != 3 {
+		t.Fatalf("detached observer saw new traffic: %d sends", sends)
+	}
+}

@@ -79,6 +79,37 @@ func New(seed int64) *Scheduler {
 	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
 }
 
+// Reset rewinds the scheduler for a fresh execution while recycling its
+// event arena, free list and heap storage: virtual time, the insertion
+// sequence and the fired counter return to zero, the random source is
+// re-seeded, every arena slot is freed (dropping payload and closure
+// references and invalidating outstanding Timer handles via the
+// generation counters), and the registered MsgSink is kept — the arena's
+// long-lived network re-binds per execution via its own Reset. A reset
+// scheduler is observationally identical to New(seed); only the slice
+// capacities (sized by the high-water mark of past executions) survive.
+func (s *Scheduler) Reset(seed int64) {
+	for i := range s.arena {
+		ev := &s.arena[i]
+		ev.fn = nil
+		ev.msg = nil
+		ev.kind = kindFree
+		ev.pos = -1
+		ev.gen++
+	}
+	s.free = s.free[:0]
+	// Refill the free list high-to-low so slots are handed out in
+	// ascending order, matching a fresh scheduler's append order.
+	for i := len(s.arena) - 1; i >= 0; i-- {
+		s.free = append(s.free, int32(i))
+	}
+	s.heap = s.heap[:0]
+	s.now = 0
+	s.seq = 0
+	s.fired = 0
+	s.rng.Seed(seed)
+}
+
 // Now returns the current virtual time.
 func (s *Scheduler) Now() types.Time { return s.now }
 

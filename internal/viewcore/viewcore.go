@@ -60,6 +60,11 @@ type Core struct {
 	deadline types.Time
 	votes    map[types.NodeID]crypto.Signature
 	done     bool
+
+	// stmt is the statement scratch: sign/verify statements are rebuilt
+	// in place, so the vote and QC hot paths allocate no statement
+	// buffers.
+	stmt msg.StmtScratch
 }
 
 var _ pacemaker.Driver = (*Core)(nil)
@@ -148,7 +153,7 @@ func (c *Core) voteFor(p *msg.Proposal) {
 		return
 	}
 	c.voted[p.V] = true
-	sig := c.signer.Sign(msg.VoteStatement(p.V, p.Hash))
+	sig := c.signer.Sign(c.stmt.Vote(p.V, &p.Hash))
 	c.ep.Send(p.Leader, &msg.Vote{V: p.V, BlockHash: p.Hash, Sig: sig})
 }
 
@@ -156,7 +161,7 @@ func (c *Core) handleVote(from types.NodeID, v *msg.Vote) {
 	if v.Sig.Signer != from || c.leading != v.V || c.done {
 		return
 	}
-	if err := c.suite.Verify(msg.VoteStatement(v.V, v.BlockHash), v.Sig); err != nil {
+	if err := c.suite.Verify(c.stmt.Vote(v.V, &v.BlockHash), v.Sig); err != nil {
 		return
 	}
 	c.votes[from] = v.Sig
@@ -173,7 +178,7 @@ func (c *Core) handleVote(from types.NodeID, v *msg.Vote) {
 	for _, s := range c.votes {
 		sigs = append(sigs, s)
 	}
-	agg, err := c.suite.Aggregate(msg.VoteStatement(v.V, v.BlockHash), sigs)
+	agg, err := c.suite.Aggregate(c.stmt.Vote(v.V, &v.BlockHash), sigs)
 	if err != nil {
 		return
 	}
@@ -190,7 +195,7 @@ func (c *Core) observeQC(qc *msg.QC) {
 	if c.seenQC[qc.V] {
 		return
 	}
-	if err := c.suite.VerifyAggregate(msg.VoteStatement(qc.V, qc.BlockHash), qc.Agg, c.cfg.Quorum()); err != nil {
+	if err := c.suite.VerifyAggregate(c.stmt.Vote(qc.V, &qc.BlockHash), qc.Agg, c.cfg.Quorum()); err != nil {
 		return
 	}
 	c.seenQC[qc.V] = true

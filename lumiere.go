@@ -63,6 +63,11 @@ type (
 	AttackCell = harness.AttackCell
 	// AttackReport aggregates an attack sweep.
 	AttackReport = harness.AttackReport
+	// Arena is a reusable per-worker execution stack: one long-lived
+	// scheduler/network/crypto/metrics/replica bundle recycled across
+	// scenario runs via RunIn. Sweeps thread one per worker
+	// automatically; reuse is byte-identical to fresh construction.
+	Arena = harness.Arena
 )
 
 // Protocols.
@@ -107,6 +112,19 @@ var AllProtocols = harness.AllProtocols
 
 // Run executes a simulated scenario to completion.
 func Run(s Scenario) *Result { return harness.Run(s) }
+
+// NewArena creates an empty execution arena for serial scenario reuse:
+// RunIn recycles its scheduler, network, crypto suite, metrics buffers
+// and replica shells across runs, eliminating per-run setup cost. An
+// arena must not be shared between goroutines.
+func NewArena() *Arena { return harness.NewArena() }
+
+// RunIn executes a scenario inside an arena, recycling its layers. The
+// Result is independent of the arena and byte-identical to Run(s); a nil
+// arena is equivalent to Run(s). Use one arena per goroutine when
+// running many scenarios back to back (RunSweep does this per worker
+// automatically).
+func RunIn(a *Arena, s Scenario) *Result { return harness.RunIn(a, s) }
 
 // RunSweep executes a scenario matrix on a worker pool and returns the
 // results in matrix order. Cell seeds are derived from (opts.BaseSeed,
