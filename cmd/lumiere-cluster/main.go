@@ -4,6 +4,16 @@
 //
 //	lumiere-cluster -local -f 1 -smr -rate 50 -duration 20s
 //
+// Wall-clock experiment table (one loopback cluster per f, real
+// sockets, words counted in the simulator's per-kind model):
+//
+//	lumiere-cluster -local -table -table-fs 1,2,5,10,17 -duration 3s
+//
+// Socket-level chaos against the local cluster (the §2 clamp honored
+// relative to -gst):
+//
+//	lumiere-cluster -local -f 1 -loss 0.4 -dup 0.2 -gst 2s -duration 20s
+//
 // Multi-process deployment — run one per node with a shared peer list:
 //
 //	lumiere-cluster -id 0 -peers "h0:7000,h1:7000,h2:7000,h3:7000" -f 1 -smr
@@ -15,6 +25,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -33,12 +44,23 @@ func main() {
 		rate     = flag.Int("rate", 0, "client commands per second submitted by this node")
 		duration = flag.Duration("duration", 30*time.Second, "how long to run (0 = forever)")
 		local    = flag.Bool("local", false, "run the whole cluster in-process on localhost")
+		table    = flag.Bool("table", false, "with -local: run the wall-clock experiment table and exit")
+		tableFs  = flag.String("table-fs", "1,2,5,10,17", "comma-separated f values for -table (n = 3f+1)")
+		csv      = flag.Bool("csv", false, "with -table: emit CSV instead of aligned text")
+		loss     = flag.Float64("loss", 0, "with -local: drop each outbound message with this probability at the socket layer")
+		dup      = flag.Float64("dup", 0, "with -local: duplicate each outbound message with this probability")
+		reorder  = flag.Duration("reorder", 0, "with -local: uniform extra release jitter in [0, reorder] per message")
+		gst      = flag.Duration("gst", 0, "with -local chaos: global stabilization time the §2 clamp honors")
 	)
 	flag.Parse()
 
+	if *table {
+		runTable(*tableFs, *delta, *duration, *seed, *csv)
+		return
+	}
 	base := types.NewConfig(*f, *delta)
 	if *local {
-		runLocal(base, *seed, *smr, *rate, *duration)
+		runLocal(base, *seed, *smr, *rate, *duration, chaos{loss: *loss, dup: *dup, reorder: *reorder, gst: *gst})
 		return
 	}
 	addrs := strings.Split(*peers, ",")
@@ -62,8 +84,49 @@ func main() {
 	runWorkloadAndReport(base, []*lumiere.ClusterNode{node}, *smr, *rate, *duration)
 }
 
+// runTable runs the wall-clock experiment table: one loopback cluster
+// per f, Δ and per-cell runtime from the flags (the -duration and
+// -delta defaults are trimmed to 3s per cell and 50ms — loopback scale
+// — when left untouched).
+func runTable(fsSpec string, delta, perRun time.Duration, seed int64, csv bool) {
+	var fs []int
+	for _, s := range strings.Split(fsSpec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "bad -table-fs entry %q\n", s)
+			os.Exit(1)
+		}
+		fs = append(fs, v)
+	}
+	if perRun <= 0 || perRun == 30*time.Second {
+		perRun = 3 * time.Second
+	}
+	if delta == 200*time.Millisecond {
+		delta = 50 * time.Millisecond
+	}
+	tbl, err := lumiere.ClusterTable(fs, delta, perRun, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if csv {
+		fmt.Print(tbl.CSV())
+		return
+	}
+	fmt.Print(tbl.Render())
+}
+
+// chaos bundles the -local socket-chaos flags.
+type chaos struct {
+	loss, dup float64
+	reorder   time.Duration
+	gst       time.Duration
+}
+
+func (c chaos) enabled() bool { return c.loss > 0 || c.dup > 0 || c.reorder > 0 }
+
 // runLocal boots the full cluster in one process over real sockets.
-func runLocal(base types.Config, seed int64, smr bool, rate int, duration time.Duration) {
+func runLocal(base types.Config, seed int64, smr bool, rate int, duration time.Duration, ch chaos) {
 	addrs := make([]string, base.N)
 	lns := make([]net.Listener, base.N)
 	for i := range addrs {
@@ -78,15 +141,27 @@ func runLocal(base types.Config, seed int64, smr bool, rate int, duration time.D
 	for _, ln := range lns {
 		ln.Close()
 	}
+	start := time.Now()
 	nodes := make([]*lumiere.ClusterNode, base.N)
 	for i := 0; i < base.N; i++ {
-		n, err := lumiere.StartClusterNode(lumiere.ClusterConfig{
+		cfg := lumiere.ClusterConfig{
 			ID:    lumiere.NodeID(i),
 			Addrs: addrs,
 			Base:  base,
 			Seed:  seed,
 			SMR:   smr,
-		})
+			Start: start,
+		}
+		if ch.enabled() {
+			cfg.Link = lumiere.ClusterExperiment{
+				F: base.F, N: base.N, Delta: base.Delta,
+				Loss: ch.loss, Duplication: ch.dup, ReorderJitter: ch.reorder,
+				GST: ch.gst,
+			}.LinkPolicy()
+			cfg.GST = ch.gst
+			cfg.ChaosSeed = seed + int64(i) + 1
+		}
+		n, err := lumiere.StartClusterNode(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -94,7 +169,7 @@ func runLocal(base types.Config, seed int64, smr bool, rate int, duration time.D
 		nodes[i] = n
 		defer n.Close()
 	}
-	fmt.Printf("local cluster up: n=%d f=%d smr=%v\n", base.N, base.F, smr)
+	fmt.Printf("local cluster up: n=%d f=%d smr=%v chaos=%v\n", base.N, base.F, smr, ch.enabled())
 	runWorkloadAndReport(base, nodes, smr, rate, duration)
 }
 
@@ -131,11 +206,18 @@ func runWorkloadAndReport(base types.Config, nodes []*lumiere.ClusterNode, smr b
 		case <-report.C:
 			for i, n := range nodes {
 				v, e, committed := n.Status()
-				if smr {
-					fmt.Printf("node %d: view=%v epoch=%v committed=%d kv=%d\n", i, v, e, committed, n.KV().Len())
-				} else {
-					fmt.Printf("node %d: view=%v epoch=%v\n", i, v, e)
+				st := n.Stats()
+				var sent, drops int64
+				for _, p := range st.Peers {
+					sent += p.Sent
+					drops += p.QueueDrops + p.WriteDrops + p.CondDrops
 				}
+				line := fmt.Sprintf("node %d: view=%v epoch=%v words=%d sent=%d drops=%d decode-errs=%d",
+					i, v, e, n.Metrics().WordsTotal(), sent, drops, st.DecodeErrors)
+				if smr {
+					line += fmt.Sprintf(" committed=%d kv=%d", committed, n.KV().Len())
+				}
+				fmt.Println(line)
 			}
 			fmt.Println("--")
 		case <-end:

@@ -25,6 +25,14 @@ func NewWall(mu *sync.Mutex) *Wall {
 	return &Wall{mu: mu, start: time.Now()}
 }
 
+// NewWallAt is NewWall with an explicit time origin: Now() reports
+// monotonic nanoseconds since start. A cluster harness gives every node
+// the same origin so their metrics timestamps (decision instants, send
+// series) live on one comparable time base.
+func NewWallAt(mu *sync.Mutex, start time.Time) *Wall {
+	return &Wall{mu: mu, start: start}
+}
+
 // Now implements Runtime using monotonic nanoseconds since creation.
 func (w *Wall) Now() types.Time { return types.Time(time.Since(w.start)) }
 

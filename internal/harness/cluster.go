@@ -1,0 +1,397 @@
+package harness
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"lumiere/internal/adversary"
+	"lumiere/internal/metrics"
+	"lumiere/internal/nettcp"
+	"lumiere/internal/network"
+	"lumiere/internal/types"
+)
+
+// This file implements the wall-clock counterpart of the simulated
+// experiment drivers: loopback clusters of real TCP replicas
+// (internal/nettcp) measured with the same words/decision machinery the
+// simulator uses, so every simulated table in EXPERIMENTS.md can stand
+// next to a real-I/O number.
+
+// ClusterExperiment configures one loopback wall-clock cluster run: n
+// single-process replicas over real sockets, one shared time origin, the
+// declarative chaos axes of Scenario realized at the socket layer.
+type ClusterExperiment struct {
+	// F is the fault tolerance; N defaults to 3F+1.
+	F int
+	N int
+	// Delta is Δ (default 50ms — loopback δ is far below it).
+	Delta time.Duration
+	// Seed derives the shared PKI and the per-node chaos streams.
+	Seed int64
+	// SMR runs chained HotStuff with a KV store on every node.
+	SMR bool
+	// Rate injects this many client commands per second round-robin
+	// across the nodes (SMR only).
+	Rate int
+	// Duration is the wall-clock run length (default 3s).
+	Duration time.Duration
+	// Warmup decisions are skipped by the gap statistics (default 3).
+	Warmup int
+
+	// Chaos axes, mirroring Scenario's declarative fields; they compose
+	// into a network.LinkPolicy applied by each node's socket-level
+	// Conditioner under the §2 clamp.
+	//
+	// Loss drops each outbound message with this probability (pre-GST:
+	// released at GST+Δ; post-GST: Δ-late unless OmissionBudget funds a
+	// true omission).
+	Loss float64
+	// LossUntil limits Loss to sends before this instant (zero = whole
+	// run).
+	LossUntil time.Duration
+	// Duplication enqueues an extra copy with this probability,
+	// jittered by up to Δ/2.
+	Duplication float64
+	// ReorderJitter adds an independent uniform extra release delay in
+	// [0, ReorderJitter] per message.
+	ReorderJitter time.Duration
+	// Partitions isolates processor groups until PartitionHeal
+	// (default: heal at GST).
+	Partitions    [][]types.NodeID
+	PartitionHeal time.Duration
+	// GST is the global stabilization time the conditioners honor
+	// (relative to the shared start).
+	GST time.Duration
+	// OmissionBudget authorizes true post-GST omission per node;
+	// MaxSenders must be ≤ F when set.
+	OmissionBudget network.OmissionBudget
+	// Churn schedules crash-recovery downtimes per node.
+	Churn map[types.NodeID][]adversary.Downtime
+}
+
+func (e ClusterExperiment) withDefaults() ClusterExperiment {
+	if e.Delta <= 0 {
+		e.Delta = 50 * time.Millisecond
+	}
+	if e.N <= 0 {
+		e.N = 3*e.F + 1
+	}
+	if e.Duration <= 0 {
+		e.Duration = 3 * time.Second
+	}
+	if e.Warmup == 0 {
+		e.Warmup = 3
+	}
+	return e
+}
+
+// LinkPolicy composes the experiment's chaos axes into the link policy
+// each node's socket-level conditioner applies, exactly as
+// Scenario.linkPolicy composes for the simulated network (innermost to
+// outermost: reorder → duplicate → loss → partition), over a zero-delay
+// base: on a real network the wire supplies δ itself. Nil when no axis
+// is set.
+func (e ClusterExperiment) LinkPolicy() network.LinkPolicy {
+	var link network.LinkPolicy = network.DelayLink{P: network.Fixed{D: 0}}
+	conditioned := false
+	if e.ReorderJitter > 0 {
+		link = adversary.Reordering{Base: link, Jitter: e.ReorderJitter}
+		conditioned = true
+	}
+	if e.Duplication > 0 {
+		link = adversary.Duplicating{Base: link, P: e.Duplication, Jitter: e.Delta / 2}
+		conditioned = true
+	}
+	if e.Loss > 0 {
+		link = adversary.Lossy{Base: link, P: e.Loss, Until: types.Time(0).Add(e.LossUntil)}
+		conditioned = true
+	}
+	if len(e.Partitions) > 0 {
+		heal := types.Time(0).Add(e.GST)
+		if e.PartitionHeal > 0 {
+			heal = types.Time(0).Add(e.PartitionHeal)
+		}
+		link = adversary.NewPartition(link, e.N, heal, e.Partitions...)
+		conditioned = true
+	}
+	if !conditioned {
+		return nil
+	}
+	return link
+}
+
+// ClusterResult carries everything measured about one wall-clock
+// cluster run. Decision timestamps live on the cluster's shared time
+// base (nanoseconds since the common start).
+type ClusterResult struct {
+	// N and F echo the cluster shape.
+	N, F int
+	// Delta echoes Δ.
+	Delta time.Duration
+	// Elapsed is the wall-clock run length.
+	Elapsed time.Duration
+	// Decisions counts honest-leader consensus decisions across the
+	// cluster (each recorded once, by its producing leader).
+	Decisions int
+	// Decided reports whether any decision landed after GST;
+	// SyncLatency is the first one's distance from GST — the wall-clock
+	// analogue of the simulated sync-latency measure.
+	Decided     bool
+	SyncLatency time.Duration
+	// MeanGap and MaxGap summarize inter-decision gaps after Warmup.
+	MeanGap, MaxGap time.Duration
+	// Words is the honest communication in words summed over all
+	// nodes' collectors (msg.Words per wire send — the simulator's
+	// model, bit-for-bit).
+	Words int64
+	// WordsPerDecision is Words/Decisions (0 when undecided).
+	WordsPerDecision float64
+	// Sends is the total wire transmissions across the cluster.
+	Sends int64
+	// Committed is the minimum committed-block count across nodes (SMR
+	// only).
+	Committed int
+	// Injected counts workload commands submitted (SMR only).
+	Injected int
+	// Omitted sums true post-GST omissions across conditioners.
+	Omitted int64
+	// Stats holds each node's transport counters.
+	Stats []nettcp.Stats
+	// Collectors holds each node's detached metrics snapshot.
+	Collectors []*metrics.Collector
+}
+
+// QueueDrops sums peer-queue drops across the cluster.
+func (r *ClusterResult) QueueDrops() int64 {
+	return r.sumPeer(func(p nettcp.PeerStats) int64 { return p.QueueDrops })
+}
+
+// WriteDrops sums bounded-retry write drops across the cluster.
+func (r *ClusterResult) WriteDrops() int64 {
+	return r.sumPeer(func(p nettcp.PeerStats) int64 { return p.WriteDrops })
+}
+
+// DecodeErrors sums abandoned inbound streams across the cluster.
+func (r *ClusterResult) DecodeErrors() int64 {
+	var n int64
+	for _, s := range r.Stats {
+		n += s.DecodeErrors
+	}
+	return n
+}
+
+func (r *ClusterResult) sumPeer(f func(nettcp.PeerStats) int64) int64 {
+	var n int64
+	for _, s := range r.Stats {
+		for _, p := range s.Peers {
+			n += f(p)
+		}
+	}
+	return n
+}
+
+// freeLoopbackAddrs reserves n distinct localhost ports. There is a
+// small reuse race between Close and the nodes' Listen, acceptable for
+// experiments.
+func freeLoopbackAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("harness: reserve loopback port: %w", err)
+		}
+		lns = append(lns, ln)
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs, nil
+}
+
+// RunCluster boots the cluster over real sockets, runs it for
+// e.Duration of wall-clock time, shuts it down, and aggregates the
+// per-node metrics snapshots into one result.
+func RunCluster(e ClusterExperiment) (*ClusterResult, error) {
+	e = e.withDefaults()
+	base := types.Config{N: e.N, F: e.F, Delta: e.Delta, X: types.DefaultX}
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("harness: cluster: %w", err)
+	}
+	if e.OmissionBudget != (network.OmissionBudget{}) &&
+		(e.OmissionBudget.MaxSenders <= 0 || e.OmissionBudget.MaxSenders > e.F) {
+		return nil, fmt.Errorf("harness: cluster omission budget must name 1..f=%d senders, got %d",
+			e.F, e.OmissionBudget.MaxSenders)
+	}
+	addrs, err := freeLoopbackAddrs(e.N)
+	if err != nil {
+		return nil, err
+	}
+	link := e.LinkPolicy()
+	start := time.Now()
+	nodes := make([]*nettcp.Node, 0, e.N)
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	for i := 0; i < e.N; i++ {
+		cfg := nettcp.NodeConfig{
+			ID:             types.NodeID(i),
+			Addrs:          addrs,
+			Base:           base,
+			Seed:           e.Seed,
+			SMR:            e.SMR,
+			Start:          start,
+			Link:           link,
+			GST:            e.GST,
+			OmissionBudget: e.OmissionBudget,
+			ChaosSeed:      e.Seed + int64(i) + 1,
+			Churn:          e.Churn[types.NodeID(i)],
+		}
+		n, err := nettcp.StartNode(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("harness: cluster node %d: %w", i, err)
+		}
+		nodes = append(nodes, n)
+	}
+
+	injected := 0
+	stop := make(chan struct{})
+	workloadDone := make(chan struct{})
+	if e.SMR && e.Rate > 0 {
+		go func() {
+			defer close(workloadDone)
+			tick := time.NewTicker(time.Second / time.Duration(e.Rate))
+			defer tick.Stop()
+			i := 0
+			for {
+				select {
+				case <-tick.C:
+					cmd := fmt.Sprintf("SET key%d value%d", i%64, i)
+					if nodes[i%len(nodes)].Submit([]byte(cmd)) == nil {
+						injected++
+					}
+					i++
+				case <-stop:
+					return
+				}
+			}
+		}()
+	} else {
+		close(workloadDone)
+	}
+
+	time.Sleep(e.Duration)
+	close(stop)
+	<-workloadDone
+	elapsed := time.Since(start)
+
+	res := &ClusterResult{
+		N:        e.N,
+		F:        e.F,
+		Delta:    e.Delta,
+		Elapsed:  elapsed,
+		Injected: injected,
+	}
+	gst := types.Time(0).Add(e.GST)
+	var decisions []metrics.Decision
+	minCommitted := -1
+	for _, n := range nodes {
+		col := n.Metrics()
+		res.Collectors = append(res.Collectors, col)
+		res.Stats = append(res.Stats, n.Stats())
+		res.Words += col.WordsTotal()
+		res.Sends += col.HonestSends()
+		res.Omitted += n.Omitted()
+		decisions = append(decisions, col.Decisions()...)
+		if e.SMR {
+			_, _, committed := n.Status()
+			if minCommitted < 0 || committed < minCommitted {
+				minCommitted = committed
+			}
+		}
+	}
+	if e.SMR {
+		res.Committed = minCommitted
+	}
+	// Each decision is recorded exactly once, by the leader that
+	// produced it; the merged per-node streams form the cluster's
+	// global decision log on the shared time base.
+	sort.Slice(decisions, func(i, j int) bool { return decisions[i].At < decisions[j].At })
+	res.Decisions = len(decisions)
+	for _, d := range decisions {
+		if d.At > gst {
+			res.Decided = true
+			res.SyncLatency = d.At.Sub(gst)
+			break
+		}
+	}
+	if res.Decisions > 0 {
+		res.WordsPerDecision = float64(res.Words) / float64(res.Decisions)
+	}
+	var gaps []time.Duration
+	for i := e.Warmup + 1; i < len(decisions); i++ {
+		gaps = append(gaps, decisions[i].At.Sub(decisions[i-1].At))
+	}
+	if len(gaps) > 0 {
+		var sum time.Duration
+		for _, g := range gaps {
+			sum += g
+			if g > res.MaxGap {
+				res.MaxGap = g
+			}
+		}
+		res.MeanGap = sum / time.Duration(len(gaps))
+	}
+	return res, nil
+}
+
+// ClusterTable runs one loopback cluster per f in fs (n = 3f+1) for
+// perRun of wall clock each and renders the wall-clock sync-latency and
+// words measures in a fixed schema: the values are wall-clock (and so
+// vary run to run) but the header, row count and row order depend only
+// on fs — the real-I/O table that stands next to the simulated ones in
+// EXPERIMENTS.md.
+func ClusterTable(fs []int, delta, perRun time.Duration, seed int64) (*Table, error) {
+	t := &Table{Title: "Wall-clock loopback cluster: sync latency and words (real TCP)"}
+	t.Header = []string{"n", "f", "decisions", "sync-lat", "mean-gap", "words", "words/dec", "words/dec/n", "drops"}
+	for _, f := range fs {
+		res, err := RunCluster(ClusterExperiment{
+			F:        f,
+			Delta:    delta,
+			Seed:     seed,
+			Duration: perRun,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sync := "stalled"
+		if res.Decided {
+			sync = res.SyncLatency.Round(time.Millisecond).String()
+		}
+		wpd, wpdn := "-", "-"
+		if res.Decisions > 0 {
+			wpd = fmt.Sprintf("%.1f", res.WordsPerDecision)
+			wpdn = fmt.Sprintf("%.2f", res.WordsPerDecision/float64(res.N))
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", res.N),
+			fmt.Sprintf("%d", res.F),
+			fmt.Sprintf("%d", res.Decisions),
+			sync,
+			res.MeanGap.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", res.Words),
+			wpd,
+			wpdn,
+			fmt.Sprintf("%d", res.QueueDrops()+res.WriteDrops()),
+		)
+	}
+	t.AddNote("real sockets on 127.0.0.1, Δ=%s, %s per cell, seed %d; values are wall-clock (schema deterministic, values not)", delta, perRun, seed)
+	return t, nil
+}

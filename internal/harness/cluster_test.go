@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"lumiere/internal/network"
+)
+
+// TestClusterExperimentSmoke boots a small loopback cluster over real
+// sockets and checks the wall-clock measurement plumbing end to end:
+// decisions land, words are counted, and per-node stats come back.
+func TestClusterExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-network test")
+	}
+	res, err := RunCluster(ClusterExperiment{F: 1, Seed: 7, Duration: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 4 || res.F != 1 {
+		t.Fatalf("cluster shape n=%d f=%d, want 4/1", res.N, res.F)
+	}
+	if !res.Decided || res.Decisions == 0 {
+		t.Fatal("no decisions on a healthy loopback cluster")
+	}
+	if res.SyncLatency <= 0 || res.SyncLatency > res.Elapsed {
+		t.Fatalf("implausible sync latency %v (elapsed %v)", res.SyncLatency, res.Elapsed)
+	}
+	if res.Words <= 0 || res.Sends <= 0 || res.WordsPerDecision <= 0 {
+		t.Fatalf("words accounting missing: words=%d sends=%d w/dec=%v",
+			res.Words, res.Sends, res.WordsPerDecision)
+	}
+	if len(res.Stats) != res.N || len(res.Collectors) != res.N {
+		t.Fatalf("per-node snapshots: stats=%d collectors=%d, want %d",
+			len(res.Stats), len(res.Collectors), res.N)
+	}
+}
+
+// TestClusterExperimentSMR runs the SMR workload on the loopback
+// cluster and checks commands commit.
+func TestClusterExperimentSMR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-network test")
+	}
+	res, err := RunCluster(ClusterExperiment{
+		F: 1, Seed: 11, SMR: true, Rate: 50, Duration: 3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected == 0 {
+		t.Fatal("workload injected no commands")
+	}
+	if res.Committed == 0 {
+		t.Fatal("no node committed any block")
+	}
+}
+
+// TestClusterChaosLoss runs the loopback cluster under pre-GST loss and
+// checks the cluster still decides after GST — the socket-level clamp
+// releasing "lost" messages at GST+Δ.
+func TestClusterChaosLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-network test")
+	}
+	res, err := RunCluster(ClusterExperiment{
+		F: 1, Seed: 13, Duration: 3 * time.Second,
+		Loss: 0.3, LossUntil: 800 * time.Millisecond, GST: 800 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decided {
+		t.Fatal("cluster failed to decide after GST despite the clamp")
+	}
+	if res.SyncLatency <= 0 {
+		t.Fatalf("sync latency %v, want > 0", res.SyncLatency)
+	}
+}
+
+// TestClusterExperimentValidation checks the omission-budget guard:
+// MaxSenders beyond F violates the §2 model and must be rejected.
+func TestClusterExperimentValidation(t *testing.T) {
+	_, err := RunCluster(ClusterExperiment{
+		F: 1, Duration: time.Second,
+		OmissionBudget: network.OmissionBudget{MaxMessages: 10, MaxSenders: 2},
+	})
+	if err == nil {
+		t.Fatal("RunCluster accepted an omission budget with MaxSenders > f")
+	}
+}

@@ -1,0 +1,196 @@
+package nettcp
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"lumiere/internal/network"
+	"lumiere/internal/types"
+)
+
+// Conditioner realizes the link-chaos primitives against real sockets:
+// the same network.LinkPolicy values that condition the simulated
+// network (internal/adversary: partitions, loss, duplication, flaky
+// links, reorder jitter) decide, per outbound envelope, whether the
+// transport enqueues it now, later, twice, or not at all.
+//
+// The §2 partial-synchrony clamp is honored on the release side: an
+// envelope sent at local time t is handed to the write loop no later
+// than max(GST, t) + Δ — a pre-GST "drop" becomes a release exactly at
+// that bound (model-faithful loss), and a post-GST drop is a true
+// omission only while the OmissionBudget allows it. On a real network
+// the wire adds its own latency δ on top of the release time; that
+// slack is the actual-delay the paper's optimistic-responsiveness
+// claims are about, so the conditioner bounds what it controls (the
+// adversarial delay) and leaves δ to the hardware.
+//
+// Churn is the down state (SetDown): while down the node neither sends
+// nor receives, crash-recovery omission charged to the node itself.
+//
+// A Conditioner belongs to one Transport. Its rng is guarded by the
+// conditioner mutex, so verdicts are safe from concurrent senders;
+// wall-clock scheduling makes conditioned TCP runs non-reproducible by
+// nature (unlike the simulator's).
+type Conditioner struct {
+	link   network.LinkPolicy
+	gst    types.Time
+	delta  time.Duration
+	now    func() types.Time
+	budget network.OmissionBudget
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	down        bool
+	omitted     int64
+	omittedFrom map[types.NodeID]bool
+	timers      map[*time.Timer]struct{}
+	stopped     bool
+}
+
+// NewConditioner builds a conditioner applying link under the clamp
+// bound max(GST, t)+Δ. now supplies the node's local clock (use the
+// node's clock.Wall so timestamps match the metrics observer); seed
+// drives the policy's randomness. A nil link passes everything through
+// unconditioned.
+func NewConditioner(link network.LinkPolicy, gst time.Duration, delta time.Duration,
+	budget network.OmissionBudget, now func() types.Time, seed int64) *Conditioner {
+	return &Conditioner{
+		link:        link,
+		gst:         types.Time(0).Add(gst),
+		delta:       delta,
+		now:         now,
+		budget:      budget,
+		rng:         rand.New(rand.NewSource(seed)),
+		omittedFrom: make(map[types.NodeID]bool),
+		timers:      make(map[*time.Timer]struct{}),
+	}
+}
+
+// SetDown flips the churn state: while down, outbound envelopes are
+// dropped (counted per peer) and inbound deliveries are discarded.
+func (c *Conditioner) SetDown(down bool) {
+	c.mu.Lock()
+	c.down = down
+	c.mu.Unlock()
+}
+
+// Omitted returns the number of true post-GST omissions granted against
+// the budget so far.
+func (c *Conditioner) Omitted() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.omitted
+}
+
+func (c *Conditioner) isDown() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down
+}
+
+// allowOmission charges one post-GST omission by from against the
+// budget; callers hold c.mu.
+func (c *Conditioner) allowOmission(from types.NodeID) bool {
+	if c.omitted >= int64(c.budget.MaxMessages) {
+		return false
+	}
+	if !c.omittedFrom[from] {
+		if c.budget.MaxSenders > 0 && len(c.omittedFrom) >= c.budget.MaxSenders {
+			return false
+		}
+		c.omittedFrom[from] = true
+	}
+	c.omitted++
+	return true
+}
+
+// apply runs one outbound envelope through the policy and realizes the
+// verdict against the peer queue: enqueue now, enqueue at the clamped
+// release time, duplicate, or omit.
+func (c *Conditioner) apply(t *Transport, p *peer, to types.NodeID, env envelope) {
+	at := c.now()
+	bound := types.MaxTime(c.gst, at).Add(c.delta)
+	c.mu.Lock()
+	if c.down {
+		c.mu.Unlock()
+		p.condDrops.Add(1)
+		return
+	}
+	var v network.Verdict
+	if c.link != nil {
+		v = c.link.Link(t.self, to, env.Msg, at, c.rng)
+	}
+	if v.Drop {
+		if at >= c.gst && c.allowOmission(t.self) {
+			c.mu.Unlock()
+			p.condDrops.Add(1)
+			return
+		}
+		c.mu.Unlock()
+		// Pre-GST "loss" (or an unfunded post-GST drop) degrades to the
+		// worst release the model permits: the clamp bound.
+		p.delayed.Add(1)
+		c.release(t, p, env, bound.Sub(at))
+		return
+	}
+	c.mu.Unlock()
+	delay := v.Delay
+	if delay < 0 {
+		delay = 0
+	}
+	release := types.MinTime(at.Add(delay), bound)
+	if d := release.Sub(at); d > 0 {
+		p.delayed.Add(1)
+		c.release(t, p, env, d)
+	} else {
+		t.enqueue(p, env)
+	}
+	if v.Dup {
+		dupDelay := v.DupDelay
+		if dupDelay < 0 {
+			dupDelay = 0
+		}
+		p.duplicates.Add(1)
+		dupRelease := types.MinTime(at.Add(dupDelay), bound)
+		if d := dupRelease.Sub(at); d > 0 {
+			c.release(t, p, env, d)
+		} else {
+			t.enqueue(p, env)
+		}
+	}
+}
+
+// release enqueues env after d, tracking the timer so Close can cancel
+// pending releases.
+func (c *Conditioner) release(t *Transport, p *peer, env envelope, d time.Duration) {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	var tm *time.Timer
+	tm = time.AfterFunc(d, func() {
+		c.mu.Lock()
+		delete(c.timers, tm)
+		stopped := c.stopped
+		c.mu.Unlock()
+		if stopped {
+			return
+		}
+		t.enqueue(p, env)
+	})
+	c.timers[tm] = struct{}{}
+	c.mu.Unlock()
+}
+
+// stop cancels all pending releases (called by Transport.Close).
+func (c *Conditioner) stop() {
+	c.mu.Lock()
+	c.stopped = true
+	for tm := range c.timers {
+		tm.Stop()
+	}
+	clear(c.timers)
+	c.mu.Unlock()
+}

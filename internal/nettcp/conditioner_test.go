@@ -1,0 +1,156 @@
+package nettcp
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"lumiere/internal/adversary"
+	"lumiere/internal/msg"
+	"lumiere/internal/network"
+	"lumiere/internal/types"
+)
+
+// condPair boots two started transports A→B with a conditioner on A and
+// a recorder on B. now() is wall time since boot.
+func condPair(t *testing.T, mkCond func(now func() types.Time) *Conditioner) (a, b *Transport, rec *recorder, now func() types.Time) {
+	t.Helper()
+	addrs := freeAddrs(t, 2)
+	start := time.Now()
+	now = func() types.Time { return types.Time(time.Since(start)) }
+	var muA, muB sync.Mutex
+	a = New(0, addrs, &muA, nopHandler, WithConditioner(mkCond(now)))
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	rec = &recorder{}
+	b = New(1, addrs, &muB, rec)
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	return a, b, rec, now
+}
+
+var zeroLink = network.DelayLink{P: network.Fixed{D: 0}}
+
+// TestChaosSocketClamp checks the §2 clamp at the socket layer: with
+// 100% loss and no omission budget, a message sent before GST is not
+// dropped but released at the bound max(GST, t)+Δ — so it arrives after
+// GST, never silently disappears.
+func TestChaosSocketClamp(t *testing.T) {
+	const gst = 600 * time.Millisecond
+	const delta = 100 * time.Millisecond
+	a, _, rec, now := condPair(t, func(now func() types.Time) *Conditioner {
+		return NewConditioner(adversary.Lossy{Base: zeroLink, P: 1}, gst, delta,
+			network.OmissionBudget{}, now, 1)
+	})
+	a.Send(1, &msg.ViewMsg{V: 7})
+	time.Sleep(gst / 2)
+	if rec.count() != 0 {
+		t.Fatal("lossy pre-GST message delivered before the clamp bound")
+	}
+	waitFor(t, 10*time.Second, "clamped release", func() bool { return rec.count() == 1 })
+	if got := now(); got < types.Time(gst) {
+		t.Fatalf("delivered at %v, before GST %v", got, gst)
+	}
+	ps := a.Stats().Peers[1]
+	if ps.Delayed != 1 || ps.CondDrops != 0 {
+		t.Fatalf("delayed=%d condDrops=%d, want 1/0", ps.Delayed, ps.CondDrops)
+	}
+}
+
+// TestChaosSocketOmissionBudget checks that post-GST drops are granted
+// as true omissions only up to the budget; the rest degrade to clamped
+// releases and still arrive.
+func TestChaosSocketOmissionBudget(t *testing.T) {
+	const delta = 50 * time.Millisecond
+	var cond *Conditioner
+	a, _, rec, _ := condPair(t, func(now func() types.Time) *Conditioner {
+		cond = NewConditioner(adversary.Lossy{Base: zeroLink, P: 1}, 0, delta,
+			network.OmissionBudget{MaxMessages: 2, MaxSenders: 1}, now, 1)
+		return cond
+	})
+	const sends = 5
+	for i := 0; i < sends; i++ {
+		a.Send(1, &msg.Wish{V: types.View(i)})
+	}
+	if got := cond.Omitted(); got != 2 {
+		t.Fatalf("Omitted = %d, want 2", got)
+	}
+	waitFor(t, 10*time.Second, "unfunded drops to arrive", func() bool {
+		return rec.count() == sends-2
+	})
+	ps := a.Stats().Peers[1]
+	if ps.CondDrops != 2 || ps.Delayed != sends-2 {
+		t.Fatalf("condDrops=%d delayed=%d, want 2/%d", ps.CondDrops, ps.Delayed, sends-2)
+	}
+}
+
+// TestChaosSocketChurn checks the crash-recovery down state: while down
+// the node neither sends nor receives; after recovery traffic flows.
+func TestChaosSocketChurn(t *testing.T) {
+	var cond *Conditioner
+	a, b, recB, _ := condPair(t, func(now func() types.Time) *Conditioner {
+		cond = NewConditioner(nil, 0, 50*time.Millisecond, network.OmissionBudget{}, now, 1)
+		return cond
+	})
+	// Up: a round trip works.
+	a.Send(1, &msg.ViewMsg{V: 1})
+	waitFor(t, 10*time.Second, "delivery while up", func() bool { return recB.count() == 1 })
+
+	cond.SetDown(true)
+	a.Send(1, &msg.ViewMsg{V: 2}) // outbound while down: dropped
+	b.Send(0, &msg.ViewMsg{V: 3}) // inbound while down: discarded
+	time.Sleep(200 * time.Millisecond)
+	if recB.count() != 1 {
+		t.Fatal("outbound message leaked while down")
+	}
+	if got := a.Stats().Peers[1].CondDrops; got != 1 {
+		t.Fatalf("condDrops = %d, want 1", got)
+	}
+	if got := a.Stats().Delivered; got != 0 {
+		t.Fatalf("node delivered %d inbound messages while down", got)
+	}
+
+	cond.SetDown(false)
+	a.Send(1, &msg.ViewMsg{V: 4})
+	waitFor(t, 10*time.Second, "delivery after recovery", func() bool { return recB.count() == 2 })
+}
+
+// TestChaosSocketDuplication checks duplication at the socket layer:
+// the receiver sees the extra copy and the sender counts it.
+func TestChaosSocketDuplication(t *testing.T) {
+	a, _, rec, _ := condPair(t, func(now func() types.Time) *Conditioner {
+		return NewConditioner(adversary.Duplicating{Base: zeroLink, P: 1}, 0,
+			50*time.Millisecond, network.OmissionBudget{}, now, 1)
+	})
+	a.Send(1, &msg.QC{V: 5})
+	waitFor(t, 10*time.Second, "both copies", func() bool { return rec.count() == 2 })
+	if got := a.Stats().Peers[1].Duplicates; got != 1 {
+		t.Fatalf("duplicates = %d, want 1", got)
+	}
+}
+
+// TestChaosSocketPartition checks the partition primitive severs the
+// cut links at the socket layer until heal and restores them after.
+func TestChaosSocketPartition(t *testing.T) {
+	const heal = 500 * time.Millisecond
+	const delta = 50 * time.Millisecond
+	a, _, rec, now := condPair(t, func(now func() types.Time) *Conditioner {
+		link := adversary.NewPartition(zeroLink, 2, types.Time(heal),
+			[]types.NodeID{0}, []types.NodeID{1})
+		// GST at heal: the partition window is the asynchronous period.
+		return NewConditioner(link, heal, delta, network.OmissionBudget{}, now, 1)
+	})
+	a.Send(1, &msg.ViewMsg{V: 1})
+	time.Sleep(heal / 2)
+	if rec.count() != 0 {
+		t.Fatal("message crossed the partition before heal")
+	}
+	waitFor(t, 10*time.Second, "post-heal delivery", func() bool { return rec.count() == 1 })
+	if got := now(); got < types.Time(heal) {
+		t.Fatalf("delivered at %v, before heal %v", got, heal)
+	}
+}

@@ -3,12 +3,16 @@ package nettcp
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"lumiere/internal/adversary"
 	"lumiere/internal/clock"
 	"lumiere/internal/core"
 	"lumiere/internal/crypto"
 	"lumiere/internal/hotstuff"
+	"lumiere/internal/metrics"
 	"lumiere/internal/msg"
+	"lumiere/internal/network"
 	"lumiere/internal/pacemaker"
 	"lumiere/internal/replica"
 	"lumiere/internal/statemachine"
@@ -36,6 +40,32 @@ type NodeConfig struct {
 	OnDecision func(v types.View)
 	// OnCommit, if set, fires for each committed block (SMR only).
 	OnCommit func(b *hotstuff.Block)
+
+	// Start, when non-zero, is the node's wall-clock origin: local
+	// times (metrics timestamps, GST) are measured from it. A cluster
+	// harness passes one shared instant to all nodes so their decision
+	// and send series live on a single comparable time base. Zero means
+	// "now".
+	Start time.Time
+
+	// Link, when set, conditions this node's outbound socket traffic
+	// with the same LinkPolicy primitives that condition the simulated
+	// network (partitions, loss, duplication, reorder jitter), under
+	// the §2 clamp max(GST, t)+Δ relative to Start. See Conditioner.
+	Link network.LinkPolicy
+	// GST is the global stabilization time (relative to Start) the
+	// conditioner's clamp and omission budget honor.
+	GST time.Duration
+	// OmissionBudget authorizes true post-GST omission of this node's
+	// outbound messages (see network.OmissionBudget).
+	OmissionBudget network.OmissionBudget
+	// ChaosSeed drives the link conditioner's randomness (default:
+	// Seed + the node's ID, so per-node streams differ).
+	ChaosSeed int64
+	// Churn schedules crash-recovery downtimes: during each interval
+	// the node neither sends nor receives (state is kept, like the
+	// simulator's BehaviorChurn).
+	Churn []adversary.Downtime
 }
 
 // Node is a live TCP replica running Lumiere.
@@ -43,11 +73,14 @@ type Node struct {
 	mu        sync.Mutex
 	cfg       NodeConfig
 	transport *Transport
+	collector *metrics.Collector
+	cond      *Conditioner
 	rep       *replica.Replica
 	pm        *core.Pacemaker
 	hs        *hotstuff.Core
 	kv        *statemachine.KV
 	wall      *clock.Wall
+	churn     []*time.Timer
 }
 
 // StartNode boots a node: it listens, connects to peers, and starts the
@@ -60,10 +93,34 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		return nil, fmt.Errorf("nettcp: %d addrs for n=%d", len(cfg.Addrs), cfg.Base.N)
 	}
 	n := &Node{cfg: cfg}
-	n.wall = clock.NewWall(&n.mu)
+	start := cfg.Start
+	if start.IsZero() {
+		start = time.Now()
+	}
+	n.wall = clock.NewWallAt(&n.mu, start)
+
+	variant := cfg.Variant
+	if variant == 0 {
+		variant = core.VariantFull
+	}
+	// The collector counts every wire send in the simulator's per-kind
+	// words model; per-epoch words use the protocol's own epoch length,
+	// exactly as the harness's accounting does.
+	epochLen := core.Config{Base: cfg.Base, Variant: variant}.EpochLen()
+	n.collector = metrics.NewCollector(nil, metrics.WithEpochWords(epochLen))
+
 	rep := replica.New(cfg.ID, nil, nil)
 	n.rep = rep
-	n.transport = New(cfg.ID, cfg.Addrs, &n.mu, rep)
+	topts := []Option{WithObserver(n.collector, n.wall.Now)}
+	if cfg.Link != nil || len(cfg.Churn) > 0 || cfg.OmissionBudget != (network.OmissionBudget{}) {
+		chaosSeed := cfg.ChaosSeed
+		if chaosSeed == 0 {
+			chaosSeed = cfg.Seed + int64(cfg.ID)
+		}
+		n.cond = NewConditioner(cfg.Link, cfg.GST, cfg.Base.Delta, cfg.OmissionBudget, n.wall.Now, chaosSeed)
+		topts = append(topts, WithConditioner(n.cond))
+	}
+	n.transport = New(cfg.ID, cfg.Addrs, &n.mu, rep, topts...)
 
 	suite := crypto.NewEd25519Suite(cfg.Base.N, cfg.Seed)
 	clk := clock.New(n.wall, 0)
@@ -85,10 +142,6 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	} else {
 		engine = viewcore.New(cfg.Base, n.transport, n.wall, suite, leaderFn, onQC, obs)
 	}
-	variant := cfg.Variant
-	if variant == 0 {
-		variant = core.VariantFull
-	}
 	ccfg := core.Config{Base: cfg.Base, Variant: variant, ScheduleSeed: cfg.Seed + 7}
 	pm = core.New(ccfg, n.transport, n.wall, clk, suite, engine, pacemaker.NopObserver{}, nil)
 	n.pm = pm
@@ -97,6 +150,14 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 
 	if err := n.transport.Start(); err != nil {
 		return nil, err
+	}
+	if n.cond != nil {
+		for _, d := range cfg.Churn {
+			down, up := d.From, d.To
+			n.churn = append(n.churn,
+				time.AfterFunc(down, func() { n.cond.SetDown(true) }),
+				time.AfterFunc(up, func() { n.cond.SetDown(false) }))
+		}
 	}
 	n.mu.Lock()
 	rep.Start()
@@ -108,7 +169,10 @@ type decisionObs struct{ node *Node }
 
 func (o decisionObs) OnQCSeen(*msg.QC, types.Time) {}
 
-func (o decisionObs) OnQCProduced(qc *msg.QC, _ types.Time) {
+func (o decisionObs) OnQCProduced(qc *msg.QC, at types.Time) {
+	// The producing node is the view's leader: record the consensus
+	// decision exactly as the simulator's qcObserver does.
+	o.node.collector.RecordDecision(qc.V, o.node.cfg.ID, at)
 	if o.node.cfg.OnDecision != nil {
 		o.node.cfg.OnDecision(qc.V)
 	}
@@ -139,6 +203,29 @@ func (n *Node) Status() (view types.View, epoch types.Epoch, committed int) {
 	return view, epoch, committed
 }
 
+// Metrics returns an independent snapshot of the node's metrics
+// Collector: wire sends counted in the simulator's per-kind words model
+// (msg.Words), decision instants on the node's wall clock. Safe to call
+// while the node runs.
+func (n *Node) Metrics() *metrics.Collector { return n.collector.Snapshot() }
+
+// Stats returns a snapshot of the node's transport counters (per-peer
+// sends, drops, redials, decode errors).
+func (n *Node) Stats() Stats { return n.transport.Stats() }
+
+// Omitted returns the true post-GST omissions the node's conditioner
+// granted (0 without chaos).
+func (n *Node) Omitted() int64 {
+	if n.cond == nil {
+		return 0
+	}
+	return n.cond.Omitted()
+}
+
+// Now returns the node's local wall-clock time (nanoseconds since its
+// Start origin) — the time base of Metrics timestamps.
+func (n *Node) Now() types.Time { return n.wall.Now() }
+
 // KV exposes the node's state machine (SMR only; may be nil).
 func (n *Node) KV() *statemachine.KV { return n.kv }
 
@@ -155,5 +242,10 @@ func (n *Node) CommittedHashes() []hotstuff.Hash {
 // Addr returns the node's bound address.
 func (n *Node) Addr() string { return n.transport.Addr() }
 
-// Close stops the node.
-func (n *Node) Close() { n.transport.Close() }
+// Close stops the node and waits until no handler call is in flight.
+func (n *Node) Close() {
+	for _, tm := range n.churn {
+		tm.Stop()
+	}
+	n.transport.Close()
+}

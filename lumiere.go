@@ -35,6 +35,18 @@ type (
 	ClusterNode = nettcp.Node
 	// ClusterConfig configures one TCP replica.
 	ClusterConfig = nettcp.NodeConfig
+	// ClusterExperiment configures one loopback wall-clock cluster run
+	// over real sockets (see RunCluster).
+	ClusterExperiment = harness.ClusterExperiment
+	// ClusterResult aggregates a wall-clock cluster run's measures.
+	ClusterResult = harness.ClusterResult
+	// ClusterStats snapshots one TCP node's transport counters.
+	ClusterStats = nettcp.Stats
+	// ClusterPeerStats counts one outbound TCP peer link's traffic.
+	ClusterPeerStats = nettcp.PeerStats
+	// LinkConditioner realizes link chaos at the socket layer of a TCP
+	// node (ClusterConfig.Link), honoring the §2 clamp.
+	LinkConditioner = nettcp.Conditioner
 	// SweepOptions configures a parallel scenario sweep.
 	SweepOptions = harness.SweepOptions
 	// SweepCell is one completed cell of a sweep.
@@ -150,6 +162,21 @@ func ConformanceReport(res *Result) []string { return harness.ConformanceReport(
 
 // StartClusterNode boots a real TCP replica (see cmd/lumiere-cluster).
 func StartClusterNode(cfg ClusterConfig) (*ClusterNode, error) { return nettcp.StartNode(cfg) }
+
+// RunCluster boots a loopback cluster of real TCP replicas (one shared
+// wall-clock origin), runs it for the experiment's duration, and
+// aggregates per-node metrics — words in the simulator's per-kind model,
+// merged decision stream, transport counters — into one result. The
+// wall-clock counterpart of Run.
+func RunCluster(e ClusterExperiment) (*ClusterResult, error) { return harness.RunCluster(e) }
+
+// ClusterTable runs one loopback TCP cluster per f in fs (n = 3f+1) for
+// perRun of wall clock each and renders sync-latency and words columns
+// in a fixed schema — the real-I/O table printed by
+// `lumiere-cluster -local -table` and recorded in EXPERIMENTS.md.
+func ClusterTable(fs []int, delta, perRun time.Duration, seed int64) (*Table, error) {
+	return harness.ClusterTable(fs, delta, perRun, seed)
+}
 
 // CrashFirst returns crash corruptions for processors 0..k-1.
 func CrashFirst(k int) []Corruption { return adversary.CrashFirst(k) }
