@@ -217,6 +217,38 @@ func BenchmarkAttackTable(b *testing.B) {
 	}
 }
 
+// BenchmarkLargeNWords regenerates a shortened massive-n scaling cell
+// per (protocol, n): the LargeNWordsTable scenario cut to 30 simulated
+// seconds — long enough for several LP22 epoch boundaries at these
+// sizes — reporting the worst post-warmup decision window in words/n.
+// The n=proto path segments give BENCH_sweep.json structured rows, and
+// allocs_per_op puts the multicast-broadcast + bitset-quorum memory
+// behavior at four-digit n under the benchjson -baseline regression
+// gate.
+func BenchmarkLargeNWords(b *testing.B) {
+	for _, p := range []harness.Protocol{harness.ProtoLP22, harness.ProtoLumiere} {
+		for _, n := range []int{128, 256} {
+			p, n := p, n
+			b.Run("proto="+string(p)+"/n="+itoa3(n), func(b *testing.B) {
+				var maxWordsPerN float64
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					s := harness.LargeNScenario(p, n, benchSeed)
+					s.Duration = 30 * time.Second
+					res := harness.Run(s)
+					warm := types.Time(0).Add(s.Duration / 4)
+					stats := res.Collector.Stats(warm, 0)
+					if res.Aborted || stats.Count == 0 {
+						b.Fatalf("%s n=%d: stalled", p, n)
+					}
+					maxWordsPerN = stats.MaxWords / float64(n)
+				}
+				b.ReportMetric(maxWordsPerN, "max_words_per_n")
+			})
+		}
+	}
+}
+
 // BenchmarkHonestGapShrinkage regenerates §3.5's gap-trajectory claim.
 func BenchmarkHonestGapShrinkage(b *testing.B) {
 	var r harness.GapShrinkageResult
@@ -454,4 +486,13 @@ func BenchmarkCryptoAggregate(b *testing.B) {
 
 func itoa(i int) string {
 	return string(rune('0'+i/10%10)) + string(rune('0'+i%10))
+}
+
+// itoa3 formats sizes that need more than itoa's two digits.
+func itoa3(i int) string {
+	s := ""
+	for ; i > 0; i /= 10 {
+		s = string(rune('0'+i%10)) + s
+	}
+	return s
 }

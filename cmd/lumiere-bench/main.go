@@ -6,10 +6,12 @@
 // count because every cell's seed derives from (-seed, cell index).
 //
 //	lumiere-bench             # quick sweep (minutes)
-//	lumiere-bench -full       # full sweep including n=61
+//	lumiere-bench -full       # full sweep including n=61 and the massive-n table (-maxn caps it)
 //	lumiere-bench -workers 1  # serial reference run
 //	lumiere-bench -chaos      # chaos suite only (fault conditions + conformance)
 //	lumiere-bench -attack     # attack suite only (adaptive strategies + word complexity)
+//	lumiere-bench -n 4096     # massive-n scaling table only, at one system size
+//	lumiere-bench -largen -maxn 4096   # massive-n scaling table over the whole axis
 package main
 
 import (
@@ -41,6 +43,9 @@ func realMain() int {
 		sendlog    = flag.Bool("sendlog", false, "retain full per-send record logs (debugging; large memory)")
 		chaos      = flag.Bool("chaos", false, "run only the chaos suite: fault-condition table + chaos conformance sweep")
 		attack     = flag.Bool("attack", false, "run only the attack suite: adaptive-strategy table + word-complexity tables")
+		largen     = flag.Bool("largen", false, "run only the massive-n scaling table over the default axis (capped by -maxn)")
+		largeN     = flag.Int("n", 0, "run the massive-n scaling table at this single system size (needs n ≥ 4; 0 = default axis)")
+		maxN       = flag.Int("maxn", 1024, "cap the massive-n scaling axis at this size (4096 reproduces the recorded table)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write an allocation profile taken at exit to this file (go tool pprof)")
 	)
@@ -83,6 +88,25 @@ func realMain() int {
 	evF := 5
 	fas := []int{0, 1, 2, 3, 5}
 
+	// The massive-n axis: a single explicit -n, or the default sizes
+	// capped by -maxn. Sizes below 4 cannot tolerate a single fault
+	// (n ≥ 3f+1 with f = ⌊(n−1)/3⌋ ≥ 1) — reject them up front rather
+	// than panicking inside the harness.
+	largeNs := []int{}
+	if *largeN != 0 {
+		if *largeN < 4 {
+			fmt.Fprintf(os.Stderr, "-n %d: need n ≥ 4 (n ≥ 3f+1 with f ≥ 1; f = (n-1)/3)\n", *largeN)
+			return 1
+		}
+		largeNs = []int{*largeN}
+	} else {
+		for _, n := range lumiere.LargeNSizes {
+			if n <= *maxN {
+				largeNs = append(largeNs, n)
+			}
+		}
+	}
+
 	opts := lumiere.SweepOptions{Workers: *workers, KeepSendLog: *sendlog}
 	if *progress {
 		opts.Progress = func(done, total int, cell *lumiere.SweepCell) {
@@ -107,6 +131,12 @@ func realMain() int {
 	}
 
 	start := time.Now()
+	if (*largeN != 0 || *largen) && !*chaos && !*attack {
+		fmt.Printf("massive-n suite (seed %d, %d workers)\n\n", *seed, *workers)
+		emit("largen_words", lumiere.LargeNWordsTable(largeNs, *seed, opts))
+		fmt.Printf("done in %v\n", time.Since(start).Round(time.Second))
+		return 0
+	}
 	if *chaos {
 		fmt.Printf("chaos suite (seed %d, %d workers)\n\n", *seed, *workers)
 		chaosF := 3
@@ -140,6 +170,9 @@ func realMain() int {
 		}
 		emit("eventual_words", lumiere.EventualWordsTable(3, fas, *seed, opts))
 		emit("word_scaling", lumiere.WordScalingTable(fs, 1, *seed, opts))
+		if *full && len(largeNs) > 0 {
+			emit("largen_words", lumiere.LargeNWordsTable(largeNs, *seed, opts))
+		}
 		fmt.Printf("all %d attack cells decided after GST; done in %v\n", len(rep.Cells), time.Since(start).Round(time.Second))
 		return 0
 	}
@@ -159,6 +192,10 @@ func realMain() int {
 	emit("figure1_stalls", lumiere.Figure1TableOpts(fs, *seed, opts))
 	emit("responsiveness", lumiere.ResponsivenessTableOpts(3, *seed, opts))
 	emit("heavy_syncs", lumiere.HeavySyncTableOpts(3, *seed, opts))
+
+	if *full && len(largeNs) > 0 {
+		emit("largen_words", lumiere.LargeNWordsTable(largeNs, *seed, opts))
+	}
 
 	g := lumiere.GapShrinkage(3, *seed)
 	fmt.Printf("== §3.5 honest-gap shrinkage under the desync adversary (n=10) ==\n")

@@ -22,6 +22,7 @@ import (
 	"lumiere/internal/msg"
 	"lumiere/internal/network"
 	"lumiere/internal/pacemaker"
+	"lumiere/internal/quorum"
 	"lumiere/internal/trace"
 	"lumiere/internal/types"
 )
@@ -72,10 +73,10 @@ type Pacemaker struct {
 	syncTarget  types.View // view currently being wished for (0 = none)
 	attempt     int
 
-	wishes map[types.View]map[types.NodeID]crypto.Signature
-	tcSent map[types.View]bool
-	tcSeen map[types.View]bool
-	qcDone map[types.View]bool
+	wishes quorum.VoteSets
+	tcSent quorum.Flags
+	tcSeen quorum.Flags
+	qcDone quorum.Flags
 }
 
 var _ pacemaker.Pacemaker = (*Pacemaker)(nil)
@@ -92,7 +93,7 @@ func New(cfg Config, ep network.Endpoint, rt clock.Runtime,
 	if driver == nil {
 		driver = pacemaker.NopDriver{}
 	}
-	return &Pacemaker{
+	p := &Pacemaker{
 		cfg:    cfg,
 		id:     ep.ID(),
 		ep:     ep,
@@ -103,11 +104,9 @@ func New(cfg Config, ep network.Endpoint, rt clock.Runtime,
 		obs:    obs,
 		tr:     tr,
 		view:   types.NoView,
-		wishes: make(map[types.View]map[types.NodeID]crypto.Signature),
-		tcSent: make(map[types.View]bool),
-		tcSeen: make(map[types.View]bool),
-		qcDone: make(map[types.View]bool),
 	}
+	p.wishes.Reset(cfg.Base.N)
+	return p
 }
 
 // Start boots the protocol in view 0.
@@ -213,71 +212,55 @@ func (p *Pacemaker) sendWish() {
 // onWish aggregates wishes addressed to this processor.
 func (p *Pacemaker) onWish(from types.NodeID, w *msg.Wish) {
 	t := w.V
-	if t <= p.view || p.tcSent[t] {
+	if t <= p.view || p.tcSent.Has(t) {
 		return
 	}
 	if w.Sig.Signer != from || p.suite.Verify(p.stmt.Wish(t), w.Sig) != nil {
 		return
 	}
-	sigs := p.wishes[t]
-	if sigs == nil {
-		sigs = make(map[types.NodeID]crypto.Signature, p.cfg.Base.Majority())
-		p.wishes[t] = sigs
-	}
-	sigs[from] = w.Sig
-	if len(sigs) < p.cfg.Base.Majority() {
+	sigs := p.wishes.Get(t)
+	sigs.Add(w.Sig)
+	if sigs.Count() < p.cfg.Base.Majority() {
 		return
 	}
-	flat := make([]crypto.Signature, 0, len(sigs))
-	for _, s := range sigs {
-		flat = append(flat, s)
-	}
-	agg, err := p.suite.Aggregate(p.stmt.Wish(t), flat)
+	agg, err := p.suite.Aggregate(p.stmt.Wish(t), sigs.Sigs())
 	if err != nil {
 		return
 	}
-	p.tcSent[t] = true
+	p.tcSent.Set(t)
 	p.tr.Emit(p.rt.Now(), p.id, trace.SeeTC, t, "aggregated")
 	p.ep.Broadcast(&msg.TC{V: t, Agg: agg})
 }
 
 func (p *Pacemaker) onTC(tc *msg.TC) {
 	t := tc.V
-	if t <= p.view || p.tcSeen[t] {
+	if t <= p.view || p.tcSeen.Has(t) {
 		return
 	}
 	if p.suite.VerifyAggregate(p.stmt.Wish(t), tc.Agg, p.cfg.Base.Majority()) != nil {
 		return
 	}
-	p.tcSeen[t] = true
+	p.tcSeen.Set(t)
 	p.enterView(t)
 }
 
 // onQC implements responsive entry into the next view.
 func (p *Pacemaker) onQC(qc *msg.QC) {
 	v := qc.V
-	if v < p.view || p.qcDone[v] {
+	if v < p.view || p.qcDone.Has(v) {
 		return
 	}
 	if p.suite.VerifyAggregate(p.stmt.Vote(v, &qc.BlockHash), qc.Agg, p.cfg.Base.Quorum()) != nil {
 		return
 	}
-	p.qcDone[v] = true
+	p.qcDone.Set(v)
 	p.enterView(v + 1)
 }
 
 func (p *Pacemaker) prune() {
 	low := p.view - 1
-	for w := range p.wishes {
-		if w < low {
-			delete(p.wishes, w)
-		}
-	}
-	for _, m := range []map[types.View]bool{p.tcSent, p.tcSeen, p.qcDone} {
-		for w := range m {
-			if w < low {
-				delete(m, w)
-			}
-		}
-	}
+	p.wishes.DropBelow(low)
+	p.tcSent.ForgetBelow(low)
+	p.tcSeen.ForgetBelow(low)
+	p.qcDone.ForgetBelow(low)
 }

@@ -21,6 +21,7 @@ import (
 	"lumiere/internal/msg"
 	"lumiere/internal/network"
 	"lumiere/internal/pacemaker"
+	"lumiere/internal/quorum"
 	"lumiere/internal/trace"
 	"lumiere/internal/types"
 )
@@ -62,11 +63,11 @@ type Pacemaker struct {
 	gamma time.Duration
 	view  types.View
 
-	sentView map[types.View]bool
-	viewMsgs map[types.View]map[types.NodeID]crypto.Signature
-	vcFormed map[types.View]bool
-	vcSeen   map[types.View]bool
-	qcDone   map[types.View]bool
+	sentView quorum.Flags
+	viewMsgs quorum.VoteSets
+	vcFormed quorum.Flags
+	vcSeen   quorum.Flags
+	qcDone   quorum.Flags
 }
 
 var _ pacemaker.Pacemaker = (*Pacemaker)(nil)
@@ -83,25 +84,22 @@ func New(cfg Config, ep network.Endpoint, rt clock.Runtime, clk *clock.Clock,
 	if driver == nil {
 		driver = pacemaker.NopDriver{}
 	}
-	return &Pacemaker{
-		cfg:      cfg,
-		id:       ep.ID(),
-		ep:       ep,
-		rt:       rt,
-		clk:      clk,
-		suite:    suite,
-		signer:   suite.SignerFor(ep.ID()),
-		driver:   driver,
-		obs:      obs,
-		tr:       tr,
-		gamma:    cfg.Gamma(),
-		view:     types.NoView,
-		sentView: make(map[types.View]bool),
-		viewMsgs: make(map[types.View]map[types.NodeID]crypto.Signature),
-		vcFormed: make(map[types.View]bool),
-		vcSeen:   make(map[types.View]bool),
-		qcDone:   make(map[types.View]bool),
+	p := &Pacemaker{
+		cfg:    cfg,
+		id:     ep.ID(),
+		ep:     ep,
+		rt:     rt,
+		clk:    clk,
+		suite:  suite,
+		signer: suite.SignerFor(ep.ID()),
+		driver: driver,
+		obs:    obs,
+		tr:     tr,
+		gamma:  cfg.Gamma(),
+		view:   types.NoView,
 	}
+	p.viewMsgs.Reset(cfg.Base.N)
+	return p
 }
 
 // Gamma returns the view duration Γ in effect.
@@ -170,47 +168,39 @@ func (p *Pacemaker) enterView(w types.View) {
 }
 
 func (p *Pacemaker) sendViewMsg(w types.View) {
-	if p.sentView[w] {
+	if p.sentView.Has(w) {
 		return
 	}
-	p.sentView[w] = true
+	p.sentView.Set(w)
 	p.tr.Emit(p.rt.Now(), p.id, trace.SendView, w, "")
 	p.ep.Send(p.Leader(w), &msg.ViewMsg{V: w, Sig: p.signer.Sign(p.stmt.View(w))})
 }
 
 func (p *Pacemaker) onViewMsg(from types.NodeID, vm *msg.ViewMsg) {
 	w := vm.V
-	if !w.Initial() || p.Leader(w) != p.id || w < p.view || p.vcFormed[w] {
+	if !w.Initial() || p.Leader(w) != p.id || w < p.view || p.vcFormed.Has(w) {
 		return
 	}
 	if vm.Sig.Signer != from || p.suite.Verify(p.stmt.View(w), vm.Sig) != nil {
 		return
 	}
-	sigs := p.viewMsgs[w]
-	if sigs == nil {
-		sigs = make(map[types.NodeID]crypto.Signature, p.cfg.Base.Majority())
-		p.viewMsgs[w] = sigs
-	}
-	sigs[from] = vm.Sig
-	if len(sigs) < p.cfg.Base.Majority() {
+	sigs := p.viewMsgs.Get(w)
+	sigs.Add(vm.Sig)
+	if sigs.Count() < p.cfg.Base.Majority() {
 		return
 	}
-	flat := make([]crypto.Signature, 0, len(sigs))
-	for _, s := range sigs {
-		flat = append(flat, s)
-	}
-	agg, err := p.suite.Aggregate(p.stmt.View(w), flat)
+	agg, err := p.suite.Aggregate(p.stmt.View(w), sigs.Sigs())
 	if err != nil {
 		return
 	}
-	p.vcFormed[w] = true
+	p.vcFormed.Set(w)
 	p.tr.Emit(p.rt.Now(), p.id, trace.FormVC, w, "")
 	p.ep.Broadcast(&msg.VC{V: w, Agg: agg})
 	p.maybeLeaderStart(w)
 }
 
 func (p *Pacemaker) maybeLeaderStart(w types.View) {
-	if p.Leader(w) == p.id && p.view == w && p.vcFormed[w] {
+	if p.Leader(w) == p.id && p.view == w && p.vcFormed.Has(w) {
 		p.driver.LeaderStart(w, types.TimeInf)
 	}
 }
@@ -219,13 +209,16 @@ func (p *Pacemaker) maybeLeaderStart(w types.View) {
 // clock to c_v; the landing enters the view via the clock trigger.
 func (p *Pacemaker) onVC(vc *msg.VC) {
 	w := vc.V
-	if !w.Initial() || p.vcSeen[w] {
+	// Views below the pruning bound stay forgotten: the clock is already
+	// at or past c_view > c_w, so the bump such an old VC could trigger
+	// is a no-op.
+	if !w.Initial() || w < p.vcSeen.Bound() || p.vcSeen.Has(w) {
 		return
 	}
 	if p.suite.VerifyAggregate(p.stmt.View(w), vc.Agg, p.cfg.Base.Majority()) != nil {
 		return
 	}
-	p.vcSeen[w] = true
+	p.vcSeen.Set(w)
 	if target := p.clockTime(w); p.clk.BumpTo(target) {
 		p.tr.Emit(p.rt.Now(), p.id, trace.Bump, w, "vc")
 		p.ticker.Jumped(target)
@@ -235,13 +228,15 @@ func (p *Pacemaker) onVC(vc *msg.VC) {
 // onQC implements the bump rule for QCs and non-initial view entry.
 func (p *Pacemaker) onQC(qc *msg.QC) {
 	v := qc.V
-	if p.qcDone[v] {
+	// As in onVC, views below the pruning bound are treated as done:
+	// neither the view entry nor the bump they gate can still fire.
+	if v < p.qcDone.Bound() || p.qcDone.Has(v) {
 		return
 	}
 	if p.suite.VerifyAggregate(p.stmt.Vote(v, &qc.BlockHash), qc.Agg, p.cfg.Base.Quorum()) != nil {
 		return
 	}
-	p.qcDone[v] = true
+	p.qcDone.Set(v)
 	next := v + 1
 	if !next.Initial() && next > p.view {
 		p.enterView(next)
@@ -257,16 +252,9 @@ func (p *Pacemaker) onQC(qc *msg.QC) {
 
 func (p *Pacemaker) prune() {
 	low := p.view - 2
-	for _, m := range []map[types.View]bool{p.sentView, p.vcFormed, p.vcSeen, p.qcDone} {
-		for w := range m {
-			if w < low {
-				delete(m, w)
-			}
-		}
-	}
-	for w := range p.viewMsgs {
-		if w < low {
-			delete(p.viewMsgs, w)
-		}
-	}
+	p.sentView.ForgetBelow(low)
+	p.vcFormed.ForgetBelow(low)
+	p.vcSeen.ForgetBelow(low)
+	p.qcDone.ForgetBelow(low)
+	p.viewMsgs.DropBelow(low)
 }

@@ -20,6 +20,7 @@ import (
 	"lumiere/internal/msg"
 	"lumiere/internal/network"
 	"lumiere/internal/pacemaker"
+	"lumiere/internal/quorum"
 	"lumiere/internal/trace"
 	"lumiere/internal/types"
 )
@@ -67,10 +68,10 @@ type Pacemaker struct {
 	view       types.View
 	viewCancel func()
 
-	timeouts map[types.View]map[types.NodeID]crypto.Signature
-	tcSent   map[types.View]bool
-	tcSeen   map[types.View]bool
-	qcDone   map[types.View]bool
+	timeouts quorum.VoteSets
+	tcSent   quorum.Flags
+	tcSeen   quorum.Flags
+	qcDone   quorum.Flags
 }
 
 var _ pacemaker.Pacemaker = (*Pacemaker)(nil)
@@ -87,22 +88,20 @@ func New(cfg Config, ep network.Endpoint, rt clock.Runtime,
 	if driver == nil {
 		driver = pacemaker.NopDriver{}
 	}
-	return &Pacemaker{
-		cfg:      cfg,
-		id:       ep.ID(),
-		ep:       ep,
-		rt:       rt,
-		suite:    suite,
-		signer:   suite.SignerFor(ep.ID()),
-		driver:   driver,
-		obs:      obs,
-		tr:       tr,
-		view:     types.NoView,
-		timeouts: make(map[types.View]map[types.NodeID]crypto.Signature),
-		tcSent:   make(map[types.View]bool),
-		tcSeen:   make(map[types.View]bool),
-		qcDone:   make(map[types.View]bool),
+	p := &Pacemaker{
+		cfg:    cfg,
+		id:     ep.ID(),
+		ep:     ep,
+		rt:     rt,
+		suite:  suite,
+		signer: suite.SignerFor(ep.ID()),
+		driver: driver,
+		obs:    obs,
+		tr:     tr,
+		view:   types.NoView,
 	}
+	p.timeouts.Reset(cfg.Base.N)
+	return p
 }
 
 // Start boots the protocol in view 0.
@@ -172,71 +171,55 @@ func (p *Pacemaker) onViewExpired(w types.View) {
 // onTimeout aggregates timeout messages for views this processor leads.
 func (p *Pacemaker) onTimeout(from types.NodeID, tm *msg.Timeout) {
 	t := tm.V
-	if t <= p.view || p.Leader(t) != p.id || p.tcSent[t] {
+	if t <= p.view || p.Leader(t) != p.id || p.tcSent.Has(t) {
 		return
 	}
 	if tm.Sig.Signer != from || p.suite.Verify(p.stmt.Timeout(t), tm.Sig) != nil {
 		return
 	}
-	sigs := p.timeouts[t]
-	if sigs == nil {
-		sigs = make(map[types.NodeID]crypto.Signature, p.cfg.Base.Majority())
-		p.timeouts[t] = sigs
-	}
-	sigs[from] = tm.Sig
-	if len(sigs) < p.cfg.Base.Majority() {
+	sigs := p.timeouts.Get(t)
+	sigs.Add(tm.Sig)
+	if sigs.Count() < p.cfg.Base.Majority() {
 		return
 	}
-	flat := make([]crypto.Signature, 0, len(sigs))
-	for _, s := range sigs {
-		flat = append(flat, s)
-	}
-	agg, err := p.suite.Aggregate(p.stmt.Timeout(t), flat)
+	agg, err := p.suite.Aggregate(p.stmt.Timeout(t), sigs.Sigs())
 	if err != nil {
 		return
 	}
-	p.tcSent[t] = true
+	p.tcSent.Set(t)
 	p.tr.Emit(p.rt.Now(), p.id, trace.SeeTC, t, "aggregated")
 	p.ep.Broadcast(&msg.TC{V: t, Agg: agg})
 }
 
 func (p *Pacemaker) onTC(tc *msg.TC) {
 	t := tc.V
-	if t <= p.view || p.tcSeen[t] {
+	if t <= p.view || p.tcSeen.Has(t) {
 		return
 	}
 	if p.suite.VerifyAggregate(p.stmt.Timeout(t), tc.Agg, p.cfg.Base.Majority()) != nil {
 		return
 	}
-	p.tcSeen[t] = true
+	p.tcSeen.Set(t)
 	p.enterView(t)
 }
 
 // onQC implements responsive entry into the next view.
 func (p *Pacemaker) onQC(qc *msg.QC) {
 	v := qc.V
-	if v < p.view || p.qcDone[v] {
+	if v < p.view || p.qcDone.Has(v) {
 		return
 	}
 	if p.suite.VerifyAggregate(p.stmt.Vote(v, &qc.BlockHash), qc.Agg, p.cfg.Base.Quorum()) != nil {
 		return
 	}
-	p.qcDone[v] = true
+	p.qcDone.Set(v)
 	p.enterView(v + 1)
 }
 
 func (p *Pacemaker) prune() {
 	low := p.view - 1
-	for w := range p.timeouts {
-		if w < low {
-			delete(p.timeouts, w)
-		}
-	}
-	for _, m := range []map[types.View]bool{p.tcSent, p.tcSeen, p.qcDone} {
-		for w := range m {
-			if w < low {
-				delete(m, w)
-			}
-		}
-	}
+	p.timeouts.DropBelow(low)
+	p.tcSent.ForgetBelow(low)
+	p.tcSeen.ForgetBelow(low)
+	p.qcDone.ForgetBelow(low)
 }

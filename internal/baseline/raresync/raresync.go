@@ -21,6 +21,7 @@ import (
 	"lumiere/internal/msg"
 	"lumiere/internal/network"
 	"lumiere/internal/pacemaker"
+	"lumiere/internal/quorum"
 	"lumiere/internal/trace"
 	"lumiere/internal/types"
 )
@@ -69,10 +70,10 @@ type Pacemaker struct {
 	epoch    types.Epoch
 	pausedAt types.View
 
-	sentEpochView map[types.View]bool
-	pauseSeen     map[types.View]bool
-	epochViewMsgs map[types.View]map[types.NodeID]crypto.Signature
-	ecDone        map[types.View]bool
+	sentEpochView quorum.Flags
+	pauseSeen     quorum.Flags
+	epochViewMsgs quorum.VoteSets
+	ecDone        quorum.Flags
 }
 
 var _ pacemaker.Pacemaker = (*Pacemaker)(nil)
@@ -89,27 +90,25 @@ func New(cfg Config, ep network.Endpoint, rt clock.Runtime, clk *clock.Clock,
 	if driver == nil {
 		driver = pacemaker.NopDriver{}
 	}
-	return &Pacemaker{
-		cfg:           cfg,
-		id:            ep.ID(),
-		ep:            ep,
-		rt:            rt,
-		clk:           clk,
-		suite:         suite,
-		signer:        suite.SignerFor(ep.ID()),
-		driver:        driver,
-		obs:           obs,
-		tr:            tr,
-		gamma:         cfg.Gamma(),
-		epochLen:      cfg.EpochLen(),
-		view:          types.NoView,
-		epoch:         types.NoEpoch,
-		pausedAt:      types.NoView,
-		sentEpochView: make(map[types.View]bool),
-		pauseSeen:     make(map[types.View]bool),
-		epochViewMsgs: make(map[types.View]map[types.NodeID]crypto.Signature),
-		ecDone:        make(map[types.View]bool),
+	p := &Pacemaker{
+		cfg:      cfg,
+		id:       ep.ID(),
+		ep:       ep,
+		rt:       rt,
+		clk:      clk,
+		suite:    suite,
+		signer:   suite.SignerFor(ep.ID()),
+		driver:   driver,
+		obs:      obs,
+		tr:       tr,
+		gamma:    cfg.Gamma(),
+		epochLen: cfg.EpochLen(),
+		view:     types.NoView,
+		epoch:    types.NoEpoch,
+		pausedAt: types.NoView,
 	}
+	p.epochViewMsgs.Reset(cfg.Base.N)
+	return p
 }
 
 // Gamma returns the view duration Γ in effect.
@@ -157,10 +156,10 @@ func (p *Pacemaker) onBoundary(w types.View) {
 		return
 	}
 	if p.isEpochView(w) {
-		if p.pauseSeen[w] {
+		if p.pauseSeen.Has(w) {
 			return
 		}
-		p.pauseSeen[w] = true
+		p.pauseSeen.Set(w)
 		p.clk.Pause()
 		p.pausedAt = w
 		p.tr.Emit(p.rt.Now(), p.id, trace.PauseClock, w, "epoch boundary")
@@ -171,10 +170,10 @@ func (p *Pacemaker) onBoundary(w types.View) {
 }
 
 func (p *Pacemaker) sendEpochViewMsg(w types.View) {
-	if p.sentEpochView[w] {
+	if p.sentEpochView.Has(w) {
 		return
 	}
-	p.sentEpochView[w] = true
+	p.sentEpochView.Set(w)
 	p.obs.OnHeavySync(w, p.rt.Now())
 	p.tr.Emit(p.rt.Now(), p.id, trace.SendEpoch, w, "")
 	p.ep.Broadcast(&msg.EpochViewMsg{V: w, Sig: p.signer.Sign(p.stmt.EpochView(w))})
@@ -182,26 +181,18 @@ func (p *Pacemaker) sendEpochViewMsg(w types.View) {
 
 func (p *Pacemaker) onEpochViewMsg(from types.NodeID, em *msg.EpochViewMsg) {
 	w := em.V
-	if !p.isEpochView(w) || p.ecDone[w] || w <= p.view {
+	if !p.isEpochView(w) || p.ecDone.Has(w) || w <= p.view {
 		return
 	}
 	if em.Sig.Signer != from || p.suite.Verify(p.stmt.EpochView(w), em.Sig) != nil {
 		return
 	}
-	sigs := p.epochViewMsgs[w]
-	if sigs == nil {
-		sigs = make(map[types.NodeID]crypto.Signature, p.cfg.Base.Quorum())
-		p.epochViewMsgs[w] = sigs
-	}
-	sigs[from] = em.Sig
-	if len(sigs) < p.cfg.Base.Quorum() {
+	sigs := p.epochViewMsgs.Get(w)
+	sigs.Add(em.Sig)
+	if sigs.Count() < p.cfg.Base.Quorum() {
 		return
 	}
-	flat := make([]crypto.Signature, 0, len(sigs))
-	for _, s := range sigs {
-		flat = append(flat, s)
-	}
-	agg, err := p.suite.Aggregate(p.stmt.EpochView(w), flat)
+	agg, err := p.suite.Aggregate(p.stmt.EpochView(w), sigs.Sigs())
 	if err != nil {
 		return
 	}
@@ -221,10 +212,10 @@ func (p *Pacemaker) onECMessage(ec *msg.EC) {
 }
 
 func (p *Pacemaker) enterEpoch(w types.View) {
-	if p.ecDone[w] || w <= p.view {
+	if p.ecDone.Has(w) || w <= p.view {
 		return
 	}
-	p.ecDone[w] = true
+	p.ecDone.Set(w)
 	if p.clk.Paused() {
 		p.clk.Unpause()
 		p.pausedAt = types.NoView
@@ -259,16 +250,8 @@ func (p *Pacemaker) enterView(w types.View) {
 
 func (p *Pacemaker) prune() {
 	lowEpochView := types.View(p.epoch-1) * p.epochLen
-	for _, m := range []map[types.View]bool{p.sentEpochView, p.pauseSeen, p.ecDone} {
-		for w := range m {
-			if w < lowEpochView {
-				delete(m, w)
-			}
-		}
-	}
-	for w := range p.epochViewMsgs {
-		if w < lowEpochView {
-			delete(p.epochViewMsgs, w)
-		}
-	}
+	p.sentEpochView.ForgetBelow(lowEpochView)
+	p.pauseSeen.ForgetBelow(lowEpochView)
+	p.ecDone.ForgetBelow(lowEpochView)
+	p.epochViewMsgs.DropBelow(lowEpochView)
 }

@@ -9,6 +9,7 @@ import (
 	"lumiere/internal/msg"
 	"lumiere/internal/network"
 	"lumiere/internal/pacemaker"
+	"lumiere/internal/quorum"
 	"lumiere/internal/trace"
 	"lumiere/internal/types"
 )
@@ -39,26 +40,26 @@ type Pacemaker struct {
 
 	// Pause state for epoch boundaries (lines 9-11).
 	pausedAt  types.View // epoch view at which the clock is paused; NoView when running
-	pauseSeen map[types.View]bool
+	pauseSeen quorum.Flags
 
 	// Send dedupe ("if not already sent").
-	sentView      map[types.View]bool
-	sentEpochView map[types.View]bool
+	sentView      quorum.Flags
+	sentEpochView quorum.Flags
 
 	// VC formation (leader side, lines 32-34).
-	viewMsgs map[types.View]map[types.NodeID]crypto.Signature
-	vcFormed map[types.View]bool
+	viewMsgs quorum.VoteSets
+	vcFormed quorum.Flags
 	vcSentAt map[types.View]types.Time
-	vcSeen   map[types.View]bool
+	vcSeen   quorum.Flags
 
 	// EC / TC assembly from broadcast epoch-view messages.
-	epochViewMsgs map[types.View]map[types.NodeID]crypto.Signature
-	tcDone        map[types.View]bool
-	ecDone        map[types.View]bool
+	epochViewMsgs quorum.VoteSets
+	tcDone        quorum.Flags
+	ecDone        quorum.Flags
 
 	// QC processing (lines 44-49) and the success criterion (§4).
-	qcDone    map[types.View]bool
-	credited  map[types.View]bool
+	qcDone    quorum.Flags
+	credited  quorum.Flags
 	leaderQCs map[types.Epoch]map[types.NodeID]int
 	success   map[types.Epoch]bool
 
@@ -93,39 +94,31 @@ func New(cfg Config, ep network.Endpoint, rt clock.Runtime, clk *clock.Clock,
 	if driver == nil {
 		driver = pacemaker.NopDriver{}
 	}
-	return &Pacemaker{
-		cfg:           cfg,
-		id:            ep.ID(),
-		ep:            ep,
-		rt:            rt,
-		clk:           clk,
-		suite:         suite,
-		signer:        suite.SignerFor(ep.ID()),
-		driver:        driver,
-		schedule:      sched,
-		obs:           obs,
-		tr:            tr,
-		gamma:         cfg.Gamma(),
-		qcWindow:      cfg.QCWindow(),
-		epochLen:      cfg.EpochLen(),
-		view:          types.NoView,
-		epoch:         types.NoEpoch,
-		pausedAt:      types.NoView,
-		pauseSeen:     make(map[types.View]bool),
-		sentView:      make(map[types.View]bool),
-		sentEpochView: make(map[types.View]bool),
-		viewMsgs:      make(map[types.View]map[types.NodeID]crypto.Signature),
-		vcFormed:      make(map[types.View]bool),
-		vcSentAt:      make(map[types.View]types.Time),
-		vcSeen:        make(map[types.View]bool),
-		epochViewMsgs: make(map[types.View]map[types.NodeID]crypto.Signature),
-		tcDone:        make(map[types.View]bool),
-		ecDone:        make(map[types.View]bool),
-		qcDone:        make(map[types.View]bool),
-		credited:      make(map[types.View]bool),
-		leaderQCs:     make(map[types.Epoch]map[types.NodeID]int),
-		success:       make(map[types.Epoch]bool),
+	p := &Pacemaker{
+		cfg:       cfg,
+		id:        ep.ID(),
+		ep:        ep,
+		rt:        rt,
+		clk:       clk,
+		suite:     suite,
+		signer:    suite.SignerFor(ep.ID()),
+		driver:    driver,
+		schedule:  sched,
+		obs:       obs,
+		tr:        tr,
+		gamma:     cfg.Gamma(),
+		qcWindow:  cfg.QCWindow(),
+		epochLen:  cfg.EpochLen(),
+		view:      types.NoView,
+		epoch:     types.NoEpoch,
+		pausedAt:  types.NoView,
+		vcSentAt:  make(map[types.View]types.Time),
+		leaderQCs: make(map[types.Epoch]map[types.NodeID]int),
+		success:   make(map[types.Epoch]bool),
 	}
+	p.viewMsgs.Reset(cfg.Base.N)
+	p.epochViewMsgs.Reset(cfg.Base.N)
+	return p
 }
 
 // SetSchedule replaces the leader schedule (all replicas must share one).
@@ -205,10 +198,10 @@ func (p *Pacemaker) onBoundary(w types.View) {
 // onEpochBoundary implements lines 9-14: the clock attained c_w for an
 // epoch view w.
 func (p *Pacemaker) onEpochBoundary(w types.View) {
-	if w <= p.view || p.pauseSeen[w] {
+	if w <= p.view || p.pauseSeen.Has(w) {
 		return
 	}
-	p.pauseSeen[w] = true
+	p.pauseSeen.Set(w)
 	if p.successOf(p.cfg.EpochOf(w) - 1) {
 		// Lines 13-14: enter the epoch treating w as a standard
 		// initial view.
@@ -264,30 +257,22 @@ func (p *Pacemaker) enterInitial(w types.View) {
 // onViewMsg implements the leader side (lines 32-34).
 func (p *Pacemaker) onViewMsg(from types.NodeID, vm *msg.ViewMsg) {
 	w := vm.V
-	if !w.Initial() || p.schedule.Leader(w) != p.id || w < p.view || p.vcFormed[w] {
+	if !w.Initial() || p.schedule.Leader(w) != p.id || w < p.view || p.vcFormed.Has(w) {
 		return
 	}
 	if vm.Sig.Signer != from || p.suite.Verify(p.stmt.View(w), vm.Sig) != nil {
 		return
 	}
-	sigs := p.viewMsgs[w]
-	if sigs == nil {
-		sigs = make(map[types.NodeID]crypto.Signature, p.cfg.Base.Majority())
-		p.viewMsgs[w] = sigs
-	}
-	sigs[from] = vm.Sig
-	if len(sigs) < p.cfg.Base.Majority() {
+	sigs := p.viewMsgs.Get(w)
+	sigs.Add(vm.Sig)
+	if sigs.Count() < p.cfg.Base.Majority() {
 		return
 	}
-	flat := make([]crypto.Signature, 0, len(sigs))
-	for _, s := range sigs {
-		flat = append(flat, s)
-	}
-	agg, err := p.suite.Aggregate(p.stmt.View(w), flat)
+	agg, err := p.suite.Aggregate(p.stmt.View(w), sigs.Sigs())
 	if err != nil {
 		return
 	}
-	p.vcFormed[w] = true
+	p.vcFormed.Set(w)
 	p.vcSentAt[w] = p.rt.Now()
 	p.tr.Emit(p.rt.Now(), p.id, trace.FormVC, w, "")
 	p.ep.Broadcast(&msg.VC{V: w, Agg: agg})
@@ -299,13 +284,13 @@ func (p *Pacemaker) onViewMsg(from types.NodeID, vm *msg.ViewMsg) {
 // onVC implements lines 36-40.
 func (p *Pacemaker) onVC(vc *msg.VC) {
 	w := vc.V
-	if !w.Initial() || w <= p.view || p.vcSeen[w] {
+	if !w.Initial() || w <= p.view || p.vcSeen.Has(w) {
 		return
 	}
 	if p.suite.VerifyAggregate(p.stmt.View(w), vc.Agg, p.cfg.Base.Majority()) != nil {
 		return
 	}
-	p.vcSeen[w] = true
+	p.vcSeen.Set(w)
 	// Line 10: a VC for a view ≥ the pause view unpauses.
 	if p.pausedAt != types.NoView && w >= p.pausedAt {
 		p.unpause("vc")
@@ -334,16 +319,12 @@ func (p *Pacemaker) onEpochViewMsg(from types.NodeID, em *msg.EpochViewMsg) {
 	if em.Sig.Signer != from || p.suite.Verify(p.stmt.EpochView(w), em.Sig) != nil {
 		return
 	}
-	sigs := p.epochViewMsgs[w]
-	if sigs == nil {
-		sigs = make(map[types.NodeID]crypto.Signature, p.cfg.Base.Quorum())
-		p.epochViewMsgs[w] = sigs
-	}
-	sigs[from] = em.Sig
-	if p.cfg.Variant == VariantFull && len(sigs) >= p.cfg.Base.Majority() && !p.tcDone[w] {
+	sigs := p.epochViewMsgs.Get(w)
+	sigs.Add(em.Sig)
+	if p.cfg.Variant == VariantFull && sigs.Count() >= p.cfg.Base.Majority() && !p.tcDone.Has(w) {
 		p.onTC(w)
 	}
-	if len(sigs) >= p.cfg.Base.Quorum() && !p.ecDone[w] {
+	if sigs.Count() >= p.cfg.Base.Quorum() && !p.ecDone.Has(w) {
 		if p.cfg.Variant == VariantBasic {
 			// §3.4 / LP22: broadcast the combined EC.
 			if agg, err := p.aggregateEpochViews(w); err == nil {
@@ -355,18 +336,13 @@ func (p *Pacemaker) onEpochViewMsg(from types.NodeID, em *msg.EpochViewMsg) {
 }
 
 func (p *Pacemaker) aggregateEpochViews(w types.View) (crypto.Aggregate, error) {
-	sigs := p.epochViewMsgs[w]
-	flat := make([]crypto.Signature, 0, len(sigs))
-	for _, s := range sigs {
-		flat = append(flat, s)
-	}
-	return p.suite.Aggregate(p.stmt.EpochView(w), flat)
+	return p.suite.Aggregate(p.stmt.EpochView(w), p.epochViewMsgs.Get(w).Sigs())
 }
 
 // onTCMessage verifies a relayed compact TC.
 func (p *Pacemaker) onTCMessage(tc *msg.TC) {
 	w := tc.V
-	if p.cfg.Variant != VariantFull || !p.cfg.IsEpochView(w) || p.tcDone[w] {
+	if p.cfg.Variant != VariantFull || !p.cfg.IsEpochView(w) || p.tcDone.Has(w) {
 		return
 	}
 	if p.suite.VerifyAggregate(p.stmt.EpochView(w), tc.Agg, p.cfg.Base.Majority()) != nil {
@@ -375,16 +351,18 @@ func (p *Pacemaker) onTCMessage(tc *msg.TC) {
 	p.onTC(w)
 }
 
-// onECMessage verifies a relayed compact EC.
+// onECMessage verifies a relayed compact EC. Views below the pruning
+// bound stay forgotten: an EC for an epoch that far behind cannot move
+// this processor, so it is treated as already seen.
 func (p *Pacemaker) onECMessage(ec *msg.EC) {
 	w := ec.V
-	if !p.cfg.IsEpochView(w) || p.ecDone[w] {
+	if !p.cfg.IsEpochView(w) || w < p.ecDone.Bound() || p.ecDone.Has(w) {
 		return
 	}
 	if p.suite.VerifyAggregate(p.stmt.EpochView(w), ec.Agg, p.cfg.Base.Quorum()) != nil {
 		return
 	}
-	if p.cfg.Variant == VariantFull && !p.tcDone[w] {
+	if p.cfg.Variant == VariantFull && !p.tcDone.Has(w) {
 		p.onTC(w)
 	}
 	p.onEC(w)
@@ -393,10 +371,10 @@ func (p *Pacemaker) onECMessage(ec *msg.EC) {
 // onTC implements lines 16-21 ("Upon first seeing a TC for epoch view v
 // with E(v) ≥ epoch(p)").
 func (p *Pacemaker) onTC(w types.View) {
-	if p.tcDone[w] || p.cfg.EpochOf(w) < p.epoch {
+	if p.tcDone.Has(w) || p.cfg.EpochOf(w) < p.epoch {
 		return
 	}
-	p.tcDone[w] = true
+	p.tcDone.Set(w)
 	p.tr.Emit(p.rt.Now(), p.id, trace.SeeTC, w, "")
 	// Line 10: a TC for a view strictly greater than the pause view
 	// unpauses.
@@ -421,10 +399,10 @@ func (p *Pacemaker) onTC(w types.View) {
 // with E(v) > epoch(p)"). Seeing an EC implies seeing a TC, which the
 // callers have already processed.
 func (p *Pacemaker) onEC(w types.View) {
-	if p.ecDone[w] {
+	if w < p.ecDone.Bound() || p.ecDone.Has(w) {
 		return
 	}
-	p.ecDone[w] = true
+	p.ecDone.Set(w)
 	p.tr.Emit(p.rt.Now(), p.id, trace.SeeEC, w, "")
 	if p.cfg.EpochOf(w) <= p.epoch {
 		return
@@ -448,16 +426,16 @@ func (p *Pacemaker) onEC(w types.View) {
 // whose QC was already accepted.
 func (p *Pacemaker) onQC(qc *msg.QC) {
 	v := qc.V
-	if !p.credited[v] && !p.qcDone[v] {
+	if !p.credited.Has(v) && !p.qcDone.Has(v) {
 		if p.suite.VerifyAggregate(p.stmt.Vote(v, &qc.BlockHash), qc.Agg, p.cfg.Base.Quorum()) != nil {
 			return
 		}
 	}
 	p.creditQC(v)
-	if v < p.view || p.qcDone[v] {
+	if v < p.view || p.qcDone.Has(v) {
 		return
 	}
-	p.qcDone[v] = true
+	p.qcDone.Set(v)
 	p.tr.Emit(p.rt.Now(), p.id, trace.QCSeen, v, "")
 	// Line 10: a QC for a view ≥ the pause view unpauses.
 	if p.pausedAt != types.NoView && v >= p.pausedAt {
@@ -490,14 +468,14 @@ func (p *Pacemaker) onQC(qc *msg.QC) {
 // distinct leaders have each produced QCsPerLeaderForSuccess QCs for
 // views in epoch e.
 func (p *Pacemaker) creditQC(v types.View) {
-	if p.cfg.Variant != VariantFull || p.credited[v] {
+	if p.cfg.Variant != VariantFull || p.credited.Has(v) {
 		return
 	}
 	e := p.cfg.EpochOf(v)
 	if e < p.epoch-1 || p.success[e] {
 		return
 	}
-	p.credited[v] = true
+	p.credited.Set(v)
 	leaders := p.leaderQCs[e]
 	if leaders == nil {
 		leaders = make(map[types.NodeID]int)
@@ -590,10 +568,10 @@ func (p *Pacemaker) unpauseIfAt(w types.View) {
 
 // sendViewMsg sends a view-w message to lead(w) (line 30), deduped.
 func (p *Pacemaker) sendViewMsg(w types.View) {
-	if p.sentView[w] || !w.Initial() {
+	if p.sentView.Has(w) || !w.Initial() {
 		return
 	}
-	p.sentView[w] = true
+	p.sentView.Set(w)
 	sig := p.signer.Sign(p.stmt.View(w))
 	p.tr.Emit(p.rt.Now(), p.id, trace.SendView, w, "")
 	p.ep.Send(p.schedule.Leader(w), &msg.ViewMsg{V: w, Sig: sig})
@@ -616,10 +594,10 @@ func (p *Pacemaker) sendPendingViewMsgs(w types.View) {
 
 // sendEpochViewMsg broadcasts an epoch-view-w message (heavy sync), deduped.
 func (p *Pacemaker) sendEpochViewMsg(w types.View) {
-	if p.sentEpochView[w] {
+	if p.sentEpochView.Has(w) {
 		return
 	}
-	p.sentEpochView[w] = true
+	p.sentEpochView.Set(w)
 	sig := p.signer.Sign(p.stmt.EpochView(w))
 	p.tr.Emit(p.rt.Now(), p.id, trace.SendEpoch, w, "")
 	p.obs.OnHeavySync(w, p.rt.Now())
@@ -630,7 +608,7 @@ func (p *Pacemaker) sendEpochViewMsg(w types.View) {
 // is in it and has sent the VC; the QC deadline is anchored at the VC send
 // time (§4).
 func (p *Pacemaker) maybeLeaderStartInitial(w types.View) {
-	if p.schedule.Leader(w) != p.id || p.view != w || !p.vcFormed[w] {
+	if p.schedule.Leader(w) != p.id || p.view != w || !p.vcFormed.Has(w) {
 		return
 	}
 	p.driver.LeaderStart(w, p.deadlineFrom(p.vcSentAt[w]))
@@ -647,47 +625,23 @@ func (p *Pacemaker) deadlineFrom(t types.Time) types.Time {
 // memory over unbounded executions.
 func (p *Pacemaker) prune() {
 	lowView := p.view - 2
-	for _, m := range []map[types.View]bool{p.vcFormed, p.vcSeen, p.qcDone} {
-		for w := range m {
-			if w < lowView {
-				delete(m, w)
-			}
-		}
-	}
-	for w := range p.viewMsgs {
-		if w < lowView {
-			delete(p.viewMsgs, w)
-		}
-	}
+	p.vcFormed.ForgetBelow(lowView)
+	p.vcSeen.ForgetBelow(lowView)
+	p.qcDone.ForgetBelow(lowView)
+	p.sentView.ForgetBelow(lowView)
+	p.viewMsgs.DropBelow(lowView)
 	for w := range p.vcSentAt {
 		if w < lowView {
 			delete(p.vcSentAt, w)
 		}
 	}
-	for w := range p.sentView {
-		if w < lowView {
-			delete(p.sentView, w)
-		}
-	}
 	lowEpochView := p.cfg.FirstView(p.epoch - 1)
-	for _, m := range []map[types.View]bool{p.sentEpochView, p.tcDone, p.ecDone, p.pauseSeen} {
-		for w := range m {
-			if w < lowEpochView {
-				delete(m, w)
-			}
-		}
-	}
-	for w := range p.epochViewMsgs {
-		if w < lowEpochView {
-			delete(p.epochViewMsgs, w)
-		}
-	}
-	lowCredit := p.cfg.FirstView(p.epoch - 1)
-	for w := range p.credited {
-		if w < lowCredit {
-			delete(p.credited, w)
-		}
-	}
+	p.sentEpochView.ForgetBelow(lowEpochView)
+	p.tcDone.ForgetBelow(lowEpochView)
+	p.ecDone.ForgetBelow(lowEpochView)
+	p.pauseSeen.ForgetBelow(lowEpochView)
+	p.credited.ForgetBelow(lowEpochView)
+	p.epochViewMsgs.DropBelow(lowEpochView)
 	for e := range p.leaderQCs {
 		if e < p.epoch-1 {
 			delete(p.leaderQCs, e)

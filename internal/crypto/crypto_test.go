@@ -252,3 +252,50 @@ func TestSimSuiteSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("Verify allocates %.3f/op in steady state", verifyAllocs)
 	}
 }
+
+// TestVerifiedAggregateMemo pins the SimSuite memo-cache semantics: a
+// re-verified certificate hits, but any content drift — tampered MAC,
+// re-bound statement — falls through to the full check and fails.
+func TestVerifiedAggregateMemo(t *testing.T) {
+	s := NewSimSuite(memoMinN, 1) // memoization is off below memoMinN
+	data := Statement("memo", 7, nil)
+	var sigs []Signature
+	for i := 0; i < 3; i++ {
+		sigs = append(sigs, s.SignerFor(types.NodeID(i)).Sign(data))
+	}
+	agg, err := s.Aggregate(data, sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // populate, then hit
+		if err := s.VerifyAggregate(data, agg, 3); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+	// Tamper one component in place: same backing arrays, same key.
+	saved := agg.Bytes[0]
+	agg.Bytes[0] = append([]byte(nil), saved...)
+	agg.Bytes[0][0] ^= 1
+	if err := s.VerifyAggregate(data, agg, 3); err == nil {
+		t.Fatal("tampered aggregate accepted via memo cache")
+	}
+	agg.Bytes[0] = saved
+	// Re-bind the verified certificate to a different statement.
+	other := Statement("memo", 8, nil)
+	if err := s.VerifyAggregate(other, agg, 3); err == nil {
+		t.Fatal("re-bound aggregate accepted via memo cache")
+	}
+	// Threshold still enforced on hits.
+	if err := s.VerifyAggregate(data, agg, 4); err == nil {
+		t.Fatal("threshold ignored on memo hit")
+	}
+	if err := s.VerifyAggregate(data, agg, 3); err != nil {
+		t.Fatalf("valid aggregate rejected after misses: %v", err)
+	}
+	// Reset drops the cache and re-keys: the old certificate no longer
+	// verifies at all.
+	s.Reset(4, 2)
+	if err := s.VerifyAggregate(data, agg, 3); err == nil {
+		t.Fatal("stale certificate accepted after Reset")
+	}
+}

@@ -396,3 +396,92 @@ func WordScalingTable(fs []int, fa int, seed int64, opts SweepOptions) *Table {
 	t.AddNote("divide a row by n: ~flat for Lumiere/Fever (words linear in n), growing for LP22/NK20 (quadratic)")
 	return t
 }
+
+// ---------------------------------------------------------------------------
+// Massive-n scaling (multicast events + bitset quorum tracking)
+// ---------------------------------------------------------------------------
+
+// LargeNProtocols are the protocols compared in the massive-n scaling
+// table: the paper's Θ(n²)-synchronization baseline against Lumiere.
+var LargeNProtocols = []Protocol{ProtoLP22, ProtoLumiere}
+
+// LargeNSizes is the default axis of the massive-n scaling table.
+var LargeNSizes = []int{128, 256, 1024, 4096}
+
+// largeNSparsePoints caps the metrics send series for massive-n cells:
+// 2²⁰ points bound the collector to tens of megabytes while keeping the
+// windowed attribution error (sends coalesce onto later timestamps)
+// to tens of sends per point — noise well under 1 word/n on the cells
+// the table reports.
+const largeNSparsePoints = 1 << 20
+
+// LargeNScenario builds one massive-n steady-state cell: n processors
+// (f = ⌊(n−1)/3⌋), one crashed processor, and the eventualScenario
+// timing (Δ = 50ms, δ = Δ/10) with a 300s horizon. The horizon matters:
+// LP22 races through an epoch (f+1 views) on fast QCs and then sits
+// silent until its unbumped clocks reach the next boundary at (f+1)Γ,
+// and with Γ = (x+1)Δ = 200ms that is 273.2s at n=4096 — a 240s run
+// (the eventual-table horizon) would end before the Θ(n²) epoch
+// synchronization ever lands at the largest size.
+func LargeNScenario(p Protocol, n int, seed int64) Scenario {
+	delta := 50 * time.Millisecond
+	return Scenario{
+		Name:          fmt.Sprintf("largen-%s-n%d", p, n),
+		Protocol:      p,
+		N:             n,
+		F:             (n - 1) / 3,
+		Delta:         delta,
+		DeltaActual:   delta / 10,
+		Corruptions:   adversary.CrashFirst(1),
+		Duration:      300 * time.Second,
+		Seed:          seed,
+		SparseMetrics: largeNSparsePoints,
+		MaxEvents:     1_000_000_000,
+	}
+}
+
+// LargeNWordsTable sweeps LargeNProtocols over the given system sizes
+// and reports the maximum honest words between consecutive decisions
+// after warmup, normalized by n — the WordScalingTable measure pushed to
+// four-digit n. Lumiere's words/n stays near-flat as n grows (its worst
+// window is O(n) words); LP22's grows ~linearly in n (Θ(n²) words: the
+// all-to-all epoch-view exchange plus the all-to-all EC relay land in a
+// single decision window).
+//
+// Unlike measureEventual this skips no post-warmup decisions: at n ≥
+// 1024 only a handful of epoch boundaries fit in the run, and the first
+// decision after warmup is the one immediately following a heavy
+// synchronization — skipping it would skip the very window the table
+// exists to measure.
+func LargeNWordsTable(ns []int, seed int64, opts SweepOptions) *Table {
+	scenarios := make([]Scenario, 0, len(LargeNProtocols)*len(ns))
+	for _, p := range LargeNProtocols {
+		for _, n := range ns {
+			scenarios = append(scenarios, LargeNScenario(p, n, 0))
+		}
+	}
+	opts.BaseSeed, opts.KeepSeeds = seed, false
+	results := Sweep(scenarios, opts).Results()
+
+	t := &Table{Title: "Massive-n word-complexity scaling: max honest words between consecutive decisions / n (f_a=1)"}
+	t.Header = []string{"protocol"}
+	for _, n := range ns {
+		t.Header = append(t.Header, fmt.Sprintf("n=%d", n))
+	}
+	for pi, p := range LargeNProtocols {
+		row := []string{string(p)}
+		for ni := range ns {
+			res := results[pi*len(ns)+ni]
+			warm := types.Time(0).Add(res.Scenario.Duration / 4)
+			stats := res.Collector.Stats(warm, 0)
+			if res.Aborted || stats.Count == 0 {
+				row = append(row, "stalled")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.1f", stats.MaxWords/float64(res.Cfg.N)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.AddNote("~flat row: worst window O(n) words (Lumiere); ~4n row: worst window Θ(n²) words (LP22's epoch sync)")
+	return t
+}

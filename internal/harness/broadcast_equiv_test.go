@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"lumiere/internal/adversary"
+)
+
+// equivScenarios is the matrix the broadcast-equivalence suite runs:
+// steady-state cells across the protocol families (epoch-based,
+// bump-based, wish/timeout-based) plus a chaos cell exercising every
+// per-recipient verdict the multicast path must preserve (loss,
+// duplication, reordering, pre-GST clamping) and a Byzantine cell.
+func equivScenarios() []Scenario {
+	short := 8 * time.Second
+	out := []Scenario{}
+	for _, p := range []Protocol{ProtoLumiere, ProtoLP22, ProtoFever, ProtoCogsworth} {
+		s := eventualScenario(p, 1, 1, 0)
+		s.Duration = short
+		out = append(out, s)
+	}
+	chaos := eventualScenario(ProtoLumiere, 2, 0, 0)
+	chaos.Name = "equiv-chaos"
+	chaos.Duration = short
+	chaos.GST = 2 * time.Second
+	chaos.Loss = 0.2
+	chaos.Duplication = 0.15
+	chaos.ReorderJitter = 20 * time.Millisecond
+	out = append(out, chaos)
+	byz := eventualScenario(ProtoLumiere, 2, 0, 0)
+	byz.Name = "equiv-byz"
+	byz.Duration = short
+	byz.Corruptions = []adversary.Corruption{{Node: 1, Behavior: adversary.BehaviorNonProposing}}
+	out = append(out, byz)
+	return out
+}
+
+// equivPrint compresses everything a rendered table could depend on —
+// the shared arena fingerprint (metric totals, final views, event
+// counts) plus the full decision log — into a comparable string.
+func equivPrint(r *Result) string {
+	s := fmt.Sprintf("%+v", fingerprint(r))
+	for _, d := range r.Collector.Decisions() {
+		s += fmt.Sprintf("|%d@%d by %d", d.View, d.At, d.Leader)
+	}
+	return s
+}
+
+// TestBroadcastPathsByteIdentical: the multicast broadcast path (one
+// heap event per distinct delivery time) and the legacy per-recipient
+// path must produce byte-identical executions — same sends, words,
+// decision log, final views and fired-event counts — at every worker
+// count. This is the equivalence gate for the sim.Scheduler multicast
+// rewrite.
+func TestBroadcastPathsByteIdentical(t *testing.T) {
+	scenarios := equivScenarios()
+	legacy := make([]Scenario, len(scenarios))
+	for i, s := range scenarios {
+		s.LegacyBroadcast = true
+		legacy[i] = s
+	}
+	var want []string
+	for _, workers := range []int{1, 4} {
+		opts := SweepOptions{Workers: workers, BaseSeed: 42}
+		multi := Sweep(scenarios, opts).Results()
+		per := Sweep(legacy, opts).Results()
+		for i := range multi {
+			fm, fp := equivPrint(multi[i]), equivPrint(per[i])
+			if fm != fp {
+				t.Errorf("workers=%d %s: multicast != legacy\n multicast: %s\n legacy:    %s",
+					workers, scenarios[i].Name, fm, fp)
+			}
+			if multi[i].DecisionCount() == 0 {
+				t.Errorf("workers=%d %s: no decisions — equivalence vacuous", workers, scenarios[i].Name)
+			}
+		}
+		if want == nil {
+			for i := range multi {
+				want = append(want, equivPrint(multi[i]))
+			}
+			continue
+		}
+		for i := range multi {
+			if got := equivPrint(multi[i]); got != want[i] {
+				t.Errorf("%s: workers=%d diverges from workers=1", scenarios[i].Name, workers)
+			}
+		}
+	}
+}
+
+// TestSparseMetricsKeepsTotals: a sparse-metrics run reports the same
+// totals and decision log as the exact run it approximates.
+func TestSparseMetricsKeepsTotals(t *testing.T) {
+	s := eventualScenario(ProtoLumiere, 2, 1, 7)
+	s.Duration = 8 * time.Second
+	exact := Run(s)
+	s.SparseMetrics = 64 // absurdly tight cap to force heavy coalescing
+	sparse := Run(s)
+	if exact.Collector.WordsTotal() != sparse.Collector.WordsTotal() ||
+		exact.Collector.HonestSends() != sparse.Collector.HonestSends() ||
+		exact.DecisionCount() != sparse.DecisionCount() {
+		t.Fatalf("sparse run drifted: exact %v, sparse %v", exact.Collector, sparse.Collector)
+	}
+	if exact.Events != sparse.Events {
+		t.Fatalf("sparse metrics changed the execution: %d vs %d events", exact.Events, sparse.Events)
+	}
+}
+
+// TestLargeNSmoke is the CI largen-smoke entry point: one short n=256
+// cell per protocol, exercising the multicast broadcast expansion,
+// bitset quorum tracking and sparse metrics at a size where per-view
+// maps and per-recipient heap events used to dominate. Kept fast enough
+// (a few seconds of simulated time) to run under the race detector.
+func TestLargeNSmoke(t *testing.T) {
+	for _, p := range LargeNProtocols {
+		s := LargeNScenario(p, 256, 7)
+		s.Duration = 5 * time.Second
+		res := Run(s)
+		if res.Aborted || res.DecisionCount() == 0 {
+			t.Fatalf("%s n=256: aborted=%v decisions=%d", p, res.Aborted, res.DecisionCount())
+		}
+	}
+}
+
+// TestLargeNScenarioRuns: one mid-sized massive-n cell per protocol
+// completes, decides, and stays within the sparse-metrics cap.
+func TestLargeNScenarioRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-n cell in -short mode")
+	}
+	for _, p := range LargeNProtocols {
+		s := LargeNScenario(p, 64, 42)
+		s.Duration = 10 * time.Second
+		res := Run(s)
+		if res.Aborted || res.DecisionCount() == 0 {
+			t.Fatalf("%s n=64: aborted=%v decisions=%d", p, res.Aborted, res.DecisionCount())
+		}
+		if s.SparseMetrics == 0 {
+			t.Fatalf("LargeNScenario lost its sparse cap")
+		}
+	}
+}

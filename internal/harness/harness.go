@@ -131,6 +131,16 @@ type Scenario struct {
 	// and keep no per-send state, so sweeps run in memory proportional
 	// to distinct network-activity instants rather than total sends.
 	KeepSendLog bool
+	// SparseMetrics caps the metrics Collector's cumulative send series
+	// (metrics.WithSparse) for massive-n cells: totals stay exact,
+	// time-windowed queries become approximate at the coalesced
+	// resolution. Zero leaves the series exact and unbounded.
+	SparseMetrics int
+	// LegacyBroadcast forces per-recipient broadcast scheduling (one
+	// heap event per recipient) instead of the default multicast events.
+	// The two paths are byte-identical in outcome; this exists for
+	// equivalence testing and as an escape hatch.
+	LegacyBroadcast bool
 	// CheckInvariants enables Lemma 5.1-5.3 runtime checks (Lumiere).
 	CheckInvariants bool
 	// SampleGaps enables honest-gap sampling every Δ/2.
@@ -294,6 +304,9 @@ func (a *Arena) run(s Scenario, detach bool) *Result {
 		link = network.LinkFunc(strat.Link)
 	}
 	net := a.network(cfg, gst, link)
+	if s.LegacyBroadcast {
+		net.SetPerRecipientBroadcast(true)
+	}
 	if s.OmissionBudget != (network.OmissionBudget{}) {
 		// The network treats MaxSenders 0 as "no per-sender cap", which
 		// would let omissions touch more than f senders — reject it
@@ -316,6 +329,9 @@ func (a *Arena) run(s Scenario, detach bool) *Result {
 	copts := []metrics.Option{metrics.WithEpochWords(accountingEpochLen(s, cfg))}
 	if s.KeepSendLog {
 		copts = append(copts, metrics.WithSendLog())
+	}
+	if s.SparseMetrics > 0 {
+		copts = append(copts, metrics.WithSparse(s.SparseMetrics))
 	}
 	collector := a.metricsCollector(net.Honest, copts...)
 	net.Observe(collector)

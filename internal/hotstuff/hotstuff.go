@@ -6,6 +6,7 @@ import (
 	"lumiere/internal/msg"
 	"lumiere/internal/network"
 	"lumiere/internal/pacemaker"
+	"lumiere/internal/quorum"
 	"lumiere/internal/statemachine"
 	"lumiere/internal/types"
 	"lumiere/internal/viewcore"
@@ -69,15 +70,15 @@ type Core struct {
 	blocks    map[Hash]*Block
 	qcByHash  map[Hash]*msg.QC
 	proposals map[types.View]*msg.Proposal
-	voted     map[types.View]bool
-	seenQC    map[types.View]bool
+	voted     quorum.Flags
+	seenQC    quorum.Flags
 
 	highQC   *msg.QC
 	lockedQC *msg.QC
 
 	leading  types.View
 	deadline types.Time
-	votes    map[types.NodeID]crypto.Signature
+	votes    quorum.VoteSet
 	done     bool
 
 	mempool       []Command
@@ -115,8 +116,6 @@ func New(cfg Config, ep network.Endpoint, rt clock.Runtime, suite crypto.Suite,
 		blocks:        map[Hash]*Block{GenesisHash: genesis},
 		qcByHash:      map[Hash]*msg.QC{GenesisHash: genesisQC},
 		proposals:     make(map[types.View]*msg.Proposal),
-		voted:         make(map[types.View]bool),
-		seenQC:        make(map[types.View]bool),
 		highQC:        genesisQC,
 		lockedQC:      genesisQC,
 		leading:       types.NoView,
@@ -184,7 +183,7 @@ func (c *Core) LeaderStart(v types.View, qcDeadline types.Time) {
 	}
 	c.leading = v
 	c.deadline = qcDeadline
-	c.votes = make(map[types.NodeID]crypto.Signature, c.cfg.Base.Quorum())
+	c.votes.Reset(c.cfg.Base.N)
 	c.done = false
 	batch := c.mempool
 	if len(batch) > c.cfg.batch() {
@@ -257,13 +256,13 @@ func (c *Core) handleProposal(from types.NodeID, p *msg.Proposal) {
 // maybeVote applies the chained-HotStuff safety rule: vote if the block
 // extends the locked block, or its justify is newer than the lock.
 func (c *Core) maybeVote(p *msg.Proposal) {
-	if c.voted[p.V] {
+	if c.voted.Has(p.V) {
 		return
 	}
 	if !c.extends(p.Hash, c.lockedQC.BlockHash) && p.Justify.V <= c.lockedQC.V {
 		return
 	}
-	c.voted[p.V] = true
+	c.voted.Set(p.V)
 	sig := c.signer.Sign(c.stmt.Vote(p.V, &p.Hash))
 	c.ep.Send(p.Leader, &msg.Vote{V: p.V, BlockHash: p.Hash, Sig: sig})
 }
@@ -292,19 +291,15 @@ func (c *Core) handleVote(from types.NodeID, v *msg.Vote) {
 	if c.suite.Verify(c.stmt.Vote(v.V, &v.BlockHash), v.Sig) != nil {
 		return
 	}
-	c.votes[from] = v.Sig
-	if len(c.votes) < c.cfg.Base.Quorum() {
+	c.votes.Add(v.Sig)
+	if c.votes.Count() < c.cfg.Base.Quorum() {
 		return
 	}
 	if c.rt.Now() > c.deadline {
 		c.done = true // honest-leader QC discipline (§4)
 		return
 	}
-	sigs := make([]crypto.Signature, 0, len(c.votes))
-	for _, s := range c.votes {
-		sigs = append(sigs, s)
-	}
-	agg, err := c.suite.Aggregate(c.stmt.Vote(v.V, &v.BlockHash), sigs)
+	agg, err := c.suite.Aggregate(c.stmt.Vote(v.V, &v.BlockHash), c.votes.Sigs())
 	if err != nil {
 		return
 	}
@@ -324,15 +319,18 @@ func (c *Core) verifyQC(qc *msg.QC) bool {
 }
 
 // observeQC updates highQC/lockedQC and runs the three-chain commit rule.
+// QCs for views below the pruning bound stay forgotten: they cannot raise
+// highQC, and commits for stragglers are retried via pendingCommit on
+// block arrival, so a re-delivered ancient certificate is inert.
 func (c *Core) observeQC(qc *msg.QC) {
-	if qc.V >= 0 && c.seenQC[qc.V] {
+	if qc.V >= 0 && (qc.V < c.seenQC.Bound() || c.seenQC.Has(qc.V)) {
 		return
 	}
 	if !c.verifyQC(qc) {
 		return
 	}
 	if qc.V >= 0 {
-		c.seenQC[qc.V] = true
+		c.seenQC.Set(qc.V)
 		if c.obs != nil {
 			c.obs.OnQCSeen(qc, c.rt.Now())
 		}
@@ -469,11 +467,7 @@ func (c *Core) pruneBelow(v types.View) {
 			delete(c.proposals, w)
 		}
 	}
-	for w := range c.voted {
-		if w < low {
-			delete(c.voted, w)
-		}
-	}
+	c.voted.ForgetBelow(low)
 	// Old blocks below the executed prefix can be dropped once far
 	// behind; keep a generous window for stragglers.
 	if len(c.blocks) > 4096 {
@@ -485,9 +479,5 @@ func (c *Core) pruneBelow(v types.View) {
 			}
 		}
 	}
-	for w := range c.seenQC {
-		if w < low-4 {
-			delete(c.seenQC, w)
-		}
-	}
+	c.seenQC.ForgetBelow(low - 4)
 }

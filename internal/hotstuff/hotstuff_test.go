@@ -131,7 +131,7 @@ func TestVoteRefusesNonExtendingOldJustify(t *testing.T) {
 		Block:   block.Encode(),
 		Hash:    block.HashOf(),
 	})
-	if core.voted[v] {
+	if core.voted.Has(v) {
 		t.Fatal("voted for a proposal violating the safety rule")
 	}
 }
@@ -145,14 +145,14 @@ func TestLateProposalStoredButNotVoted(t *testing.T) {
 	// view-0 leader legitimately did); it must be stored, not voted.
 	old := &Block{View: 0, Parent: GenesisHash, Cmds: []Command{{ID: 42}}}
 	genesisQC := &msg.QC{V: types.NoView, BlockHash: GenesisHash}
-	before := core.voted[0]
+	before := core.voted.Has(0)
 	core.handleProposal(0, &msg.Proposal{
 		V: 0, Leader: 0, Justify: genesisQC, Block: old.Encode(), Hash: old.HashOf(),
 	})
 	if _, ok := core.blocks[old.HashOf()]; !ok {
 		t.Fatal("late proposal's block not stored")
 	}
-	if !before && core.voted[0] {
+	if !before && core.voted.Has(0) {
 		t.Fatal("voted for a stale view")
 	}
 }

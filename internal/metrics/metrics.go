@@ -73,6 +73,31 @@ func WithEpochWords(viewsPerEpoch types.View) Option {
 	}
 }
 
+// DefaultSparsePoints is the send-series cap WithSparse applies when
+// given no explicit bound.
+const DefaultSparsePoints = 1 << 16
+
+// WithSparse caps the compressed cumulative send series at maxPoints
+// entries (0 = DefaultSparsePoints) for massive-n executions, where even
+// one series entry per distinct send instant (≈ n per view at n=4096)
+// outgrows memory across a sweep. On overflow, adjacent point pairs are
+// coalesced onto the later timestamp — deterministically, so runs remain
+// reproducible. Totals (WordsTotal, HonestSends, KappaBytes, per-kind
+// counts, WordsByEpoch) stay exact; time-windowed queries (W_T,
+// Intervals, WordsBetween) become approximate at the coalesced
+// resolution, with sends attributed no earlier than they occurred.
+func WithSparse(maxPoints int) Option {
+	return func(c *Collector) {
+		if maxPoints <= 0 {
+			maxPoints = DefaultSparsePoints
+		}
+		if maxPoints < 2 {
+			maxPoints = 2
+		}
+		c.maxPoints = maxPoints
+	}
+}
+
 // Collector observes network traffic and decision events for one
 // execution. It is safe for concurrent use (the TCP runtime delivers from
 // multiple goroutines); under the simulator the mutex is uncontended.
@@ -87,6 +112,7 @@ type Collector struct {
 	prefixW     []int64     // prefixW[i] = words strictly before points[i]; len(points)+1 entries
 	pointsDirty bool        // prefixes (and possibly point order) need rebuilding
 	pointsInOrd bool        // appends observed in non-decreasing At order so far
+	maxPoints   int         // WithSparse cap on len(points); 0 = unbounded
 	byKind      map[msg.Kind]int64
 	epochLast   map[types.View]types.Time // last epoch-view send per view
 	epochLen    types.View                // views per epoch for epochWords (0 = disabled)
@@ -143,6 +169,7 @@ func (c *Collector) Reset(honest func(types.NodeID) bool, opts ...Option) {
 	c.prefixW = c.prefixW[:0]
 	c.pointsDirty = false
 	c.pointsInOrd = true
+	c.maxPoints = 0
 	clear(c.byKind)
 	clear(c.epochLast)
 	c.epochLen = 0
@@ -171,6 +198,7 @@ func (c *Collector) Snapshot() *Collector {
 		keepLog:     c.keepLog,
 		pointsDirty: c.pointsDirty,
 		pointsInOrd: c.pointsInOrd,
+		maxPoints:   c.maxPoints,
 		epochLen:    c.epochLen,
 		honestTotal: c.honestTotal,
 		kappaTotal:  c.kappaTotal,
@@ -245,6 +273,9 @@ func (c *Collector) OnSend(from, _ types.NodeID, m msg.Message, at types.Time, h
 			c.pointsInOrd = false
 		}
 		c.points = append(c.points, sendPoint{at: at, count: 1, words: words})
+		if c.maxPoints > 0 && len(c.points) >= c.maxPoints {
+			c.coalesceLocked()
+		}
 	}
 	c.pointsDirty = true
 	if c.keepLog {
@@ -267,6 +298,26 @@ func (c *Collector) RecordDecision(v types.View, leader types.NodeID, at types.T
 		c.decInOrd = false
 	}
 	c.decisions = append(c.decisions, Decision{At: at, View: v, Leader: leader})
+}
+
+// coalesceLocked halves the send series by merging adjacent point pairs
+// onto the later timestamp (WithSparse). Merging neighbours in time
+// order keeps the cumulative totals exact and the timestamp drift local:
+// a send moves at most one merged-neighbour gap later.
+func (c *Collector) coalesceLocked() {
+	if !c.pointsInOrd {
+		sort.Slice(c.points, func(i, j int) bool { return c.points[i].at < c.points[j].at })
+		c.pointsInOrd = true
+	}
+	out := c.points[:0]
+	for i := 0; i+1 < len(c.points); i += 2 {
+		a, b := c.points[i], c.points[i+1]
+		out = append(out, sendPoint{at: b.at, count: a.count + b.count, words: a.words + b.words})
+	}
+	if len(c.points)%2 == 1 {
+		out = append(out, c.points[len(c.points)-1])
+	}
+	c.points = out
 }
 
 // normalizeLocked brings the cumulative send series to query form: points

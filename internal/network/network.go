@@ -238,6 +238,13 @@ type Net struct {
 	omitted     int64
 	omittedFrom []bool // senders already charged against MaxSenders
 	omitSenders int
+
+	// perRecipient forces broadcast back onto the one-heap-event-per-
+	// recipient path instead of multicast events. The two are
+	// observationally identical (the equivalence suite diffs whole
+	// tables across both); the toggle exists for those tests and for
+	// bisecting, not for production use.
+	perRecipient bool
 }
 
 // NewNet creates a network for cfg.N nodes. gst is the global
@@ -312,7 +319,13 @@ func (n *Net) Reset(cfg types.Config, gst types.Time, link LinkPolicy) {
 	n.budget = OmissionBudget{}
 	n.omitted = 0
 	n.omitSenders = 0
+	n.perRecipient = false
 }
+
+// SetPerRecipientBroadcast toggles the legacy broadcast representation:
+// one heap event per recipient rather than one multicast event per
+// distinct delivery time. Reset clears it.
+func (n *Net) SetPerRecipientBroadcast(on bool) { n.perRecipient = on }
 
 // deliverPayload is the scheduler's MsgSink: it fires when a scheduled
 // transmission reaches its delivery time.
@@ -404,44 +417,93 @@ func (n *Net) send(from, to types.NodeID, m msg.Message) {
 	n.sendTo(n.sched.Now(), from, to, m)
 }
 
-// broadcast transmits m from one node to all nodes, reserving heap space
-// for the whole burst once instead of growing per recipient.
+// broadcast transmits m from one node to all nodes. The default path
+// batches the fan-out into one multicast event per distinct delivery
+// time: verdicts are still resolved per recipient, at send time, in
+// recipient order — so OnSend observation, rng draw order and delivery
+// order are exactly those of the per-recipient path — but an
+// n-recipient broadcast whose deliveries share a clamped time costs one
+// heap insertion instead of n.
 func (n *Net) broadcast(from types.NodeID, m msg.Message) {
 	if n.stopped || n.killed[from] {
 		return
 	}
 	now := n.sched.Now()
-	n.sched.Reserve(len(n.handlers))
-	for to := range n.handlers {
-		n.sendTo(now, from, types.NodeID(to), m)
+	if n.perRecipient {
+		n.sched.Reserve(len(n.handlers))
+		for to := range n.handlers {
+			n.sendTo(now, from, types.NodeID(to), m)
+		}
+		return
 	}
+	mc := n.sched.Multicast(from, m)
+	for to := range n.handlers {
+		tid := types.NodeID(to)
+		if tid == from {
+			// Self-delivery at the same instant, not a network message.
+			mc.Add(tid, now)
+			continue
+		}
+		d := n.resolve(now, from, tid, m)
+		if d.copies == 0 {
+			continue
+		}
+		mc.Add(tid, d.at)
+		if d.copies == 2 {
+			mc.Add(tid, d.dupAt)
+		}
+	}
+	mc.Commit()
+}
+
+// delivery is a resolved link verdict: the clamped schedule for one
+// transmission's copies. copies is 0 (granted omission), 1, or 2 (with
+// a network duplicate at dupAt).
+type delivery struct {
+	at     types.Time
+	dupAt  types.Time
+	copies int
+}
+
+// resolve runs the send-time half of one point-to-point transmission —
+// OnSend observation plus the link policy's verdict — and clamps the
+// outcome to the §2 model: delivery (and any duplicate) lands in
+// [now, max(GST, now)+Δ], and drops are granted as true omissions only
+// post-GST under the omission budget.
+func (n *Net) resolve(now types.Time, from, to types.NodeID, m msg.Message) delivery {
+	n.observeSend(from, to, m, now)
+	v := n.link.Link(from, to, m, now, n.sched.Rand())
+	if v.Drop {
+		if now >= n.gst && n.allowOmission(from) {
+			return delivery{} // granted: a true post-GST omission
+		}
+		// Pre-GST "loss" (or an unfunded post-GST drop) degrades to
+		// the worst delay the model permits: delivery at the bound.
+		return delivery{at: types.MaxTime(n.gst, now).Add(n.cfg.Delta), copies: 1}
+	}
+	d := delivery{at: n.clampDelivery(now, v.Delay), copies: 1}
+	if v.Dup {
+		d.dupAt = n.clampDelivery(now, v.DupDelay)
+		d.copies = 2
+	}
+	return d
 }
 
 // sendTo schedules one point-to-point transmission (shared by send and
-// broadcast; stop/kill checks happen in the callers). The link policy's
-// verdict is applied under the partial-synchrony clamp: delivery (and
-// any duplicate) lands in [now, max(GST, now)+Δ], and drops are granted
-// as true omissions only post-GST under the omission budget.
+// the legacy broadcast path; stop/kill checks happen in the callers).
 func (n *Net) sendTo(now types.Time, from, to types.NodeID, m msg.Message) {
 	if from == to {
 		// Self-delivery at the same instant, not a network message.
 		n.sched.SendAt(now, from, to, m)
 		return
 	}
-	n.observeSend(from, to, m, now)
-	v := n.link.Link(from, to, m, now, n.sched.Rand())
-	if v.Drop {
-		if now >= n.gst && n.allowOmission(from) {
-			return // granted: a true post-GST omission
-		}
-		// Pre-GST "loss" (or an unfunded post-GST drop) degrades to
-		// the worst delay the model permits: delivery at the bound.
-		n.sched.SendAt(types.MaxTime(n.gst, now).Add(n.cfg.Delta), from, to, m)
+	d := n.resolve(now, from, to, m)
+	if d.copies == 0 {
 		return
 	}
-	n.sched.SendAt(n.clampDelivery(now, v.Delay), from, to, m)
-	if v.Dup {
-		n.sched.SendAt(n.clampDelivery(now, v.DupDelay), from, to, m)
+	n.sched.SendAt(d.at, from, to, m)
+	if d.copies == 2 {
+		n.sched.SendAt(d.dupAt, from, to, m)
 	}
 }
 

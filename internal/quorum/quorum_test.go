@@ -1,0 +1,194 @@
+package quorum
+
+import (
+	"math/rand"
+	"testing"
+
+	"lumiere/internal/crypto"
+	"lumiere/internal/types"
+)
+
+func TestVoteSetDedup(t *testing.T) {
+	var vs VoteSet
+	vs.Reset(100)
+	if !vs.Add(crypto.Signature{Signer: 7}) {
+		t.Fatal("first add rejected")
+	}
+	if vs.Add(crypto.Signature{Signer: 7}) {
+		t.Fatal("duplicate signer accepted")
+	}
+	if !vs.Add(crypto.Signature{Signer: 99}) {
+		t.Fatal("distinct signer rejected")
+	}
+	if vs.Count() != 2 || !vs.Has(7) || !vs.Has(99) || vs.Has(8) {
+		t.Fatalf("state: count=%d", vs.Count())
+	}
+	sigs := vs.Sigs()
+	if len(sigs) != 2 || sigs[0].Signer != 7 || sigs[1].Signer != 99 {
+		t.Fatalf("arrival order lost: %+v", sigs)
+	}
+	vs.Reset(100)
+	if vs.Count() != 0 || vs.Has(7) {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestVoteSetResize(t *testing.T) {
+	var vs VoteSet
+	vs.Reset(4)
+	vs.Add(crypto.Signature{Signer: 3})
+	vs.Reset(4096)
+	if vs.Has(3) {
+		t.Fatal("stale bit after grow")
+	}
+	vs.Add(crypto.Signature{Signer: 4095})
+	if !vs.Has(4095) || vs.Count() != 1 {
+		t.Fatal("high signer lost")
+	}
+	vs.Reset(4) // shrink reuses capacity
+	if vs.Count() != 0 {
+		t.Fatal("shrink did not clear")
+	}
+}
+
+func TestVoteSetsPoolRecycling(t *testing.T) {
+	var s VoteSets
+	s.Reset(64)
+	s.Get(10).Add(crypto.Signature{Signer: 1})
+	s.Get(11).Add(crypto.Signature{Signer: 2})
+	s.Get(12)
+	if s.Live() != 3 {
+		t.Fatalf("live = %d", s.Live())
+	}
+	if s.Peek(13) != nil {
+		t.Fatal("Peek materialized")
+	}
+	s.DropBelow(12)
+	if s.Live() != 1 || s.Peek(10) != nil || s.Peek(12) == nil {
+		t.Fatal("DropBelow wrong")
+	}
+	// Recycled sets come back empty.
+	if got := s.Get(20); got.Count() != 0 {
+		t.Fatalf("recycled set not cleared: %d votes", got.Count())
+	}
+	s.Reset(64)
+	if s.Live() != 0 {
+		t.Fatal("Reset left live sets")
+	}
+	if got := s.Get(10); got.Count() != 0 || got.Has(1) {
+		t.Fatal("post-Reset set dirty")
+	}
+}
+
+// TestFlagsMatchesMap drives the same randomized Set/Has/ForgetBelow
+// trace through Flags and a plain map with delete-below pruning and
+// requires identical answers.
+func TestFlagsMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var f Flags
+	f.Reset()
+	m := map[types.View]bool{}
+	var bound types.View
+	for i := 0; i < 20000; i++ {
+		switch rng.Intn(4) {
+		case 0: // set near the live window
+			v := bound + types.View(rng.Intn(300))
+			f.Set(v)
+			m[v] = true
+		case 1, 2: // query anywhere, including pruned views
+			v := types.View(rng.Intn(int(bound) + 400))
+			if f.Has(v) != m[v] {
+				t.Fatalf("step %d: Has(%d) = %v, map %v (bound %d)", i, v, f.Has(v), m[v], bound)
+			}
+		case 3: // advance the prune bound
+			bound += types.View(rng.Intn(50))
+			f.ForgetBelow(bound)
+			for v := range m {
+				if v < bound {
+					delete(m, v)
+				}
+			}
+		}
+	}
+}
+
+func TestFlagsSetBelowBoundPanics(t *testing.T) {
+	var f Flags
+	f.Reset()
+	f.Set(5)
+	f.ForgetBelow(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set below forget bound did not panic")
+		}
+	}()
+	f.Set(9)
+}
+
+func TestFlagsLargeJumpCompacts(t *testing.T) {
+	var f Flags
+	f.Reset()
+	f.Set(0)
+	f.ForgetBelow(1 << 20)
+	f.Set(1 << 20)
+	if got := len(f.bits); got > 2 {
+		t.Fatalf("window did not compact: %d words", got)
+	}
+	if !f.Has(1<<20) || f.Has(0) {
+		t.Fatal("wrong contents after jump")
+	}
+}
+
+// TestSteadyStateAllocFree: the per-view operations that replaced the
+// engines' map allocations — viewcore.LeaderStart's vote-map make, the
+// pacemakers' per-view vote maps and seen/done map inserts — are
+// allocation-free once the containers have reached steady-state
+// capacity.
+func TestSteadyStateAllocFree(t *testing.T) {
+	const n = 61
+	sigs := make([]crypto.Signature, n)
+	for i := range sigs {
+		sigs[i] = crypto.Signature{Signer: types.NodeID(i)}
+	}
+
+	var vs VoteSet
+	vs.Reset(n)
+	if avg := testing.AllocsPerRun(1000, func() {
+		vs.Reset(n)
+		for _, s := range sigs[:2*n/3+1] {
+			vs.Add(s)
+		}
+		_ = vs.Sigs()
+	}); avg != 0 {
+		t.Errorf("VoteSet view cycle allocates %.1f/op, want 0", avg)
+	}
+
+	var sets VoteSets
+	sets.Reset(n)
+	view := types.View(0)
+	sets.Get(view) // materialize the pooled set once
+	if avg := testing.AllocsPerRun(1000, func() {
+		view += 2
+		s := sets.Get(view)
+		for _, sig := range sigs[:n/3+1] {
+			s.Add(sig)
+		}
+		sets.DropBelow(view)
+	}); avg != 0 {
+		t.Errorf("VoteSets view cycle allocates %.1f/op, want 0", avg)
+	}
+
+	var f Flags
+	f.Reset()
+	v := types.View(64) // pre-grow the window past the warmup edge
+	f.Set(v)
+	if avg := testing.AllocsPerRun(1000, func() {
+		v += 2
+		if !f.Has(v) {
+			f.Set(v)
+		}
+		f.ForgetBelow(v - 2)
+	}); avg != 0 {
+		t.Errorf("Flags view cycle allocates %.1f/op, want 0", avg)
+	}
+}

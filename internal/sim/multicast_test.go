@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"lumiere/internal/types"
+)
+
+type delivery struct {
+	from, to types.NodeID
+	at       types.Time
+	m        any
+}
+
+func recordSink(s *Scheduler, out *[]delivery) {
+	s.SetSink(func(from, to types.NodeID, m any) {
+		*out = append(*out, delivery{from: from, to: to, at: s.Now(), m: m})
+	})
+}
+
+// TestMulticastCollapsesUniformBroadcast is the event-count gate from the
+// issue: an n-recipient broadcast whose deliveries share one clamped time
+// must cost O(1) heap insertions, not O(n), while Events still advances
+// by n.
+func TestMulticastCollapsesUniformBroadcast(t *testing.T) {
+	const n = 4096
+	s := New(1)
+	var got []delivery
+	recordSink(s, &got)
+
+	base := s.Scheduled()
+	mc := s.Multicast(7, "m")
+	for i := 0; i < n; i++ {
+		mc.Add(types.NodeID(i), 100)
+	}
+	mc.Commit()
+	if ins := s.Scheduled() - base; ins != 1 {
+		t.Fatalf("uniform %d-recipient broadcast scheduled %d heap events, want 1", n, ins)
+	}
+	s.RunUntil(100)
+	if len(got) != n {
+		t.Fatalf("delivered %d, want %d", len(got), n)
+	}
+	if s.Events() != uint64(n) {
+		t.Fatalf("Events() = %d, want %d (one per expanded delivery)", s.Events(), n)
+	}
+	for i, d := range got {
+		if d.to != types.NodeID(i) || d.from != 7 || d.at != 100 || d.m != "m" {
+			t.Fatalf("delivery %d = %+v", i, d)
+		}
+	}
+}
+
+// TestMulticastMatchesSendAt drives the same randomized delivery pattern
+// through per-recipient SendAt and through a Multicast and requires the
+// observed delivery sequences to be identical, on both the grouped
+// (≤ mcMaxTracked distinct times) and the sorted (overflow) Commit path.
+func TestMulticastMatchesSendAt(t *testing.T) {
+	for _, distinct := range []int{1, 2, mcMaxTracked, mcMaxTracked + 1, 200} {
+		t.Run(fmt.Sprintf("distinct=%d", distinct), func(t *testing.T) {
+			const n = 300
+			// Deterministic pattern with repeats, dups and interleaved times.
+			pattern := make([]delivery, 0, n+10)
+			for i := 0; i < n; i++ {
+				at := types.Time(50 + (i*7)%distinct)
+				pattern = append(pattern, delivery{to: types.NodeID(i), at: at})
+				if i%37 == 0 { // duplicated transmission
+					pattern = append(pattern, delivery{to: types.NodeID(i), at: at + 1})
+				}
+			}
+
+			run := func(multi bool) []delivery {
+				s := New(1)
+				var got []delivery
+				recordSink(s, &got)
+				// Surrounding traffic: events before and after the broadcast's
+				// seq block must keep their relative order.
+				s.SendAt(49, 1, 2, "pre")
+				if multi {
+					mc := s.Multicast(9, "b")
+					for _, p := range pattern {
+						mc.Add(p.to, p.at)
+					}
+					mc.Commit()
+				} else {
+					for _, p := range pattern {
+						s.SendAt(p.at, 9, p.to, "b")
+					}
+				}
+				s.SendAt(51, 3, 4, "mid")
+				s.RunUntil(10_000)
+				return got
+			}
+
+			plain, multi := run(false), run(true)
+			if len(plain) != len(multi) {
+				t.Fatalf("len: plain %d vs multi %d", len(plain), len(multi))
+			}
+			for i := range plain {
+				if plain[i] != multi[i] {
+					t.Fatalf("delivery %d: plain %+v vs multi %+v", i, plain[i], multi[i])
+				}
+			}
+		})
+	}
+}
+
+// TestMulticastNestedBuilders exercises the builder pool: a sink handler
+// reached mid-expansion starts its own multicast (the network does this
+// when a delivery triggers a broadcast reply).
+func TestMulticastNestedBuilders(t *testing.T) {
+	s := New(1)
+	var got []delivery
+	s.SetSink(func(from, to types.NodeID, m any) {
+		got = append(got, delivery{from: from, to: to, at: s.Now(), m: m})
+		if m == "ping" && to == 0 {
+			reply := s.Multicast(to, "pong")
+			for i := 0; i < 3; i++ {
+				reply.Add(types.NodeID(i), s.Now().Add(10))
+			}
+			reply.Commit()
+		}
+	})
+	mc := s.Multicast(5, "ping")
+	for i := 0; i < 3; i++ {
+		mc.Add(types.NodeID(i), 100)
+	}
+	mc.Commit()
+	s.RunUntil(1000)
+	if len(got) != 6 {
+		t.Fatalf("deliveries = %d, want 6: %+v", len(got), got)
+	}
+	for i, d := range got[3:] {
+		if d.m != "pong" || d.at != 110 || d.to != types.NodeID(i) {
+			t.Fatalf("reply %d = %+v", i, d)
+		}
+	}
+}
+
+// TestMulticastEmptyCommit checks a builder with no recipients is a no-op
+// and the pool recycles cleanly.
+func TestMulticastEmptyCommit(t *testing.T) {
+	s := New(1)
+	var got []delivery
+	recordSink(s, &got)
+	base := s.Scheduled()
+	s.Multicast(0, "x").Commit()
+	if s.Scheduled() != base || s.Pending() != 0 {
+		t.Fatalf("empty multicast scheduled something")
+	}
+	// Pool slot is reusable afterwards.
+	mc := s.Multicast(0, "y")
+	mc.Add(1, 5)
+	mc.Commit()
+	s.RunUntil(10)
+	if len(got) != 1 || got[0].m != "y" {
+		t.Fatalf("got = %+v", got)
+	}
+}
+
+// TestMulticastReset checks pending multicast events are dropped by Reset
+// and the recycled arena behaves identically afterwards.
+func TestMulticastReset(t *testing.T) {
+	s := New(1)
+	var got []delivery
+	recordSink(s, &got)
+	mc := s.Multicast(1, "stale")
+	for i := 0; i < 50; i++ {
+		mc.Add(types.NodeID(i), 100)
+	}
+	mc.Commit()
+	s.Reset(2)
+	if s.Scheduled() != 0 || s.Events() != 0 || s.Pending() != 0 {
+		t.Fatalf("counters survived Reset: sched=%d fired=%d pending=%d",
+			s.Scheduled(), s.Events(), s.Pending())
+	}
+	mc = s.Multicast(2, "fresh")
+	mc.Add(3, 10)
+	mc.Commit()
+	s.RunUntil(1000)
+	if len(got) != 1 || got[0].m != "fresh" {
+		t.Fatalf("post-reset deliveries = %+v", got)
+	}
+}

@@ -18,6 +18,7 @@
 package sim
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
 	"slices"
@@ -30,9 +31,10 @@ import (
 type eventKind uint8
 
 const (
-	kindFree eventKind = iota // slot is on the free list
-	kindFunc                  // callback event (timers, harness hooks)
-	kindMsg                   // payload event dispatched through the sink
+	kindFree  eventKind = iota // slot is on the free list
+	kindFunc                   // callback event (timers, harness hooks)
+	kindMsg                    // payload event dispatched through the sink
+	kindMulti                  // multicast event: one heap entry, many recipients
 )
 
 // event is one arena slot. Slots are reused: gen increments every time a
@@ -41,12 +43,17 @@ type event struct {
 	at   types.Time
 	seq  uint64 // FIFO tiebreak for equal timestamps
 	fn   func() // kindFunc only
-	msg  any    // kindMsg only
+	msg  any    // kindMsg and kindMulti
 	from types.NodeID
 	to   types.NodeID
 	gen  uint32
 	pos  int32 // heap position, -1 while free or being fired
 	kind eventKind
+	// recips is the recipient set of a kindMulti event, in delivery
+	// order. The backing array stays with the slot across reuse, so a
+	// steady stream of multicasts recycles recipient storage the same
+	// way the arena recycles slots.
+	recips []types.NodeID
 }
 
 // Timer identifies a scheduled callback for cancellation without
@@ -64,14 +71,23 @@ type MsgSink func(from, to types.NodeID, m any)
 // Scheduler is a deterministic discrete-event loop. It is not safe for
 // concurrent use: all protocol code runs on the single event loop.
 type Scheduler struct {
-	now   types.Time
-	arena []event
-	free  []int32 // indices of recycled arena slots
-	heap  []int32 // min-heap of arena indices, ordered by (at, seq)
-	seq   uint64
-	rng   *rand.Rand
-	fired uint64
-	sink  MsgSink
+	now       types.Time
+	arena     []event
+	free      []int32 // indices of recycled arena slots
+	heap      []int32 // min-heap of arena indices, ordered by (at, seq)
+	seq       uint64
+	rng       *rand.Rand
+	fired     uint64
+	scheduled uint64
+	sink      MsgSink
+
+	// mcPool is the stack of reusable multicast builders (depth > 1 only
+	// when an observer reached from a build triggers a nested broadcast);
+	// expand is the recipient scratch a firing multicast event is copied
+	// into before its slot is released back to the arena.
+	mcPool  []*Multicast
+	mcDepth int
+	expand  []types.NodeID
 }
 
 // New creates a Scheduler with virtual time 0 and randomness from seed.
@@ -93,6 +109,7 @@ func (s *Scheduler) Reset(seed int64) {
 		ev := &s.arena[i]
 		ev.fn = nil
 		ev.msg = nil
+		ev.recips = ev.recips[:0]
 		ev.kind = kindFree
 		ev.pos = -1
 		ev.gen++
@@ -107,6 +124,8 @@ func (s *Scheduler) Reset(seed int64) {
 	s.now = 0
 	s.seq = 0
 	s.fired = 0
+	s.scheduled = 0
+	s.mcDepth = 0
 	s.rng.Seed(seed)
 }
 
@@ -116,11 +135,21 @@ func (s *Scheduler) Now() types.Time { return s.now }
 // Rand returns the execution's random source.
 func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 
-// Events returns the number of events fired so far.
+// Events returns the number of events fired so far. A multicast event
+// counts once per recipient it expands to, so the tally matches what a
+// per-recipient scheduler would have fired (run budgets and abort
+// thresholds keep their meaning under the collapsed representation).
 func (s *Scheduler) Events() uint64 { return s.fired }
 
-// Pending returns the number of events currently scheduled. Cancelled
-// events leave the heap immediately and are not counted.
+// Scheduled returns the number of heap insertions so far. Unlike
+// Events, a multicast counts once per *heap entry* — one per distinct
+// delivery time — so the gap between Scheduled and Events measures how
+// much the multicast representation collapses broadcast fan-out.
+func (s *Scheduler) Scheduled() uint64 { return s.scheduled }
+
+// Pending returns the number of events currently scheduled (heap
+// entries: a multicast to any number of recipients counts once).
+// Cancelled events leave the heap immediately and are not counted.
 func (s *Scheduler) Pending() int { return len(s.heap) }
 
 // SetSink registers the consumer of payload events (see SendAt). The
@@ -200,6 +229,7 @@ func (s *Scheduler) release(id int32) {
 	ev := &s.arena[id]
 	ev.fn = nil
 	ev.msg = nil
+	ev.recips = ev.recips[:0]
 	ev.kind = kindFree
 	ev.pos = -1
 	ev.gen++
@@ -208,6 +238,7 @@ func (s *Scheduler) release(id int32) {
 
 // push inserts a filled slot into the heap.
 func (s *Scheduler) push(id int32) {
+	s.scheduled++
 	s.arena[id].pos = int32(len(s.heap))
 	s.heap = append(s.heap, id)
 	s.up(len(s.heap) - 1)
@@ -321,6 +352,150 @@ func (s *Scheduler) SendAt(t types.Time, from, to types.NodeID, m any) {
 	ev.kind = kindMsg
 }
 
+// ---------------------------------------------------------------------------
+// Multicast events
+// ---------------------------------------------------------------------------
+
+// mcEntry is one recipient of a multicast under construction.
+type mcEntry struct {
+	to types.NodeID
+	at types.Time
+}
+
+// mcMaxTracked bounds the distinct delivery times tracked inline during
+// Add. Up to this many, Commit groups entries with a linear scan (the
+// no-chaos case has 1-2 distinct times); beyond it, Commit falls back to
+// a stable sort of the entries.
+const mcMaxTracked = 16
+
+// Multicast accumulates the per-recipient delivery times of one logical
+// broadcast and commits them as one heap event per *distinct* delivery
+// time instead of one per recipient. Within a shared delivery time,
+// recipients are dispatched in Add order, and each group's heap entry
+// takes a fresh insertion seq, so an execution is indistinguishable from
+// scheduling every recipient individually — only the heap (and the
+// Scheduled counter) sees the collapsed representation.
+//
+// A builder is obtained from Scheduler.Multicast and must be finished
+// with Commit before the event loop resumes; builders nest (a network
+// observer reached between Add calls may trigger another broadcast) but
+// must commit in LIFO order.
+type Multicast struct {
+	s       *Scheduler
+	from    types.NodeID
+	msg     any
+	entries []mcEntry
+	times   []types.Time // distinct delivery times, first-seen order
+	slots   []int32      // Commit scratch: event slot per distinct time
+}
+
+// Multicast starts a multicast of m from one sender. Deliveries are
+// dispatched through the registered MsgSink, like SendAt.
+func (s *Scheduler) Multicast(from types.NodeID, m any) *Multicast {
+	if s.sink == nil {
+		panic("sim: Multicast with no registered MsgSink")
+	}
+	if s.mcDepth == len(s.mcPool) {
+		s.mcPool = append(s.mcPool, &Multicast{s: s})
+	}
+	mc := s.mcPool[s.mcDepth]
+	s.mcDepth++
+	mc.from = from
+	mc.msg = m
+	mc.entries = mc.entries[:0]
+	mc.times = mc.times[:0]
+	return mc
+}
+
+// Add records delivery to one recipient at absolute virtual time t
+// (clamped to now). Add the same recipient twice for duplicated
+// transmissions. Deliveries sharing a timestamp fire in Add order.
+func (mc *Multicast) Add(to types.NodeID, t types.Time) {
+	if t < mc.s.now {
+		t = mc.s.now
+	}
+	mc.entries = append(mc.entries, mcEntry{to: to, at: t})
+	if len(mc.times) > mcMaxTracked {
+		return // overflowed: Commit takes the sorting path
+	}
+	for _, seen := range mc.times {
+		if seen == t {
+			return
+		}
+	}
+	mc.times = append(mc.times, t)
+}
+
+// Commit schedules the accumulated deliveries — one heap event per
+// distinct delivery time — and returns the builder to the scheduler's
+// pool. The builder must not be used after Commit.
+func (mc *Multicast) Commit() {
+	s := mc.s
+	if s.mcDepth == 0 || s.mcPool[s.mcDepth-1] != mc {
+		panic("sim: Multicast.Commit out of order")
+	}
+	switch {
+	case len(mc.entries) == 0:
+		// nothing to schedule
+	case len(mc.times) <= mcMaxTracked:
+		mc.commitGrouped()
+	default:
+		mc.commitSorted()
+	}
+	mc.msg = nil
+	s.mcDepth--
+}
+
+// commitGrouped schedules one event per tracked distinct time and fills
+// recipient sets with a linear scan — O(entries · distinct times).
+func (mc *Multicast) commitGrouped() {
+	s := mc.s
+	mc.slots = mc.slots[:0]
+	for _, t := range mc.times {
+		mc.slots = append(mc.slots, mc.newGroup(t))
+	}
+	for _, e := range mc.entries {
+		for i, t := range mc.times {
+			if t == e.at {
+				id := mc.slots[i]
+				s.arena[id].recips = append(s.arena[id].recips, e.to)
+				break
+			}
+		}
+	}
+}
+
+// commitSorted handles many distinct delivery times (chaotic per-link
+// delays at large n): a stable sort by time preserves Add order within
+// each group, and each run of equal times becomes one event.
+func (mc *Multicast) commitSorted() {
+	s := mc.s
+	slices.SortStableFunc(mc.entries, func(a, b mcEntry) int {
+		return cmp.Compare(a.at, b.at)
+	})
+	for i := 0; i < len(mc.entries); {
+		j := i + 1
+		for j < len(mc.entries) && mc.entries[j].at == mc.entries[i].at {
+			j++
+		}
+		id := mc.newGroup(mc.entries[i].at)
+		for _, e := range mc.entries[i:j] {
+			s.arena[id].recips = append(s.arena[id].recips, e.to)
+		}
+		i = j
+	}
+}
+
+// newGroup allocates and enqueues one kindMulti event at time t with an
+// empty recipient set, returning its slot.
+func (mc *Multicast) newGroup(t types.Time) int32 {
+	id, ev := mc.s.schedule(t)
+	ev.from = mc.from
+	ev.msg = mc.msg
+	ev.kind = kindMulti
+	return id
+}
+
 // Reserve pre-sizes the arena and heap for n additional events, so a
 // burst of schedules (e.g. a broadcast's n sends) performs at most one
 // slice grow up front instead of n incremental ones.
@@ -357,6 +532,21 @@ func (s *Scheduler) Step() bool {
 		from, to, m := ev.from, ev.to, ev.msg
 		s.release(id)
 		s.sink(from, to, m)
+	case kindMulti:
+		from, m := ev.from, ev.msg
+		// Count every expansion so Events matches a per-recipient
+		// scheduler (Step already counted the first delivery).
+		s.fired += uint64(len(ev.recips) - 1)
+		// Copy the recipient set out before releasing the slot: handlers
+		// reached through the sink may schedule, growing the arena or
+		// reusing this very slot mid-expansion. Expansion is never
+		// reentrant (Step runs only on the event loop), so one scratch
+		// buffer suffices.
+		s.expand = append(s.expand[:0], ev.recips...)
+		s.release(id)
+		for _, to := range s.expand {
+			s.sink(from, to, m)
+		}
 	default:
 		panic("sim: free slot reached the heap")
 	}

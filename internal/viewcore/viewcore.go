@@ -25,6 +25,7 @@ import (
 	"lumiere/internal/msg"
 	"lumiere/internal/network"
 	"lumiere/internal/pacemaker"
+	"lumiere/internal/quorum"
 	"lumiere/internal/types"
 )
 
@@ -53,12 +54,12 @@ type Core struct {
 
 	view      types.View
 	proposals map[types.View]*msg.Proposal
-	voted     map[types.View]bool
-	seenQC    map[types.View]bool
+	voted     quorum.Flags
+	seenQC    quorum.Flags
 
 	leading  types.View
 	deadline types.Time
-	votes    map[types.NodeID]crypto.Signature
+	votes    quorum.VoteSet
 	done     bool
 
 	// stmt is the statement scratch: sign/verify statements are rebuilt
@@ -86,8 +87,6 @@ func New(cfg types.Config, ep network.Endpoint, rt clock.Runtime, suite crypto.S
 		obs:       obs,
 		view:      types.NoView,
 		proposals: make(map[types.View]*msg.Proposal),
-		voted:     make(map[types.View]bool),
-		seenQC:    make(map[types.View]bool),
 		leading:   types.NoView,
 	}
 }
@@ -112,7 +111,7 @@ func (c *Core) LeaderStart(v types.View, qcDeadline types.Time) {
 	}
 	c.leading = v
 	c.deadline = qcDeadline
-	c.votes = make(map[types.NodeID]crypto.Signature, c.cfg.Quorum())
+	c.votes.Reset(c.cfg.N)
 	c.done = false
 	c.ep.Broadcast(&msg.Proposal{V: v, Leader: c.id})
 }
@@ -149,10 +148,10 @@ func (c *Core) handleProposal(from types.NodeID, p *msg.Proposal) {
 }
 
 func (c *Core) voteFor(p *msg.Proposal) {
-	if c.voted[p.V] {
+	if c.voted.Has(p.V) {
 		return
 	}
-	c.voted[p.V] = true
+	c.voted.Set(p.V)
 	sig := c.signer.Sign(c.stmt.Vote(p.V, &p.Hash))
 	c.ep.Send(p.Leader, &msg.Vote{V: p.V, BlockHash: p.Hash, Sig: sig})
 }
@@ -164,8 +163,8 @@ func (c *Core) handleVote(from types.NodeID, v *msg.Vote) {
 	if err := c.suite.Verify(c.stmt.Vote(v.V, &v.BlockHash), v.Sig); err != nil {
 		return
 	}
-	c.votes[from] = v.Sig
-	if len(c.votes) < c.cfg.Quorum() {
+	c.votes.Add(v.Sig)
+	if c.votes.Count() < c.cfg.Quorum() {
 		return
 	}
 	// Lumiere's leader discipline: refrain from producing the QC past
@@ -174,11 +173,7 @@ func (c *Core) handleVote(from types.NodeID, v *msg.Vote) {
 		c.done = true
 		return
 	}
-	sigs := make([]crypto.Signature, 0, len(c.votes))
-	for _, s := range c.votes {
-		sigs = append(sigs, s)
-	}
-	agg, err := c.suite.Aggregate(c.stmt.Vote(v.V, &v.BlockHash), sigs)
+	agg, err := c.suite.Aggregate(c.stmt.Vote(v.V, &v.BlockHash), c.votes.Sigs())
 	if err != nil {
 		return
 	}
@@ -191,14 +186,16 @@ func (c *Core) handleVote(from types.NodeID, v *msg.Vote) {
 }
 
 // observeQC registers a (verified) QC exactly once and routes it upward.
+// Views below the pruning bound stay forgotten: a QC that old cannot
+// advance the pacemaker, so it is treated as already seen.
 func (c *Core) observeQC(qc *msg.QC) {
-	if c.seenQC[qc.V] {
+	if qc.V < c.seenQC.Bound() || c.seenQC.Has(qc.V) {
 		return
 	}
 	if err := c.suite.VerifyAggregate(c.stmt.Vote(qc.V, &qc.BlockHash), qc.Agg, c.cfg.Quorum()); err != nil {
 		return
 	}
-	c.seenQC[qc.V] = true
+	c.seenQC.Set(qc.V)
 	if c.obs != nil {
 		c.obs.OnQCSeen(qc, c.rt.Now())
 	}
@@ -216,14 +213,6 @@ func (c *Core) pruneBelow(v types.View) {
 			delete(c.proposals, w)
 		}
 	}
-	for w := range c.voted {
-		if w < low {
-			delete(c.voted, w)
-		}
-	}
-	for w := range c.seenQC {
-		if w < low-2 {
-			delete(c.seenQC, w)
-		}
-	}
+	c.voted.ForgetBelow(low)
+	c.seenQC.ForgetBelow(low - 2)
 }

@@ -313,6 +313,19 @@ func WordScalingTable(fs []int, fa int, seed int64, opts SweepOptions) *Table {
 	return harness.WordScalingTable(fs, fa, seed, opts)
 }
 
+// LargeNSizes is the default system-size axis of the massive-n scaling
+// table: {128, 256, 1024, 4096}.
+var LargeNSizes = harness.LargeNSizes
+
+// LargeNWordsTable sweeps LP22 and Lumiere over massive system sizes
+// (multicast broadcast events + bitset quorum tracking make n=4096
+// cells feasible) and reports total honest words / n over a 60s run:
+// near-flat for Lumiere (words linear in n), ~linear for LP22 (words
+// quadratic, from its Θ(n²) epoch synchronization).
+func LargeNWordsTable(ns []int, seed int64, opts SweepOptions) *Table {
+	return harness.LargeNWordsTable(ns, seed, opts)
+}
+
 // GapShrinkage measures §3.5's honest-gap convergence.
 func GapShrinkage(f int, seed int64) harness.GapShrinkageResult {
 	return harness.GapShrinkage(f, seed)
