@@ -24,6 +24,7 @@ import (
 	"lumiere/internal/msg"
 	"lumiere/internal/network"
 	"lumiere/internal/sim"
+	"lumiere/internal/statemachine"
 	"lumiere/internal/types"
 )
 
@@ -244,6 +245,57 @@ func BenchmarkLargeNWords(b *testing.B) {
 					maxWordsPerN = stats.MaxWords / float64(n)
 				}
 				b.ReportMetric(maxWordsPerN, "max_words_per_n")
+			})
+		}
+	}
+}
+
+// BenchmarkThroughputTable regenerates representative cells of the SMR
+// throughput table: an open-loop population (10⁶ logical clients, 64B
+// payload pad) offering load commands/sec into chained HotStuff at
+// batch 256, reporting committed-command throughput, p99 commit latency
+// and words per committed command. The proto/load path segments give
+// BENCH_sweep.json structured rows, and allocs_per_op puts the
+// allocation-free injection path under the benchjson -baseline gate.
+func BenchmarkThroughputTable(b *testing.B) {
+	for _, p := range []harness.Protocol{harness.ProtoLumiere, harness.ProtoCogsworth, harness.ProtoLP22} {
+		for _, load := range []int64{300, 1500} {
+			p, load := p, load
+			b.Run("proto="+string(p)+"/load="+itoa3(int(load)), func(b *testing.B) {
+				delta := 50 * time.Millisecond
+				s := lumiere.Scenario{
+					Protocol:        p,
+					F:               1,
+					Delta:           delta,
+					DeltaActual:     delta / 10,
+					Duration:        15 * time.Second,
+					Seed:            benchSeed,
+					SMR:             true,
+					SMRBatchSize:    256,
+					NewStateMachine: func() statemachine.StateMachine { return statemachine.NewCounter() },
+					Workload: &lumiere.WorkloadConfig{
+						Clients:    1_000_000,
+						Rate:       load,
+						PayloadPad: 64,
+					},
+				}
+				// Warm arena, as in BenchmarkChaosTable: per-cell cost
+				// with setup amortized away.
+				arena := lumiere.NewArena()
+				res := lumiere.RunIn(arena, s)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res = lumiere.RunIn(arena, s)
+				}
+				b.StopTimer()
+				st := res.Collector.CommitLatencyStats(res.GST.Add(3 * time.Second))
+				if st.Count == 0 {
+					b.Fatalf("%s at %d/s: no commits after warmup", p, load)
+				}
+				b.ReportMetric(st.PerSec, "committed/sec")
+				b.ReportMetric(st.P99.Seconds()*1000, "p99_ms")
+				b.ReportMetric(float64(res.Collector.WordsTotal())/float64(res.Collector.CommitCount()), "words/cmd")
 			})
 		}
 	}

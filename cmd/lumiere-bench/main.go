@@ -10,6 +10,7 @@
 //	lumiere-bench -workers 1  # serial reference run
 //	lumiere-bench -chaos      # chaos suite only (fault conditions + conformance)
 //	lumiere-bench -attack     # attack suite only (adaptive strategies + word complexity)
+//	lumiere-bench -smr        # SMR suite only (throughput/commit-latency + under-attack tables)
 //	lumiere-bench -n 4096     # massive-n scaling table only, at one system size
 //	lumiere-bench -largen -maxn 4096   # massive-n scaling table over the whole axis
 package main
@@ -43,6 +44,7 @@ func realMain() int {
 		sendlog    = flag.Bool("sendlog", false, "retain full per-send record logs (debugging; large memory)")
 		chaos      = flag.Bool("chaos", false, "run only the chaos suite: fault-condition table + chaos conformance sweep")
 		attack     = flag.Bool("attack", false, "run only the attack suite: adaptive-strategy table + word-complexity tables")
+		smr        = flag.Bool("smr", false, "run only the SMR suite: throughput/commit-latency table + throughput under attack")
 		largen     = flag.Bool("largen", false, "run only the massive-n scaling table over the default axis (capped by -maxn)")
 		largeN     = flag.Int("n", 0, "run the massive-n scaling table at this single system size (needs n ≥ 4; 0 = default axis)")
 		maxN       = flag.Int("maxn", 1024, "cap the massive-n scaling axis at this size (4096 reproduces the recorded table)")
@@ -131,9 +133,20 @@ func realMain() int {
 	}
 
 	start := time.Now()
-	if (*largeN != 0 || *largen) && !*chaos && !*attack {
+	if (*largeN != 0 || *largen) && !*chaos && !*attack && !*smr {
 		fmt.Printf("massive-n suite (seed %d, %d workers)\n\n", *seed, *workers)
 		emit("largen_words", lumiere.LargeNWordsTable(largeNs, *seed, opts))
+		fmt.Printf("done in %v\n", time.Since(start).Round(time.Second))
+		return 0
+	}
+	if *smr {
+		fmt.Printf("SMR suite (seed %d, %d workers)\n\n", *seed, *workers)
+		smrF := 1
+		if *full {
+			smrF = 3
+		}
+		emit("smr_throughput", lumiere.ThroughputTableOpts(smrF, *seed, opts))
+		emit("smr_throughput_attack", lumiere.ThroughputUnderAttackTableOpts(smrF, *seed, opts))
 		fmt.Printf("done in %v\n", time.Since(start).Round(time.Second))
 		return 0
 	}

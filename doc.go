@@ -64,5 +64,18 @@
 // that Lumiere's eventual word count is linear in the number of actual
 // faults rather than in n.
 //
+// # SMR throughput and commit latency
+//
+// Scenario.Workload drives the chained-HotStuff SMR layer with a
+// logical client population (open loop at an exact offered rate, or
+// closed loop with one outstanding command per client), batched into
+// proposals whose payload bytes are charged ⌈bytes/32⌉ words. The
+// collector records per-command submit→commit latency
+// (Result.Collector.CommitLatencyStats). ThroughputTable (protocols ×
+// offered load × batch size) and ThroughputUnderAttackTable (clean vs
+// view-desync p99 at fixed load) render the tables lumiere-bench -smr
+// prints; see DESIGN.md §8 and EXPERIMENTS.md "Throughput & commit
+// latency".
+//
 // See examples/ for runnable programs and DESIGN.md for the architecture.
 package lumiere

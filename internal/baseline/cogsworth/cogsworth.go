@@ -1,7 +1,7 @@
 // Package cogsworth implements the Cogsworth Byzantine view
 // synchronization protocol, reconstructed from [Naor, Baudet, Malkhi,
 // Spiegelman 2021] as summarized in the Lumiere paper's Table 1 (see
-// DESIGN.md §8 for fidelity notes).
+// DESIGN.md §9 for fidelity notes).
 //
 // Mechanics: on a view timeout, processors send a signed wish for the next
 // view to an aggregation leader; an honest aggregator combines f+1 wishes

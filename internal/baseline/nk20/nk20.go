@@ -1,6 +1,6 @@
 // Package nk20 implements the Naor-Keidar round synchronization protocol
 // (DISC 2020), reconstructed from its summary in the Lumiere paper's
-// Table 1 (see DESIGN.md §8 for fidelity notes).
+// Table 1 (see DESIGN.md §9 for fidelity notes).
 //
 // Mechanics: on a view timeout, each processor sends a signed timeout
 // message for each of the next f+1 views to those views' leaders — at

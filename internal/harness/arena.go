@@ -7,6 +7,7 @@ import (
 	"lumiere/internal/replica"
 	"lumiere/internal/sim"
 	"lumiere/internal/types"
+	"lumiere/internal/workload"
 )
 
 // This file implements the cell-reuse execution arena: a per-worker
@@ -40,6 +41,7 @@ type Arena struct {
 	collector *metrics.Collector
 	suite     *crypto.SimSuite
 	replicas  []*replica.Replica
+	wl        *workload.Engine
 }
 
 // NewArena creates an empty execution arena. Layers are built on first
@@ -98,6 +100,17 @@ func (a *Arena) simSuite(n int, seed int64) *crypto.SimSuite {
 		a.suite.Reset(n, seed)
 	}
 	return a.suite
+}
+
+// workloadEngine returns the arena's workload engine, reset for the
+// configuration (record slice and payload storage are recycled).
+func (a *Arena) workloadEngine(cfg workload.Config) *workload.Engine {
+	if a.wl == nil {
+		a.wl = workload.NewEngine(cfg)
+	} else {
+		a.wl.Reset(cfg)
+	}
+	return a.wl
 }
 
 // replicaSlots returns n reset replica shells, reusing prior ones.

@@ -30,6 +30,7 @@ import (
 	"lumiere/internal/trace"
 	"lumiere/internal/types"
 	"lumiere/internal/viewcore"
+	"lumiere/internal/workload"
 )
 
 // Protocol selects the view-synchronization protocol under test.
@@ -170,6 +171,15 @@ type Scenario struct {
 	// SMRTwoPhase commits on two-chains (HotStuff-2 style) instead of
 	// three-chains.
 	SMRTwoPhase bool
+	// SMRBatchSize caps commands per proposed block (SMR only; zero =
+	// the hotstuff default of 128).
+	SMRBatchSize int
+	// Workload drives the SMR layer with a simulated client population
+	// (internal/workload) instead of the WorkloadRate/WorkloadCommand
+	// injector: exact accumulator pacing, per-command commit-latency
+	// recording (Collector.CommitLatencyStats) and optional closed-loop
+	// clients. SMR only; supersedes WorkloadRate when set.
+	Workload *workload.Config
 }
 
 // withDefaults fills derived defaults.
@@ -352,6 +362,10 @@ func (a *Arena) run(s Scenario, detach bool) *Result {
 	honest := make([]bool, cfg.N)
 	sms := make([]statemachine.StateMachine, cfg.N)
 	var gamma time.Duration
+	// commitHook is the workload's per-block commit observer; it is
+	// assigned below (after the network and collector exist) and read at
+	// replica boot time inside the scheduled start closures.
+	var commitHook hotstuff.CommitObserver
 
 	for i := 0; i < cfg.N; i++ {
 		id := types.NodeID(i)
@@ -401,7 +415,13 @@ func (a *Arena) run(s Scenario, detach bool) *Result {
 		sched.At(startAt, func() {
 			clk := clock.New(sched, offset)
 			clocks[i] = clk
-			pm, engine, g := buildProtocol(s, cfg, ep, sched, clk, suite, corr, tracer, collector, pobs, sms[i])
+			// Commit latency is submit → first commit at any honest
+			// replica: only honest replicas report commits.
+			var onCommit hotstuff.CommitObserver
+			if honest[i] {
+				onCommit = commitHook
+			}
+			pm, engine, g := buildProtocol(s, cfg, ep, sched, clk, suite, corr, tracer, collector, pobs, sms[i], onCommit)
 			gamma = g
 			r.PM = pm
 			r.Core = engine
@@ -445,11 +465,70 @@ func (a *Arena) run(s Scenario, detach bool) *Result {
 	}
 
 	injected := 0
-	if s.SMR && s.WorkloadRate > 0 {
-		interval := time.Second / time.Duration(s.WorkloadRate)
-		if interval <= 0 {
-			interval = time.Microsecond
+	var eng *workload.Engine
+	switch {
+	case s.SMR && s.Workload != nil:
+		// Workload-engine injection: exact accumulator pacing, alloc-free
+		// mempool entry (hotstuff.EnqueueCommand), per-command commit
+		// latency via commitHook, optional closed-loop resubmission.
+		eng = a.workloadEngine(*s.Workload)
+		wcfg := eng.Config()
+		submitAll := func(id uint64, payload []byte) {
+			for _, r := range replicas {
+				if r.Crashed || r.Core == nil {
+					continue
+				}
+				if hs, ok := r.Core.(*hotstuff.Core); ok {
+					hs.EnqueueCommand(id, payload)
+				} else {
+					// Wrapped engines (equivocators) take the envelope
+					// path; only corrupted replicas pay the allocation.
+					r.Core.Handle(r.ID, &msg.Request{ID: id, Payload: payload})
+				}
+			}
 		}
+		commitHook = func(b *hotstuff.Block, at types.Time) {
+			for i := range b.Cmds {
+				c, ok := eng.OnCommit(b.Cmds[i].ID, int64(at))
+				if !ok {
+					continue // foreign ID or already committed elsewhere
+				}
+				collector.RecordCommit(at, c.Latency)
+				if !wcfg.Closed {
+					continue
+				}
+				client, seq := c.Client, c.Seq+1
+				resub := func() {
+					id, pl := eng.Resubmit(client, seq, int64(sched.Now()))
+					submitAll(id, pl)
+				}
+				if wcfg.Think > 0 {
+					sched.After(wcfg.Think, resub)
+				} else {
+					resub()
+				}
+			}
+		}
+		var pump func()
+		pump = func() {
+			now := int64(sched.Now())
+			for !eng.RampDone() && eng.NextDueNs() <= now {
+				id, pl := eng.SubmitNext(now)
+				submitAll(id, pl)
+			}
+			if !eng.RampDone() {
+				sched.At(types.Time(eng.NextDueNs()), pump)
+			}
+		}
+		sched.At(types.Time(eng.NextDueNs()), pump)
+	case s.SMR && s.WorkloadRate > 0:
+		// Legacy injector, now on the exact accumulator schedule: command
+		// i is due at ⌊(i+1)·10⁹/rate⌋ ns, which reproduces the old
+		// interval schedule tick for tick at divisor rates and fixes the
+		// truncation drift at every other rate (the old
+		// time.Second/rate interval realized e.g. 667111/s for a
+		// requested 666667/s, and collapsed to 1µs above 10⁶/s).
+		pacer := workload.NewPacer(int64(s.WorkloadRate))
 		cmdFor := s.WorkloadCommand
 		if cmdFor == nil {
 			cmdFor = func(i int) []byte {
@@ -458,16 +537,20 @@ func (a *Arena) run(s Scenario, detach bool) *Result {
 		}
 		var inject func()
 		inject = func() {
-			req := &msg.Request{ID: uint64(1<<40) + uint64(injected), Payload: cmdFor(injected)}
-			injected++
-			for _, r := range replicas {
-				if !r.Crashed && r.Core != nil {
-					r.Core.Handle(r.ID, req)
+			now := int64(sched.Now())
+			for pacer.NextAtNs() <= now {
+				i := pacer.Take()
+				req := &msg.Request{ID: workload.IDBase + uint64(i), Payload: cmdFor(int(i))}
+				injected++
+				for _, r := range replicas {
+					if !r.Crashed && r.Core != nil {
+						r.Core.Handle(r.ID, req)
+					}
 				}
 			}
-			sched.After(interval, inject)
+			sched.At(types.Time(pacer.NextAtNs()), inject)
 		}
-		sched.After(interval, inject)
+		sched.At(types.Time(pacer.NextAtNs()), inject)
 	}
 
 	gaps := metrics.NewGapTracker(nil, nil, cfg.F)
@@ -495,6 +578,9 @@ func (a *Arena) run(s Scenario, detach bool) *Result {
 	}
 	net.Stop()
 
+	if eng != nil {
+		injected = int(eng.Submitted())
+	}
 	resCollector := collector
 	if detach {
 		// Detach the metrics so the Result stays valid across the
@@ -580,7 +666,7 @@ func (o *qcObserver) OnQCProduced(qc *msg.QC, at types.Time) {
 func buildProtocol(s Scenario, cfg types.Config, ep network.Endpoint, sched *sim.Scheduler,
 	clk *clock.Clock, suite crypto.Suite, corr adversary.Corruption,
 	tracer *trace.Tracer, collector *metrics.Collector, pobs pacemaker.Observer,
-	sm statemachine.StateMachine) (pacemaker.Pacemaker, replica.Engine, time.Duration) {
+	sm statemachine.StateMachine, onCommit hotstuff.CommitObserver) (pacemaker.Pacemaker, replica.Engine, time.Duration) {
 
 	var pm pacemaker.Pacemaker
 	leaderFn := func(v types.View) types.NodeID { return pm.Leader(v) }
@@ -588,8 +674,8 @@ func buildProtocol(s Scenario, cfg types.Config, ep network.Endpoint, sched *sim
 	onQC := func(qc *msg.QC) { pm.Handle(ep.ID(), qc) }
 	var engine replica.Engine
 	if s.SMR {
-		hcfg := hotstuff.Config{Base: cfg, TwoPhase: s.SMRTwoPhase}
-		hs := hotstuff.New(hcfg, ep, sched, suite, leaderFn, onQC, sm, obs, nil)
+		hcfg := hotstuff.Config{Base: cfg, BatchSize: s.SMRBatchSize, TwoPhase: s.SMRTwoPhase}
+		hs := hotstuff.New(hcfg, ep, sched, suite, leaderFn, onQC, sm, obs, onCommit)
 		engine = hs
 		if corr.Behavior == adversary.BehaviorEquivocating {
 			engine = adversary.NewEquivocator(hs, ep, cfg)

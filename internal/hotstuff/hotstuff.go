@@ -89,6 +89,7 @@ type Core struct {
 	nextReqID     uint64
 	pendingExec   map[Hash]*Block
 	pendingCommit map[Hash]*Block
+	fetchAsked    map[Hash]types.Time
 }
 
 var _ pacemaker.Driver = (*Core)(nil)
@@ -125,6 +126,7 @@ func New(cfg Config, ep network.Endpoint, rt clock.Runtime, suite crypto.Suite,
 		nextReqID:     uint64(ep.ID())<<48 + 1,
 		pendingExec:   make(map[Hash]*Block),
 		pendingCommit: make(map[Hash]*Block),
+		fetchAsked:    make(map[Hash]types.Time),
 	}
 	return c
 }
@@ -137,6 +139,13 @@ func (c *Core) Submit(payload []byte) uint64 {
 	c.nextReqID++
 	c.enqueue(Command{ID: id, Payload: payload})
 	return id
+}
+
+// EnqueueCommand queues an externally generated command without the
+// msg.Request envelope — the harness injector's allocation-free entry
+// point (the envelope would be allocated once per replica per command).
+func (c *Core) EnqueueCommand(id uint64, payload []byte) {
+	c.enqueue(Command{ID: id, Payload: payload})
 }
 
 func (c *Core) enqueue(cmd Command) {
@@ -216,7 +225,65 @@ func (c *Core) Handle(from types.NodeID, m msg.Message) {
 		if mm.HighQC != nil {
 			c.observeQC(mm.HighQC)
 		}
+	case *msg.BlockFetch:
+		c.handleBlockFetch(mm)
+	case *msg.BlockResp:
+		c.handleBlockResp(mm)
 	}
+}
+
+// requestBlock broadcasts a fetch for a missing ancestor block — the
+// catch-up path for replicas whose crash window swallowed proposals
+// (the network model loses in-flight messages to a dead node, so the
+// committed chain has real gaps after a revival). Re-asks for the same
+// hash are rate-limited to one per Δ.
+func (c *Core) requestBlock(h Hash) {
+	now := c.rt.Now()
+	if last, ok := c.fetchAsked[h]; ok && now < last+types.Time(c.cfg.Base.Delta) {
+		return
+	}
+	c.fetchAsked[h] = now
+	c.ep.Broadcast(&msg.BlockFetch{H: h, FromRaw: c.id})
+}
+
+// handleBlockFetch serves a fetch request — but only for blocks whose
+// certifying QC is known, so a Byzantine requester learns nothing about
+// uncertified proposals and honest responders never propagate blocks
+// that could still be discarded.
+func (c *Core) handleBlockFetch(m *msg.BlockFetch) {
+	b, ok := c.blocks[m.H]
+	if !ok || b.View < 0 {
+		return
+	}
+	qc, ok := c.qcByHash[m.H]
+	if !ok || qc.V < 0 {
+		return
+	}
+	c.ep.Send(m.FromRaw, &msg.BlockResp{Block: b.Encode(), Cert: qc, FromRaw: c.id})
+}
+
+// handleBlockResp verifies and stores a fetched block. The response is
+// self-certifying: the decoded block must hash to the QC's BlockHash and
+// the QC must verify, so a forged response from a Byzantine peer is
+// dropped without trusting the sender.
+func (c *Core) handleBlockResp(m *msg.BlockResp) {
+	if m.Cert == nil {
+		return
+	}
+	b, err := DecodeBlock(m.Block)
+	if err != nil || b.View != m.Cert.V || b.HashOf() != m.Cert.BlockHash {
+		return
+	}
+	if _, known := c.blocks[m.Cert.BlockHash]; known {
+		return
+	}
+	if !c.verifyQC(m.Cert) {
+		return
+	}
+	c.blocks[m.Cert.BlockHash] = b
+	delete(c.fetchAsked, m.Cert.BlockHash)
+	c.observeQC(m.Cert)
+	c.retryPending()
 }
 
 func (c *Core) handleProposal(from types.NodeID, p *msg.Proposal) {
@@ -365,6 +432,7 @@ func (c *Core) tryCommit(head *Block) {
 		if !ok {
 			if head.View > c.lastExec {
 				c.pendingCommit[head.HashOf()] = head
+				c.requestBlock(tail.Parent)
 			}
 			return
 		}
@@ -392,6 +460,7 @@ func (c *Core) execChain(b0 *Block) {
 		next, ok := c.blocks[cur.Parent]
 		if !ok {
 			c.pendingExec[b0.HashOf()] = b0
+			c.requestBlock(cur.Parent)
 			return
 		}
 		cur = next

@@ -124,7 +124,18 @@ type Collector struct {
 
 	decisions []Decision
 	decInOrd  bool // decisions appended in non-decreasing At order so far
-	honest    func(types.NodeID) bool
+
+	commits     []commitPoint // per-command commit events (SMR workloads)
+	commitInOrd bool          // commits appended in non-decreasing At order so far
+
+	honest func(types.NodeID) bool
+}
+
+// commitPoint is one command's first commit: when it happened and the
+// submit→commit latency.
+type commitPoint struct {
+	at    types.Time
+	latNs int64
 }
 
 var _ network.Observer = (*Collector)(nil)
@@ -141,6 +152,7 @@ func NewCollector(honest func(types.NodeID) bool, opts ...Option) *Collector {
 		honest:      honest,
 		pointsInOrd: true,
 		decInOrd:    true,
+		commitInOrd: true,
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -180,6 +192,8 @@ func (c *Collector) Reset(honest func(types.NodeID) bool, opts ...Option) {
 	c.byzTotal = 0
 	c.decisions = c.decisions[:0]
 	c.decInOrd = true
+	c.commits = c.commits[:0]
+	c.commitInOrd = true
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -205,6 +219,7 @@ func (c *Collector) Snapshot() *Collector {
 		wordsTotal:  c.wordsTotal,
 		byzTotal:    c.byzTotal,
 		decInOrd:    c.decInOrd,
+		commitInOrd: c.commitInOrd,
 		honest:      c.honest,
 		byKind:      make(map[msg.Kind]int64, len(c.byKind)),
 		epochLast:   make(map[types.View]types.Time, len(c.epochLast)),
@@ -224,6 +239,9 @@ func (c *Collector) Snapshot() *Collector {
 	}
 	if c.decisions != nil {
 		out.decisions = append([]Decision(nil), c.decisions...)
+	}
+	if c.commits != nil {
+		out.commits = append([]commitPoint(nil), c.commits...)
 	}
 	for k, v := range c.byKind {
 		out.byKind[k] = v
@@ -298,6 +316,70 @@ func (c *Collector) RecordDecision(v types.View, leader types.NodeID, at types.T
 		c.decInOrd = false
 	}
 	c.decisions = append(c.decisions, Decision{At: at, View: v, Leader: leader})
+}
+
+// RecordCommit registers the first commit of one SMR command: at is the
+// commit instant, lat the submit→commit latency. The harness records a
+// command once, at its first commit on any honest replica.
+func (c *Collector) RecordCommit(at types.Time, lat time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := len(c.commits); n > 0 && at < c.commits[n-1].at {
+		c.commitInOrd = false
+	}
+	c.commits = append(c.commits, commitPoint{at: at, latNs: int64(lat)})
+}
+
+// CommitCount returns the number of recorded command commits.
+func (c *Collector) CommitCount() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int64(len(c.commits))
+}
+
+// CommitStats summarizes the per-command commit latency distribution.
+type CommitStats struct {
+	// Count is the number of commands committed in the window; PerSec is
+	// the committed-command throughput over (after, last commit].
+	Count  int
+	PerSec float64
+	// Latency percentiles of submit→first-commit.
+	Mean, P50, P99, P999, Max time.Duration
+}
+
+// CommitLatencyStats summarizes the commits strictly after t (warmup
+// exclusion). Percentiles use the same index convention as P99Msgs:
+// element ⌊n·q/100⌋ of the sorted latencies.
+func (c *Collector) CommitLatencyStats(t types.Time) CommitStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.commitInOrd {
+		sort.Slice(c.commits, func(i, j int) bool { return c.commits[i].at < c.commits[j].at })
+		c.commitInOrd = true
+	}
+	lo := sort.Search(len(c.commits), func(i int) bool { return c.commits[i].at > t })
+	win := c.commits[lo:]
+	var s CommitStats
+	s.Count = len(win)
+	if len(win) == 0 {
+		return s
+	}
+	lats := make([]int64, len(win))
+	var sum int64
+	for i, p := range win {
+		lats[i] = p.latNs
+		sum += p.latNs
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	s.Mean = time.Duration(sum / int64(len(lats)))
+	s.P50 = time.Duration(lats[(len(lats)*50)/100])
+	s.P99 = time.Duration(lats[(len(lats)*99)/100])
+	s.P999 = time.Duration(lats[(len(lats)*999)/1000])
+	s.Max = time.Duration(lats[len(lats)-1])
+	if span := win[len(win)-1].at.Sub(t); span > 0 {
+		s.PerSec = float64(len(win)) / span.Seconds()
+	}
+	return s
 }
 
 // coalesceLocked halves the send series by merging adjacent point pairs

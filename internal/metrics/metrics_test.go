@@ -20,6 +20,9 @@ func fill(c *Collector) {
 	c.RecordDecision(1, 0, 3)
 	c.RecordDecision(2, 9, 7) // leader 9 is Byzantine in this test
 	c.RecordDecision(3, 0, 9)
+	// Command commits at t = 4 and t = 8.
+	c.RecordCommit(4, 3)
+	c.RecordCommit(8, 5)
 }
 
 func newTestCollector() *Collector {
@@ -323,6 +326,7 @@ func querySurface(c *Collector) string {
 		c.KindCount(msg.KindView), c.DecisionCount(), c.Decisions(),
 		c.WordsBetween(0, 100), c.WordsByEpoch(), c.HeavySyncViews(0),
 		c.Intervals(0, 0), c.Stats(0, 1), m, lat, ok, w, c.Sends(),
+		c.CommitCount(), c.CommitLatencyStats(0),
 	)
 }
 
@@ -431,5 +435,42 @@ func TestSparseCollectorCapsPoints(t *testing.T) {
 	sparse.Reset(nil)
 	if sparse.maxPoints != 0 {
 		t.Fatal("Reset kept sparse cap")
+	}
+}
+
+// TestCommitLatencyStats: the commit series answers count, throughput and
+// latency percentiles over a warmup-excluded window, and tolerates
+// out-of-order recording (the TCP runtime commits from goroutines).
+func TestCommitLatencyStats(t *testing.T) {
+	c := NewCollector(nil)
+	// 100 commits, one per ms, latency i µs — recorded in reverse to
+	// exercise the sort path.
+	for i := 100; i >= 1; i-- {
+		c.RecordCommit(types.Time(int64(i)*1_000_000), time.Duration(i)*time.Microsecond)
+	}
+	if c.CommitCount() != 100 {
+		t.Fatalf("count = %d", c.CommitCount())
+	}
+	s := c.CommitLatencyStats(0)
+	if s.Count != 100 || s.Max != 100*time.Microsecond {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.P50 != 51*time.Microsecond || s.P99 != 100*time.Microsecond {
+		t.Fatalf("p50 = %v p99 = %v", s.P50, s.P99)
+	}
+	if s.Mean != 50500*time.Nanosecond {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	// Commits span (0, 100ms]: 100 commands in 0.1s = 1000/s.
+	if s.PerSec < 999 || s.PerSec > 1001 {
+		t.Fatalf("per-sec = %v", s.PerSec)
+	}
+	// Warmup exclusion: only commits strictly after 50ms count.
+	s = c.CommitLatencyStats(50_000_000)
+	if s.Count != 50 || s.P50 != 76*time.Microsecond {
+		t.Fatalf("windowed stats = %+v", s)
+	}
+	if empty := c.CommitLatencyStats(1_000_000_000); empty.Count != 0 || empty.PerSec != 0 {
+		t.Fatalf("empty window = %+v", empty)
 	}
 }

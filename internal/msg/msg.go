@@ -47,21 +47,30 @@ const (
 	KindNewView
 	// KindRequest is a client command submitted to the SMR layer.
 	KindRequest
+	// KindBlockFetch asks peers for a certified block by hash (chained
+	// HotStuff catch-up after a crash: missed proposals are lost, so a
+	// revived replica re-fetches the committed chain).
+	KindBlockFetch
+	// KindBlockResp answers a BlockFetch with the encoded block and the
+	// QC certifying it.
+	KindBlockResp
 )
 
 var kindNames = map[Kind]string{
-	KindView:      "VIEW",
-	KindVC:        "VC",
-	KindEpochView: "EPOCHVIEW",
-	KindEC:        "EC",
-	KindTC:        "TC",
-	KindProposal:  "PROPOSAL",
-	KindVote:      "VOTE",
-	KindQC:        "QC",
-	KindWish:      "WISH",
-	KindTimeout:   "TIMEOUT",
-	KindNewView:   "NEWVIEW",
-	KindRequest:   "REQUEST",
+	KindView:       "VIEW",
+	KindVC:         "VC",
+	KindEpochView:  "EPOCHVIEW",
+	KindEC:         "EC",
+	KindTC:         "TC",
+	KindProposal:   "PROPOSAL",
+	KindVote:       "VOTE",
+	KindQC:         "QC",
+	KindWish:       "WISH",
+	KindTimeout:    "TIMEOUT",
+	KindNewView:    "NEWVIEW",
+	KindRequest:    "REQUEST",
+	KindBlockFetch: "BLOCKFETCH",
+	KindBlockResp:  "BLOCKRESP",
 }
 
 // String implements fmt.Stringer.
@@ -331,6 +340,47 @@ func (m *Request) Kind() Kind { return KindRequest }
 // View implements Message; requests are view-independent.
 func (m *Request) View() types.View { return 0 }
 
+// BlockFetch asks peers for the certified block with hash H. Sent by a
+// replica whose committed chain has a gap (it crashed while proposals
+// were being delivered, and the simulator's crash model loses them).
+type BlockFetch struct {
+	H       [32]byte
+	FromRaw types.NodeID
+}
+
+// Kind implements Message.
+func (m *BlockFetch) Kind() Kind { return KindBlockFetch }
+
+// View implements Message; fetches are view-independent.
+func (m *BlockFetch) View() types.View { return 0 }
+
+// From returns the sender.
+func (m *BlockFetch) From() types.NodeID { return m.FromRaw }
+
+// BlockResp answers a BlockFetch: Block is the canonical encoding of the
+// requested block and Cert a QC certifying its hash, so the receiver can
+// verify the response without trusting the sender. Only certified blocks
+// are ever served.
+type BlockResp struct {
+	Block   []byte
+	Cert    *QC
+	FromRaw types.NodeID
+}
+
+// Kind implements Message.
+func (m *BlockResp) Kind() Kind { return KindBlockResp }
+
+// View implements Message: the view of the certifying QC.
+func (m *BlockResp) View() types.View {
+	if m.Cert == nil {
+		return 0
+	}
+	return m.Cert.V
+}
+
+// From returns the sender.
+func (m *BlockResp) From() types.NodeID { return m.FromRaw }
+
 // Compile-time interface compliance checks.
 var (
 	_ Message = (*ViewMsg)(nil)
@@ -345,6 +395,8 @@ var (
 	_ Message = (*Wish)(nil)
 	_ Message = (*Timeout)(nil)
 	_ Message = (*Request)(nil)
+	_ Message = (*BlockFetch)(nil)
+	_ Message = (*BlockResp)(nil)
 )
 
 // KappaSize returns a message's size in units of the security parameter κ
@@ -363,9 +415,27 @@ func KappaSize(m Message) int {
 		return 2 // justify certificate + block hash
 	case *NewView:
 		return 1
+	case *BlockFetch:
+		return 1 // one hash
+	case *BlockResp:
+		return 2 // certificate + the hash it certifies
 	default:
 		return 1
 	}
+}
+
+// WordBytes is the byte width of one accounting word: κ = 256 bits, the
+// size of a hash, signature share, or threshold certificate under the §2
+// assumptions. Payload bytes are charged at this granularity.
+const WordBytes = 32
+
+// PayloadWords converts a payload byte length into whole accounting
+// words, rounding up (any non-empty payload costs at least one word).
+func PayloadWords(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + WordBytes - 1) / WordBytes
 }
 
 // Words returns a message's size in words, the unit of the paper's
@@ -374,8 +444,13 @@ func KappaSize(m Message) int {
 // by the §2 threshold-signature assumption), or a hash. Where KappaSize
 // charges only the cryptographic material, Words also charges the
 // bounded integers a message carries, so the measured word counts track
-// the constants of Table 1 more closely. Block payloads are charged
-// separately by callers; view synchronization never sends payload.
+// the constants of Table 1 more closely.
+//
+// Messages that carry block payload (SMR Proposals and client Requests)
+// are additionally charged ⌈len(payload)/WordBytes⌉ words, so the
+// accounting separates the protocol's O(κ) view-synchronization traffic
+// from the data plane it moves. View-synchronization messages themselves
+// never carry payload, so Table 1 word counts are unaffected.
 //
 // The per-kind model:
 //
@@ -383,9 +458,11 @@ func KappaSize(m Message) int {
 //	VC/EC/TC                           view + threshold signature  = 2
 //	Vote                               view + hash + signature     = 3
 //	QC                                 view + hash + threshold sig = 3
-//	Proposal                           view‖leader + hash [+ QC]   = 2 or 5
+//	Proposal                           view‖leader + hash [+ QC]   = 2 or 5, + ⌈|Block|/32⌉
 //	NewView                            view‖sender [+ QC]          = 1 or 4
-//	Request                            id + payload handle         = 2
+//	Request                            id + payload handle         = 2, + ⌈|Payload|/32⌉
+//	BlockFetch                         hash + sender               = 2
+//	BlockResp                          sender + QC                 = 4, + ⌈|Block|/32⌉
 func Words(m Message) int {
 	switch mm := m.(type) {
 	case *ViewMsg, *EpochViewMsg, *Wish, *Timeout:
@@ -397,17 +474,22 @@ func Words(m Message) int {
 	case *QC:
 		return 3
 	case *Proposal:
+		w := 2
 		if mm.Justify != nil {
-			return 5
+			w = 5
 		}
-		return 2
+		return w + PayloadWords(len(mm.Block))
 	case *NewView:
 		if mm.HighQC != nil {
 			return 4
 		}
 		return 1
 	case *Request:
+		return 2 + PayloadWords(len(mm.Payload))
+	case *BlockFetch:
 		return 2
+	case *BlockResp:
+		return 4 + PayloadWords(len(mm.Block))
 	default:
 		return 1
 	}

@@ -10,7 +10,8 @@ import (
 
 func TestKindStrings(t *testing.T) {
 	kinds := []Kind{KindView, KindVC, KindEpochView, KindEC, KindTC,
-		KindProposal, KindVote, KindQC, KindWish, KindTimeout, KindNewView, KindRequest}
+		KindProposal, KindVote, KindQC, KindWish, KindTimeout, KindNewView,
+		KindRequest, KindBlockFetch, KindBlockResp}
 	seen := make(map[string]bool)
 	for _, k := range kinds {
 		s := k.String()
@@ -42,6 +43,9 @@ func TestMessageViews(t *testing.T) {
 		{&Wish{V: 12}, KindWish, 12},
 		{&Timeout{V: 13}, KindTimeout, 13},
 		{&Request{ID: 1}, KindRequest, 0},
+		{&BlockFetch{}, KindBlockFetch, 0},
+		{&BlockResp{Cert: &QC{V: 14}}, KindBlockResp, 14},
+		{&BlockResp{}, KindBlockResp, 0},
 	}
 	for _, c := range cases {
 		if c.m.Kind() != c.kind || c.m.View() != c.view {
@@ -89,6 +93,12 @@ func TestFromAccessors(t *testing.T) {
 	if (&NewView{FromRaw: 7}).From() != 7 {
 		t.Fatal("NewView.From")
 	}
+	if (&BlockFetch{FromRaw: 7}).From() != 7 {
+		t.Fatal("BlockFetch.From")
+	}
+	if (&BlockResp{FromRaw: 7}).From() != 7 {
+		t.Fatal("BlockResp.From")
+	}
 }
 
 func TestKappaSizeConstantPerKind(t *testing.T) {
@@ -97,6 +107,7 @@ func TestKappaSizeConstantPerKind(t *testing.T) {
 	msgs := []Message{
 		&ViewMsg{}, &VC{}, &EpochViewMsg{}, &EC{}, &TC{}, &QC{},
 		&Proposal{}, &Vote{}, &NewView{}, &Wish{}, &Timeout{}, &Request{},
+		&BlockFetch{}, &BlockResp{},
 	}
 	for _, m := range msgs {
 		if k := KappaSize(m); k < 1 || k > 2 {
@@ -119,6 +130,7 @@ func TestWordsModel(t *testing.T) {
 		{&Proposal{}, 2}, {&Proposal{Justify: &QC{}}, 5},
 		{&NewView{}, 1}, {&NewView{HighQC: &QC{}}, 4},
 		{&Request{}, 2},
+		{&BlockFetch{}, 2}, {&BlockResp{Cert: &QC{}}, 4},
 	} {
 		if got := Words(tc.m); got != tc.want {
 			t.Errorf("Words(%T) = %d, want %d", tc.m, got, tc.want)
@@ -126,5 +138,28 @@ func TestWordsModel(t *testing.T) {
 		if got, k := Words(tc.m), KappaSize(tc.m); got < k {
 			t.Errorf("Words(%T) = %d below KappaSize %d", tc.m, got, k)
 		}
+	}
+}
+
+func TestWordsChargePayloadBytes(t *testing.T) {
+	// Data-plane bytes are charged at ⌈bytes/WordBytes⌉ on top of the
+	// per-kind constant; view-synchronization kinds never carry payload
+	// so the Table 1 accounting is untouched.
+	for _, tc := range []struct {
+		n, want int
+	}{
+		{0, 0}, {1, 1}, {31, 1}, {32, 1}, {33, 2}, {64, 2}, {1000, 32},
+	} {
+		if got := PayloadWords(tc.n); got != tc.want {
+			t.Errorf("PayloadWords(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+	p := &Proposal{Justify: &QC{}, Block: make([]byte, 100)}
+	if got := Words(p); got != 5+4 {
+		t.Errorf("Proposal with 100B payload = %d words, want 9", got)
+	}
+	r := &Request{Payload: make([]byte, 40)}
+	if got := Words(r); got != 2+2 {
+		t.Errorf("Request with 40B payload = %d words, want 4", got)
 	}
 }

@@ -52,6 +52,8 @@ func init() {
 	gob.Register(&msg.Timeout{})
 	gob.Register(&msg.NewView{})
 	gob.Register(&msg.Request{})
+	gob.Register(&msg.BlockFetch{})
+	gob.Register(&msg.BlockResp{})
 }
 
 // envelope is the wire frame.

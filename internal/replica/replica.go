@@ -91,7 +91,7 @@ func (r *Replica) Deliver(from types.NodeID, m msg.Message) {
 // via its callback), everything else to the pacemaker.
 func (r *Replica) route(from types.NodeID, m msg.Message) {
 	switch m.Kind() {
-	case msg.KindProposal, msg.KindVote, msg.KindQC:
+	case msg.KindProposal, msg.KindVote, msg.KindQC, msg.KindBlockFetch, msg.KindBlockResp:
 		r.Core.Handle(from, m)
 	default:
 		r.PM.Handle(from, m)

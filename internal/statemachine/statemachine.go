@@ -30,6 +30,8 @@ var (
 	ErrBadCommand        = errors.New("statemachine: malformed command")
 	ErrUnknownAccount    = errors.New("statemachine: unknown account")
 	ErrInsufficientFunds = errors.New("statemachine: insufficient funds")
+	ErrAccountExists     = errors.New("statemachine: account already open")
+	ErrKeyNotFound       = errors.New("statemachine: key not found")
 )
 
 // ---------------------------------------------------------------------------
@@ -61,7 +63,13 @@ func (kv *KV) Apply(cmd []byte) ([]byte, error) {
 		kv.data[parts[1]] = parts[2]
 		return []byte("OK"), nil
 	case len(parts) == 2 && parts[0] == "GET":
-		return []byte(kv.data[parts[1]]), nil
+		v, ok := kv.data[parts[1]]
+		if !ok {
+			// A missing key must be distinguishable from `SET k ""`:
+			// closed-loop clients assert read-your-writes on this.
+			return nil, fmt.Errorf("%w: %s", ErrKeyNotFound, parts[1])
+		}
+		return []byte(v), nil
 	case len(parts) == 2 && parts[0] == "DEL":
 		delete(kv.data, parts[1])
 		return []byte("OK"), nil
@@ -134,7 +142,13 @@ func (b *Bank) Apply(cmd []byte) ([]byte, error) {
 		if err != nil || amt < 0 {
 			return nil, fmt.Errorf("%w: %q", ErrBadCommand, cmd)
 		}
-		b.accounts[parts[1]] += amt
+		if _, ok := b.accounts[parts[1]]; ok {
+			// A retried OPEN (e.g. after a dropped response) must not
+			// mint money: the conservation canary counts successful
+			// OPENs, so re-OPEN is an error, not an increment.
+			return nil, fmt.Errorf("%w: %s", ErrAccountExists, parts[1])
+		}
+		b.accounts[parts[1]] = amt
 		return []byte("OK"), nil
 	case len(parts) == 4 && parts[0] == "XFER":
 		amt, err := strconv.ParseInt(parts[3], 10, 64)

@@ -15,7 +15,9 @@ func TestKVBasics(t *testing.T) {
 	mustApply(t, kv, "SET a hello world", "OK") // value may contain spaces
 	mustApply(t, kv, "GET a", "hello world")
 	mustApply(t, kv, "DEL a", "OK")
-	mustApply(t, kv, "GET a", "")
+	if _, err := kv.Apply([]byte("GET a")); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("GET of deleted key: err = %v, want ErrKeyNotFound", err)
+	}
 	if _, err := kv.Apply([]byte("NOPE x")); !errors.Is(err, ErrBadCommand) {
 		t.Fatalf("bad command error = %v", err)
 	}
@@ -123,6 +125,39 @@ func TestCounter(t *testing.T) {
 	}
 	if c.Count() != 5 || c.Summary() != "5" {
 		t.Fatalf("count = %d summary = %s", c.Count(), c.Summary())
+	}
+}
+
+// TestKVGetMissingDistinctFromEmpty: regression for the read-your-writes
+// bug where GET of a missing key returned empty bytes indistinguishable
+// from `SET k ""`. A closed-loop client must be able to tell the two
+// apart.
+func TestKVGetMissingDistinctFromEmpty(t *testing.T) {
+	kv := NewKV()
+	if _, err := kv.Apply([]byte("GET ghost")); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("GET of never-set key: err = %v, want ErrKeyNotFound", err)
+	}
+	mustApply(t, kv, "SET ghost ", "OK") // explicit empty value
+	got, err := kv.Apply([]byte("GET ghost"))
+	if err != nil || string(got) != "" {
+		t.Fatalf("GET of empty-valued key = (%q, %v), want (\"\", nil)", got, err)
+	}
+}
+
+// TestBankReopenIsRejected: regression for the money-minting bug where a
+// retried OPEN (client resends after a dropped response) silently added
+// to the existing balance instead of failing.
+func TestBankReopenIsRejected(t *testing.T) {
+	b := NewBank()
+	mustApply(t, b, "OPEN alice 100", "OK")
+	if _, err := b.Apply([]byte("OPEN alice 100")); !errors.Is(err, ErrAccountExists) {
+		t.Fatalf("retried OPEN: err = %v, want ErrAccountExists", err)
+	}
+	if v, _ := b.Balance("alice"); v != 100 {
+		t.Fatalf("retried OPEN changed balance: %d", v)
+	}
+	if b.TotalBalance() != 100 {
+		t.Fatalf("retried OPEN minted money: total = %d", b.TotalBalance())
 	}
 }
 

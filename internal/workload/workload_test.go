@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestPacerExactRate: regression for the truncating-interval injector.
+// For every rate — divisor of 10⁹ or not — exactly `rate` commands are
+// due in each whole second, with no drift and no clamp collapse.
+func TestPacerExactRate(t *testing.T) {
+	for _, rate := range []int64{1, 3, 7, 100, 999, 333333, 666667, 1_000_000, 50_000_000, 2_000_000_000} {
+		p := NewPacer(rate)
+		for sec := int64(1); sec <= 3; sec++ {
+			horizon := sec * int64(time.Second)
+			if rate > 10_000_000 {
+				// Count analytically for huge rates. Commands due in
+				// (0, horizon] — at sub-ns rates command 0 is due at t=0
+				// and belongs to no whole second.
+				if due := DueBy(rate, horizon) - DueBy(rate, 0); due != rate*sec {
+					t.Fatalf("rate %d: DueBy(%ds) = %d, want %d", rate, sec, due, rate*sec)
+				}
+				continue
+			}
+			for p.NextAtNs() <= horizon {
+				p.Take()
+			}
+			if p.Taken() != rate*sec {
+				t.Fatalf("rate %d: %d commands due by %ds, want %d", rate, p.Taken(), sec, rate*sec)
+			}
+			if DueBy(rate, horizon) != rate*sec {
+				t.Fatalf("rate %d: DueBy(%ds) = %d, want %d", rate, sec, DueBy(rate, horizon), rate*sec)
+			}
+		}
+	}
+}
+
+// TestPacerBeatsTruncatedInterval demonstrates the fixed drift: at rate
+// 666667 the legacy interval ⌊10⁹/rate⌋ = 1499 ns realizes ~667111
+// commands per second — 444/s above the request — while the accumulator
+// schedule stays exact.
+func TestPacerBeatsTruncatedInterval(t *testing.T) {
+	const rate = 666667
+	interval := int64(time.Second) / rate // the old computation
+	legacy := int64(time.Second) / interval
+	if legacy == rate {
+		t.Fatalf("test premise broken: interval pacing is exact at rate %d", rate)
+	}
+	if got := DueBy(rate, int64(time.Second)); got != rate {
+		t.Fatalf("accumulator schedule: %d due in 1s, want %d", got, rate)
+	}
+	if legacy < rate+400 {
+		t.Fatalf("legacy drift smaller than expected: %d", legacy)
+	}
+}
+
+// TestPacerMatchesLegacyOnDivisorRates: for rates dividing 10⁹ the
+// accumulator schedule reproduces the legacy interval schedule tick for
+// tick, so existing divisor-rate scenarios are unchanged.
+func TestPacerMatchesLegacyOnDivisorRates(t *testing.T) {
+	for _, rate := range []int64{100, 200, 500, 1000} {
+		p := NewPacer(rate)
+		interval := int64(time.Second) / rate
+		for i := int64(0); i < 3*rate; i++ {
+			want := (i + 1) * interval
+			if got := p.NextAtNs(); got != want {
+				t.Fatalf("rate %d, command %d: due %d, legacy %d", rate, i, got, want)
+			}
+			p.Take()
+		}
+	}
+}
+
+func TestDueByEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		rate, t, want int64
+	}{
+		{100, 0, 0},
+		{100, 9_999_999, 0},
+		{100, 10_000_000, 1},
+		{1, 999_999_999, 0},
+		{1, 1_000_000_000, 1},
+		{2_000_000_000, 0, 1}, // two commands per ns: index 0 due at t=0
+		{2_000_000_000, 1, 3}, // ⌊(m)·1e9/2e9⌋ ≤ 1 ⟺ m ≤ 3
+		{100, 3 * 1_000_000_000, 300},
+		{0, 1_000_000_000, 0},
+		{100, -5, 0},
+	} {
+		if got := DueBy(tc.rate, tc.t); got != tc.want {
+			t.Errorf("DueBy(%d, %d) = %d, want %d", tc.rate, tc.t, got, tc.want)
+		}
+	}
+}
+
+// TestEngineOpenLoopDeterministic: two engines with the same config
+// produce identical IDs and payloads.
+func TestEngineOpenLoopDeterministic(t *testing.T) {
+	cfg := Config{Clients: 1_000_000, Rate: 1000, PayloadPad: 16}
+	a, b := NewEngine(cfg), NewEngine(cfg)
+	for i := 0; i < 500; i++ {
+		at := a.NextDueNs()
+		idA, plA := a.SubmitNext(at)
+		idB, plB := b.SubmitNext(at)
+		if idA != idB || !bytes.Equal(plA, plB) {
+			t.Fatalf("command %d diverges: %d %q vs %d %q", i, idA, plA, idB, plB)
+		}
+		if len(plA) < cfg.PayloadPad {
+			t.Fatalf("payload shorter than pad: %q", plA)
+		}
+	}
+}
+
+// TestEngineCommitBookkeeping: first commit wins, repeats and foreign
+// IDs are ignored, latency is submit→commit.
+func TestEngineCommitBookkeeping(t *testing.T) {
+	e := NewEngine(Config{Clients: 10, Rate: 100})
+	id, _ := e.SubmitNext(5_000)
+	if e.Outstanding() != 1 {
+		t.Fatalf("outstanding = %d", e.Outstanding())
+	}
+	c, ok := e.OnCommit(id, 25_000)
+	if !ok || c.Latency != 20_000*time.Nanosecond {
+		t.Fatalf("commit = %+v ok=%v", c, ok)
+	}
+	if _, ok := e.OnCommit(id, 30_000); ok {
+		t.Fatal("duplicate commit recorded")
+	}
+	if _, ok := e.OnCommit(id+999, 30_000); ok {
+		t.Fatal("unknown command committed")
+	}
+	if _, ok := e.OnCommit(7, 30_000); ok {
+		t.Fatal("sub-IDBase command committed")
+	}
+	if e.Committed() != 1 || e.Outstanding() != 0 {
+		t.Fatalf("committed=%d outstanding=%d", e.Committed(), e.Outstanding())
+	}
+}
+
+// TestEngineClosedLoopRampAndResubmit: the ramp issues one command per
+// client then stops; resubmitted read commands GET the client's own key.
+func TestEngineClosedLoopRampAndResubmit(t *testing.T) {
+	e := NewEngine(Config{Clients: 3, Rate: 100, Closed: true, Reads: true})
+	var ids []uint64
+	for !e.RampDone() {
+		id, pl := e.SubmitNext(e.NextDueNs())
+		ids = append(ids, id)
+		want := fmt.Sprintf("SET c%d v%d", len(ids)-1, len(ids)-1)
+		if string(pl) != want {
+			t.Fatalf("ramp command %d = %q, want %q", len(ids)-1, pl, want)
+		}
+	}
+	if len(ids) != 3 {
+		t.Fatalf("ramp issued %d commands, want 3", len(ids))
+	}
+	c, ok := e.OnCommit(ids[1], 50_000_000)
+	if !ok || c.Client != 1 || c.Seq != 0 {
+		t.Fatalf("commit = %+v ok=%v", c, ok)
+	}
+	_, pl := e.Resubmit(c.Client, c.Seq+1, 50_000_000)
+	if string(pl) != "GET c1" {
+		t.Fatalf("odd-sequence resubmit = %q, want read of own key", pl)
+	}
+	c2, _ := e.OnCommit(IDBase+3, 60_000_000)
+	_, pl2 := e.Resubmit(c2.Client, c2.Seq+1, 60_000_000)
+	if string(pl2) != "SET c1 v4" {
+		t.Fatalf("even-sequence resubmit = %q", pl2)
+	}
+}
+
+// TestGenAllocs: the warm payload-generation path bump-allocates — well
+// under one allocation per command (one 64 KiB block per ~700 commands
+// at this payload size, plus amortized record growth).
+func TestGenAllocs(t *testing.T) {
+	e := NewEngine(Config{Clients: 1 << 20, Rate: 10_000, PayloadPad: 64})
+	for i := 0; i < 10_000; i++ { // warm the record slice
+		e.SubmitNext(e.NextDueNs())
+	}
+	const per = 1000
+	avg := testing.AllocsPerRun(20, func() {
+		for i := 0; i < per; i++ {
+			e.SubmitNext(e.NextDueNs())
+		}
+	})
+	if avg/per > 0.25 {
+		t.Fatalf("injection path allocates %.3f allocs/command, want < 0.25", avg/per)
+	}
+}
+
+func TestEngineResetReusesStorage(t *testing.T) {
+	cfg := Config{Clients: 100, Rate: 1000, PayloadPad: 8}
+	e := NewEngine(cfg)
+	for i := 0; i < 1000; i++ {
+		e.SubmitNext(e.NextDueNs())
+	}
+	e.Reset(cfg)
+	if e.Submitted() != 0 || e.Committed() != 0 || e.NextDueNs() != int64(time.Millisecond) {
+		t.Fatalf("reset engine not fresh: submitted=%d due=%d", e.Submitted(), e.NextDueNs())
+	}
+	id, pl := e.SubmitNext(e.NextDueNs())
+	if id != IDBase || len(pl) == 0 {
+		t.Fatalf("post-reset first command: id=%d payload=%q", id, pl)
+	}
+}

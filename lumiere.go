@@ -8,6 +8,7 @@ import (
 	"lumiere/internal/nettcp"
 	"lumiere/internal/network"
 	"lumiere/internal/types"
+	"lumiere/internal/workload"
 )
 
 // Re-exported core vocabulary.
@@ -365,4 +366,62 @@ func EventualScalingTableF(data map[Protocol][]harness.EventualResult, fs []int,
 // EventualScalingPlot renders the scaling sweep as an ASCII chart.
 func EventualScalingPlot(data map[Protocol][]harness.EventualResult) string {
 	return harness.EventualScalingPlot(data)
+}
+
+// WorkloadConfig describes a logical client population for SMR runs
+// (Scenario.Workload): open or closed loop, exact offered load via the
+// accumulator pacer, optional payload padding and read mix. Command
+// generation is allocation-free on the warm path at any population size.
+type WorkloadConfig = workload.Config
+
+// ThroughputCell is one protocol × offered-load × batch-size cell of a
+// throughput sweep: committed commands/sec plus submit→commit latency
+// percentiles.
+type ThroughputCell = harness.ThroughputCell
+
+// ThroughputReport aggregates a throughput sweep.
+type ThroughputReport = harness.ThroughputReport
+
+// ThroughputAttackCell compares one protocol's commit latency clean
+// versus under attack at the same offered load.
+type ThroughputAttackCell = harness.ThroughputAttackCell
+
+// ThroughputUnderAttackReport aggregates an under-attack throughput
+// sweep.
+type ThroughputUnderAttackReport = harness.ThroughputUnderAttackReport
+
+// RunThroughputSweep runs every protocol over the offered-load × batch
+// matrix in SMR mode and measures committed-command throughput and
+// commit latency (raw cells for custom rendering).
+func RunThroughputSweep(f int, seed int64, opts SweepOptions) *ThroughputReport {
+	return harness.ThroughputSweep(f, seed, opts)
+}
+
+// RunThroughputUnderAttackSweep runs every protocol clean and under the
+// named attack strategy (default view-desync) at a fixed offered load.
+func RunThroughputUnderAttackSweep(f int, attack string, seed int64, opts SweepOptions) *ThroughputUnderAttackReport {
+	return harness.ThroughputUnderAttackSweep(f, attack, seed, opts)
+}
+
+// ThroughputTable compares every protocol's committed commands/sec and
+// commit latency (p50/p99) across offered loads and batch sizes, open
+// loop at 10⁶ logical clients. Byte-identical at every worker count.
+func ThroughputTable(f int, seed int64) *Table { return harness.ThroughputTable(f, seed) }
+
+// ThroughputTableOpts is ThroughputTable with explicit sweep options.
+func ThroughputTableOpts(f int, seed int64, opts SweepOptions) *Table {
+	return harness.ThroughputTableOpts(f, seed, opts)
+}
+
+// ThroughputUnderAttackTable reports what the view-desync attack does to
+// each protocol's commit latency at a fixed offered load: clean vs
+// attacked throughput, p99, and the p99 blowup factor.
+func ThroughputUnderAttackTable(f int, seed int64) *Table {
+	return harness.ThroughputUnderAttackTable(f, seed)
+}
+
+// ThroughputUnderAttackTableOpts is ThroughputUnderAttackTable with
+// explicit sweep options.
+func ThroughputUnderAttackTableOpts(f int, seed int64, opts SweepOptions) *Table {
+	return harness.ThroughputUnderAttackTableOpts(f, seed, opts)
 }
