@@ -23,6 +23,7 @@ import (
 	"lumiere/internal/metrics"
 	"lumiere/internal/msg"
 	"lumiere/internal/network"
+	"lumiere/internal/redteam"
 	"lumiere/internal/sim"
 	"lumiere/internal/statemachine"
 	"lumiere/internal/types"
@@ -298,6 +299,33 @@ func BenchmarkThroughputTable(b *testing.B) {
 				b.ReportMetric(float64(res.Collector.WordsTotal())/float64(res.Collector.CommitCount()), "words/cmd")
 			})
 		}
+	}
+}
+
+// BenchmarkRedTeamGrid regenerates the adversarial-search smoke cells:
+// a full grid search over redteam.SmokeSpace(1) maximizing post-GST
+// view-synchronization latency, per protocol. The proto= path segments
+// give BENCH_sweep.json structured rows, and allocs_per_op puts the
+// search engine's evaluation path (candidate legalization, scenario
+// construction, arena-backed sweep, cache bookkeeping) under the
+// benchjson -baseline regression gate. Workers is pinned to 1 so the
+// allocation count stays deterministic.
+func BenchmarkRedTeamGrid(b *testing.B) {
+	for _, p := range []harness.Protocol{harness.ProtoLP22, harness.ProtoLumiere} {
+		p := p
+		b.Run("proto="+string(p), func(b *testing.B) {
+			sp := redteam.SmokeSpace(1)
+			var best redteam.Evaluated
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := redteam.NewEvaluator(p, 1, redteam.ObjSyncLatency, benchSeed)
+				best = redteam.Best(redteam.Grid(sp, e, 1))
+			}
+			if !best.Decided {
+				b.Fatalf("%s: red-team grid worst case %s did not decide", p, best.Candidate)
+			}
+			b.ReportMetric(best.Value, "worst_sync_delta")
+		})
 	}
 }
 

@@ -11,6 +11,8 @@
 //	lumiere-bench -chaos      # chaos suite only (fault conditions + conformance)
 //	lumiere-bench -attack     # attack suite only (adaptive strategies + word complexity)
 //	lumiere-bench -smr        # SMR suite only (throughput/commit-latency + under-attack tables)
+//	lumiere-bench -redteam    # adversarial search only (searched worst-case frontier)
+//	lumiere-bench -redteam -frontier FRONTIER.json   # regenerate the committed frontier artifact
 //	lumiere-bench -n 4096     # massive-n scaling table only, at one system size
 //	lumiere-bench -largen -maxn 4096   # massive-n scaling table over the whole axis
 package main
@@ -45,6 +47,8 @@ func realMain() int {
 		chaos      = flag.Bool("chaos", false, "run only the chaos suite: fault-condition table + chaos conformance sweep")
 		attack     = flag.Bool("attack", false, "run only the attack suite: adaptive-strategy table + word-complexity tables")
 		smr        = flag.Bool("smr", false, "run only the SMR suite: throughput/commit-latency table + throughput under attack")
+		redteam    = flag.Bool("redteam", false, "run only the adversarial search suite: searched worst-case frontier per protocol × objective")
+		frontier   = flag.String("frontier", "", "with -redteam: write the searched frontier artifact (FRONTIER.json) to this path")
 		largen     = flag.Bool("largen", false, "run only the massive-n scaling table over the default axis (capped by -maxn)")
 		largeN     = flag.Int("n", 0, "run the massive-n scaling table at this single system size (needs n ≥ 4; 0 = default axis)")
 		maxN       = flag.Int("maxn", 1024, "cap the massive-n scaling axis at this size (4096 reproduces the recorded table)")
@@ -133,6 +137,28 @@ func realMain() int {
 	}
 
 	start := time.Now()
+	if *redteam {
+		fmt.Printf("red-team suite (seed %d, %d workers)\n\n", *seed, *workers)
+		cfg := lumiere.RedTeamConfig{F: 2, Seed: *seed, Workers: *workers}
+		if *progress {
+			cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
+		}
+		fr := lumiere.RedTeam(cfg)
+		emit("redteam_frontier", fr.Table())
+		if *frontier != "" {
+			if err := fr.WriteFile(*frontier); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", *frontier, err)
+				return 1
+			}
+			fmt.Printf("wrote %s\n", *frontier)
+		}
+		if !fr.AllDecided() {
+			fmt.Fprintln(os.Stderr, "red-team search has stalled frontier cells: a model-legal scenario defeated a protocol")
+			return 1
+		}
+		fmt.Printf("done in %v\n", time.Since(start).Round(time.Second))
+		return 0
+	}
 	if (*largeN != 0 || *largen) && !*chaos && !*attack && !*smr {
 		fmt.Printf("massive-n suite (seed %d, %d workers)\n\n", *seed, *workers)
 		emit("largen_words", lumiere.LargeNWordsTable(largeNs, *seed, opts))

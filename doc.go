@@ -64,6 +64,27 @@
 // that Lumiere's eventual word count is linear in the number of actual
 // faults rather than in n.
 //
+// # Adversarial search and the worst-case frontier
+//
+// RedTeam searches the combined attack × chaos parameter space
+// (strategy, strategic-processor count, period, GST placement, loss,
+// partitions, churn) for the candidate each protocol handles worst,
+// per objective — post-GST synchronization latency, W_GST in words,
+// and p99 commit latency under SMR load:
+//
+//	fr := lumiere.RedTeam(lumiere.RedTeamConfig{F: 2, Seed: 42})
+//	fmt.Print(fr.Table().Render())
+//
+// Evaluation is deterministic (candidate-keyed seeds, byte-identical
+// at any worker count), every PR 4 scripted attack is a grid member
+// (so the searched frontier dominates the scripted corpus by
+// construction), and each worst case is delta-debugged to the
+// smallest candidate reproducing ≥95% of its objective. The committed
+// FRONTIER.json at the repository root pins the reference frontier;
+// regenerate it with cmd/lumiere-bench -redteam -frontier
+// FRONTIER.json. See DESIGN.md §1d and EXPERIMENTS.md "Searched
+// worst-case frontier".
+//
 // # SMR throughput and commit latency
 //
 // Scenario.Workload drives the chained-HotStuff SMR layer with a

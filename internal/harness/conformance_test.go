@@ -27,17 +27,18 @@ func conformanceScenarios(count int) []Scenario {
 
 // TestConformanceGenerated is the cross-protocol conformance suite: a
 // sweep of generated scenarios (random corruption sets including
-// crash-recovery churn, delay policies, link conditions — partitions,
-// loss, duplication, reorder jitter, omission budgets — GST, stagger,
-// SMR on/off) over every protocol in AllProtocols, each run checked
+// crash-recovery churn, adaptive attack strategies on the spare fault
+// budget, delay policies, link conditions — partitions, loss,
+// duplication, reorder jitter, omission budgets — GST, stagger, SMR
+// on/off) over every protocol in AllProtocols, each run checked
 // against the protocol-independent obligations of §2 (no invariant
 // violations, honest decisions after GST, bounded final-view spread,
 // SMR prefix consistency).
 func TestConformanceGenerated(t *testing.T) {
 	t.Parallel()
-	count := 30
+	count := 36
 	if testing.Short() {
-		count = 12
+		count = 15
 	}
 	sr := Sweep(conformanceScenarios(count), SweepOptions{KeepSeeds: true})
 	for i := range sr.Cells {
@@ -102,6 +103,41 @@ func TestGenChaosScenarioAlwaysConditioned(t *testing.T) {
 			s.ReorderJitter == 0 && !churn {
 			t.Fatalf("seed %d: no chaos axis drawn: %+v", seed, s)
 		}
+	}
+}
+
+// TestGenScenarioDrawsAttacks: the generator actually exercises the
+// adaptive-attack axis — a healthy fraction of draws carries a
+// strategy — and every drawn spec respects the model: a registered
+// strategy name, and attack processors plus static corruptions within
+// the f budget (the harness would panic past it).
+func TestGenScenarioDrawsAttacks(t *testing.T) {
+	t.Parallel()
+	known := make(map[string]bool)
+	for _, name := range adversary.AttackNames() {
+		known[name] = true
+	}
+	attacks, byName := 0, make(map[string]int)
+	for seed := int64(0); seed < 400; seed++ {
+		s := GenScenario(seed)
+		if !s.Attack.Enabled() {
+			continue
+		}
+		attacks++
+		byName[s.Attack.Name]++
+		if !known[s.Attack.Name] {
+			t.Fatalf("seed %d: unknown attack strategy %q", seed, s.Attack.Name)
+		}
+		if s.Attack.Nodes < 1 || s.Attack.Nodes+len(s.Corruptions) > s.F {
+			t.Fatalf("seed %d: attack %s×%d plus %d corruptions exceeds f=%d",
+				seed, s.Attack.Name, s.Attack.Nodes, len(s.Corruptions), s.F)
+		}
+	}
+	if attacks < 40 {
+		t.Fatalf("only %d of 400 generated scenarios draw an attack", attacks)
+	}
+	if len(byName) < len(known) {
+		t.Errorf("only strategies %v drawn over 400 seeds, want all of %v", byName, adversary.AttackNames())
 	}
 }
 

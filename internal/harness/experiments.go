@@ -34,6 +34,11 @@ type WorstCaseResult struct {
 	Decided  bool
 }
 
+// GammaOf estimates the view duration Γ of a protocol at the given Δ:
+// the unit the experiment drivers (and internal/redteam's scenario
+// builder) size their horizons in.
+func GammaOf(p Protocol, delta time.Duration) time.Duration { return gammaOf(p, delta) }
+
 // gammaOf estimates the view duration Γ of a protocol for scenario sizing.
 func gammaOf(p Protocol, delta time.Duration) time.Duration {
 	x := time.Duration(types.DefaultX)

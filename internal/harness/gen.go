@@ -22,11 +22,13 @@ import (
 // non-proposing, late-proposing, mid-run crash, crash-recovery churn;
 // plus equivocation when the SMR stack is on), a random delay policy
 // bounded by Δ, random GST, pre-GST chaos, staggered joins, a coin for
-// running the full SMR stack, and — on a second coin — link conditions
-// from the chaos axes (partition, loss, duplication, reorder jitter,
-// omission budget). The scenario's Protocol is left unset so callers can
-// run the same generated adversary against every protocol; invariant
-// checking is enabled.
+// running the full SMR stack, link conditions from the chaos axes on a
+// second coin (partition, loss, duplication, reorder jitter, omission
+// budget), and — when the fault budget has headroom — an
+// adaptive attack strategy (view-desync, leader-target, gst-straddle or
+// complexity-saturate) on 1..f−f_a strategic processors. The scenario's
+// Protocol is left unset so callers can run the same generated
+// adversary against every protocol; invariant checking is enabled.
 //
 // The generated space is sized for conformance sweeps: f ∈ {1, 2}
 // (n ∈ {4, 7}), 60 virtual seconds, GST ≤ 2s — small enough that a sweep
@@ -167,6 +169,25 @@ func genScenario(seed int64, forceChaos bool) Scenario {
 			if rng.Intn(2) == 0 {
 				s.ReorderJitter = time.Duration(1+rng.Intn(int(delta/time.Millisecond))) * time.Millisecond
 			}
+		}
+	}
+
+	// Adaptive attack strategy. Drawn last so every earlier axis keeps
+	// its seed-determined value; the strategy's processors are the
+	// highest free IDs and charge against the same f budget as the
+	// static corruptions, so the draw only fires when that budget has
+	// headroom.
+	if avail := f - fa; avail > 0 && rng.Intn(3) == 0 {
+		names := adversary.AttackNames()
+		s.Attack = adversary.AttackSpec{
+			Name:  names[rng.Intn(len(names))],
+			Nodes: 1 + rng.Intn(avail),
+		}
+		switch s.Attack.Name {
+		case adversary.AttackViewDesync, adversary.AttackSaturate:
+			s.Attack.Period = time.Duration(1+rng.Intn(20)) * delta
+		case adversary.AttackLeaderTarget:
+			s.Attack.K = 1 + rng.Intn(f)
 		}
 	}
 	return s

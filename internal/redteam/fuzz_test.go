@@ -1,0 +1,66 @@
+package redteam
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"lumiere/internal/adversary"
+	"lumiere/internal/harness"
+)
+
+// FuzzSearchCandidate extends the PR 3 FuzzLinkPolicy pattern to
+// composed attack+chaos scenarios: an arbitrary point, legalized into
+// the search space, must yield a model-legal run — the execution
+// completes within budget, no Lemma 5.1–5.3 invariant fires, the honest
+// processors decide after GST within the §2 synchronous bound, and the
+// network grants no true post-GST omission (the §2 clamp: without an
+// omission budget every post-GST drop degrades to a Δ-late delivery).
+func FuzzSearchCandidate(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(1), uint8(1), uint16(1000), uint16(2000), uint8(0), uint8(0), uint8(0), uint16(0))
+	f.Add(int64(2), uint8(1), uint8(2), uint8(2), uint16(50), uint16(500), uint8(30), uint8(3), uint8(1), uint16(3000))
+	f.Add(int64(3), uint8(2), uint8(1), uint8(1), uint16(250), uint16(0), uint8(90), uint8(6), uint8(2), uint16(9999))
+	f.Add(int64(4), uint8(3), uint8(2), uint8(3), uint16(50), uint16(2000), uint8(10), uint8(0), uint8(0), uint16(0))
+	f.Add(int64(5), uint8(4), uint8(9), uint8(9), uint16(60000), uint16(60000), uint8(255), uint8(255), uint8(255), uint16(60000))
+
+	protos := harness.AllProtocols
+	names := adversary.AttackNames()
+	f.Fuzz(func(t *testing.T, seed int64, stratB, nodesB, kB uint8, periodMs, gstMs uint16, lossB, psB, churnB uint8, healMs uint16) {
+		ft := 1 + int(nodesB)%2 // f ∈ {1, 2}
+		strat := ""
+		if int(stratB)%(len(names)+1) < len(names) {
+			strat = names[int(stratB)%(len(names)+1)]
+		}
+		c := Candidate{
+			Strategy:      strat,
+			Nodes:         int(nodesB),
+			K:             int(kB),
+			Period:        time.Duration(periodMs) * time.Millisecond,
+			GST:           time.Duration(gstMs) * time.Millisecond,
+			Loss:          float64(lossB) / 255,
+			PartitionSize: int(psB),
+			PartitionHeal: time.Duration(healMs) * time.Millisecond,
+			ChurnNodes:    int(churnB),
+		}.Legalize(ft)
+		p := protos[int(uint64(seed)%uint64(len(protos)))]
+
+		s := c.Scenario(p, ft, ObjSyncLatency, CandidateSeed(seed, c))
+		s.CheckInvariants = true
+		res := harness.Run(s)
+
+		corrupted := c.ChurnNodes
+		if c.Strategy != "" {
+			corrupted += c.Nodes
+		}
+		if corrupted > ft {
+			t.Fatalf("legalized candidate corrupts %d > f=%d processors: %s", corrupted, ft, c)
+		}
+		if res.Omitted != 0 {
+			t.Fatalf("§2 clamp violated: %d true post-GST omissions without a budget (%s on %s)", res.Omitted, c, p)
+		}
+		if problems := harness.ConformanceReport(res); len(problems) > 0 {
+			t.Fatalf("candidate %s on %s (f=%d, seed %d) violates the model:\n%s",
+				c, p, ft, s.Seed, fmt.Sprint(problems))
+		}
+	})
+}

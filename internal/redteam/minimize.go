@@ -1,0 +1,179 @@
+package redteam
+
+import (
+	"time"
+
+	"lumiere/internal/adversary"
+)
+
+// This file implements the delta-debugging minimizer: given a worst-case
+// candidate and a predicate ("still reproduces ≥95% of the objective"),
+// shrink it to a locally minimal candidate the predicate still accepts.
+// The shrink relation only ever zeroes an axis, decrements a processor
+// count, or halves a duration/probability — every step strictly
+// decreases a well-founded measure, so minimization terminates, never
+// grows an axis, and is a fixpoint on its own output (the unit tests
+// pin all three properties).
+
+// minQuantum floors halved durations: a window shorter than this is
+// zeroed by the axis-zeroing steps instead (except Period, which some
+// strategies interpret as "default" at zero and therefore floors here).
+const minQuantum = time.Millisecond
+
+// shrinks enumerates the candidate's immediate shrinks in priority
+// order: drop whole axes first (attack, then each chaos axis), then
+// decrement processor counts, then halve windows and rates. Every
+// result is strictly smaller than c on at least one axis and equal on
+// the rest.
+func shrinks(c Candidate) []Candidate {
+	var out []Candidate
+	add := func(mut func(*Candidate)) {
+		d := c
+		mut(&d)
+		out = append(out, d)
+	}
+	// Whole-axis drops.
+	if c.Strategy != "" {
+		add(func(d *Candidate) { d.Strategy, d.Nodes, d.K, d.Period = "", 0, 0, 0 })
+	}
+	if c.Loss > 0 {
+		add(func(d *Candidate) { d.Loss, d.LossUntil = 0, 0 })
+	}
+	if c.Duplication > 0 {
+		add(func(d *Candidate) { d.Duplication = 0 })
+	}
+	if c.ReorderJitter > 0 {
+		add(func(d *Candidate) { d.ReorderJitter = 0 })
+	}
+	if c.PartitionSize > 0 {
+		add(func(d *Candidate) { d.PartitionSize, d.PartitionHeal = 0, 0 })
+	}
+	if c.ChurnNodes > 0 {
+		add(func(d *Candidate) { d.ChurnNodes, d.ChurnDown, d.ChurnPeriod = 0, 0, 0 })
+	}
+	// Fewer processors, smaller islands, shorter horizons.
+	if c.Nodes > 1 {
+		add(func(d *Candidate) { d.Nodes-- })
+	}
+	if c.K > 1 {
+		add(func(d *Candidate) { d.K-- })
+	}
+	if c.ChurnNodes > 1 {
+		add(func(d *Candidate) { d.ChurnNodes-- })
+	}
+	if c.PartitionSize > 1 {
+		add(func(d *Candidate) { d.PartitionSize-- })
+	}
+	// Halved windows. Period floors at minQuantum (zero would mean the
+	// strategy default, which is larger); the rest zero out below it.
+	if c.Period > minQuantum {
+		add(func(d *Candidate) { d.Period = halveFloor(d.Period) })
+	}
+	if c.GST > 0 {
+		add(func(d *Candidate) { d.GST = halveZero(d.GST) })
+	}
+	if c.LossUntil > 0 {
+		add(func(d *Candidate) { d.LossUntil = halveZero(d.LossUntil) })
+	}
+	if c.PartitionHeal > 0 {
+		add(func(d *Candidate) { d.PartitionHeal = halveZero(d.PartitionHeal) })
+	}
+	if c.ChurnDown > minQuantum {
+		add(func(d *Candidate) { d.ChurnDown = halveFloor(d.ChurnDown) })
+	}
+	if c.ChurnPeriod > minQuantum {
+		add(func(d *Candidate) { d.ChurnPeriod = halveFloor(d.ChurnPeriod) })
+	}
+	if c.ReorderJitter > minQuantum {
+		add(func(d *Candidate) { d.ReorderJitter = halveFloor(d.ReorderJitter) })
+	}
+	// Halved rates, zeroing below 5%.
+	if c.Loss > 0 {
+		add(func(d *Candidate) { d.Loss = halveRate(d.Loss) })
+	}
+	if c.Duplication > 0 {
+		add(func(d *Candidate) { d.Duplication = halveRate(d.Duplication) })
+	}
+	return out
+}
+
+// halveFloor halves a duration, flooring at minQuantum.
+func halveFloor(d time.Duration) time.Duration {
+	d /= 2
+	if d < minQuantum {
+		return minQuantum
+	}
+	return d
+}
+
+// halveZero halves a duration, zeroing below minQuantum.
+func halveZero(d time.Duration) time.Duration {
+	d /= 2
+	if d < minQuantum {
+		return 0
+	}
+	return d
+}
+
+// halveRate halves a probability, zeroing below 5%.
+func halveRate(p float64) float64 {
+	p /= 2
+	if p < 0.05 {
+		return 0
+	}
+	return p
+}
+
+// Minimize shrinks the candidate to a local minimum the predicate still
+// accepts: a greedy fixpoint over the shrink relation, taking the first
+// accepted shrink each round and stopping when none is. keep is never
+// called on c itself — the caller established it. Minimization is
+// serial and purely a function of (c, keep), so the result is
+// byte-identical regardless of how the surrounding search is
+// parallelized; with keep backed by an Evaluator, probes reuse the
+// candidate-derived seeds and therefore reproduce anywhere.
+func Minimize(c Candidate, f int, keep func(Candidate) bool) Candidate {
+	c = c.Legalize(f)
+	for {
+		shrunk := false
+		for _, d := range shrinks(c) {
+			d = d.Legalize(f)
+			if d.Key() == c.Key() {
+				continue
+			}
+			if keep(d) {
+				c = d
+				shrunk = true
+				break
+			}
+		}
+		if !shrunk {
+			return c
+		}
+	}
+}
+
+// axisVector flattens the candidate's axes for the monotone-shrinkage
+// check: every Minimize output is ≤ its input pointwise (with the
+// strategy axis ordered by presence). Exported for the minimizer tests.
+func axisVector(c Candidate) []float64 {
+	strat := 0.0
+	if c.Strategy != "" {
+		strat = float64(1 + indexOf(adversary.AttackNames(), c.Strategy))
+	}
+	return []float64{
+		strat, float64(c.Nodes), float64(c.K), float64(c.Period),
+		float64(c.GST), c.Loss, float64(c.LossUntil), c.Duplication,
+		float64(c.ReorderJitter), float64(c.PartitionSize), float64(c.PartitionHeal),
+		float64(c.ChurnNodes), float64(c.ChurnDown), float64(c.ChurnPeriod),
+	}
+}
+
+func indexOf(xs []string, x string) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}

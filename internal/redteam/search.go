@@ -1,0 +1,208 @@
+package redteam
+
+import (
+	"math/rand"
+	"sort"
+
+	"lumiere/internal/harness"
+)
+
+// Evaluated is one candidate's evaluation under an objective.
+type Evaluated struct {
+	// Candidate is the evaluated point (legalized).
+	Candidate Candidate `json:"candidate"`
+	// Seed is the evaluation seed (CandidateSeed of the search seed and
+	// the candidate).
+	Seed int64 `json:"seed"`
+	// Value is the objective value; Decided reports whether the run
+	// produced the objective's event (see Measure).
+	Value   float64 `json:"value"`
+	Decided bool    `json:"decided"`
+}
+
+// Evaluator evaluates candidates for one (protocol, f, objective,
+// search seed) context. Evaluation is a pure function of the candidate:
+// the scenario seed derives from (SearchSeed, candidate key), so values
+// are independent of evaluation order, caching and worker count. The
+// evaluator memoizes by candidate key — grid, evolution and
+// minimization share evaluations for free.
+type Evaluator struct {
+	Protocol   harness.Protocol
+	F          int
+	Obj        Objective
+	SearchSeed int64
+
+	arena *harness.Arena
+	cache map[string]Evaluated
+}
+
+// NewEvaluator builds an evaluator for one search context.
+func NewEvaluator(p harness.Protocol, f int, obj Objective, searchSeed int64) *Evaluator {
+	return &Evaluator{Protocol: p, F: f, Obj: obj, SearchSeed: searchSeed, cache: map[string]Evaluated{}}
+}
+
+// Eval evaluates one candidate serially (the minimizer's probe path),
+// recycling the evaluator's private arena.
+func (e *Evaluator) Eval(c Candidate) Evaluated {
+	c = c.Legalize(e.F)
+	k := c.Key()
+	if ev, ok := e.cache[k]; ok {
+		return ev
+	}
+	if e.arena == nil {
+		e.arena = harness.NewArena()
+	}
+	seed := CandidateSeed(e.SearchSeed, c)
+	res := harness.RunIn(e.arena, c.Scenario(e.Protocol, e.F, e.Obj, seed))
+	val, dec := Measure(res, e.Obj)
+	ev := Evaluated{Candidate: c, Seed: seed, Value: val, Decided: dec}
+	e.cache[k] = ev
+	return ev
+}
+
+// EvalAll evaluates a candidate batch on the sweep engine (one arena
+// per worker, results in input order). Candidates already in the cache
+// cost nothing; the rest run in parallel with their candidate-derived
+// seeds, so the returned values are byte-identical at any worker count.
+func (e *Evaluator) EvalAll(cands []Candidate, workers int) []Evaluated {
+	legal := make([]Candidate, len(cands))
+	var todo []Candidate
+	pending := map[string]bool{}
+	for i, c := range cands {
+		lc := c.Legalize(e.F)
+		legal[i] = lc
+		k := lc.Key()
+		if _, ok := e.cache[k]; !ok && !pending[k] {
+			pending[k] = true
+			todo = append(todo, lc)
+		}
+	}
+	if len(todo) > 0 {
+		scenarios := make([]harness.Scenario, len(todo))
+		for i, c := range todo {
+			scenarios[i] = c.Scenario(e.Protocol, e.F, e.Obj, CandidateSeed(e.SearchSeed, c))
+		}
+		sr := harness.Sweep(scenarios, harness.SweepOptions{Workers: workers, KeepSeeds: true})
+		for i := range sr.Cells {
+			val, dec := Measure(sr.Cells[i].Result, e.Obj)
+			e.cache[todo[i].Key()] = Evaluated{
+				Candidate: todo[i], Seed: sr.Cells[i].Scenario.Seed, Value: val, Decided: dec,
+			}
+		}
+	}
+	out := make([]Evaluated, len(legal))
+	for i := range legal {
+		out[i] = e.cache[legal[i].Key()]
+	}
+	return out
+}
+
+// Evaluations returns the number of distinct candidates evaluated.
+func (e *Evaluator) Evaluations() int { return len(e.cache) }
+
+// Best returns the maximum of the evaluations under the search's total
+// order: value descending, candidate key ascending as the
+// deterministic tie-break. It panics on an empty slice.
+func Best(evals []Evaluated) Evaluated {
+	best := evals[0]
+	for _, ev := range evals[1:] {
+		if better(ev, best) {
+			best = ev
+		}
+	}
+	return best
+}
+
+// better reports whether a precedes b in the search order.
+func better(a, b Evaluated) bool {
+	if a.Value != b.Value {
+		return a.Value > b.Value
+	}
+	return a.Candidate.Key() < b.Candidate.Key()
+}
+
+// Grid evaluates the space's full grid and returns the evaluations in
+// enumeration order.
+func Grid(sp Space, e *Evaluator, workers int) []Evaluated {
+	return e.EvalAll(sp.Candidates(), workers)
+}
+
+// EvolveOptions tunes the evolutionary driver. Zero values take the
+// defaults (3 generations, population 16, 2 elites, tournaments of 3).
+type EvolveOptions struct {
+	Generations int
+	Population  int
+	Elites      int
+	Tournament  int
+	Workers     int
+}
+
+func (o EvolveOptions) withDefaults() EvolveOptions {
+	if o.Generations <= 0 {
+		o.Generations = 3
+	}
+	if o.Population <= 0 {
+		o.Population = 16
+	}
+	if o.Elites <= 0 {
+		o.Elites = 2
+	}
+	if o.Elites > o.Population {
+		o.Elites = o.Population
+	}
+	if o.Tournament <= 0 {
+		o.Tournament = 3
+	}
+	return o
+}
+
+// Evolve runs seeded evolutionary search: each generation evaluates the
+// population on the sweep engine, carries the elites over, and fills
+// the rest by tournament selection plus one in-space mutation. Each
+// generation draws from its own rng seeded by (search seed, generation
+// index) and selection sorts by the deterministic search order, so the
+// trajectory — and every value returned — is byte-identical at any
+// worker count. The returned slice holds every evaluation in
+// generation-major order.
+func Evolve(sp Space, e *Evaluator, seeds []Candidate, opts EvolveOptions) []Evaluated {
+	opts = opts.withDefaults()
+	if len(seeds) == 0 {
+		seeds = []Candidate{{}}
+	}
+	pop := make([]Candidate, 0, opts.Population)
+	for _, c := range seeds {
+		if len(pop) == opts.Population {
+			break
+		}
+		pop = append(pop, c.Legalize(sp.F))
+	}
+	fill := rand.New(rand.NewSource(harness.DeriveSeed(e.SearchSeed, 7000)))
+	for i := 0; len(pop) < opts.Population; i++ {
+		pop = append(pop, sp.Mutate(pop[i%len(seeds)], fill))
+	}
+
+	var all []Evaluated
+	for g := 0; g < opts.Generations; g++ {
+		evals := e.EvalAll(pop, opts.Workers)
+		all = append(all, evals...)
+		ranked := append([]Evaluated(nil), evals...)
+		sort.Slice(ranked, func(i, j int) bool { return better(ranked[i], ranked[j]) })
+
+		rng := rand.New(rand.NewSource(harness.DeriveSeed(e.SearchSeed, 7001+g)))
+		next := make([]Candidate, 0, opts.Population)
+		for i := 0; i < opts.Elites; i++ {
+			next = append(next, ranked[i].Candidate)
+		}
+		for len(next) < opts.Population {
+			winner := ranked[rng.Intn(len(ranked))]
+			for t := 1; t < opts.Tournament; t++ {
+				if ch := ranked[rng.Intn(len(ranked))]; better(ch, winner) {
+					winner = ch
+				}
+			}
+			next = append(next, sp.Mutate(winner.Candidate, rng))
+		}
+		pop = next
+	}
+	return all
+}

@@ -7,6 +7,7 @@ import (
 	"lumiere/internal/harness"
 	"lumiere/internal/nettcp"
 	"lumiere/internal/network"
+	"lumiere/internal/redteam"
 	"lumiere/internal/types"
 	"lumiere/internal/workload"
 )
@@ -81,6 +82,23 @@ type (
 	// scenario runs via RunIn. Sweeps thread one per worker
 	// automatically; reuse is byte-identical to fresh construction.
 	Arena = harness.Arena
+	// RedTeamCandidate is one point of the adversarial search space: an
+	// adaptive attack composed with chaos conditions and a GST
+	// placement.
+	RedTeamCandidate = redteam.Candidate
+	// RedTeamSpace is a finite adversarial search space: a choice list
+	// per candidate axis.
+	RedTeamSpace = redteam.Space
+	// RedTeamObjective selects what the adversarial search maximizes
+	// (sync latency, W_GST words, or p99 commit latency).
+	RedTeamObjective = redteam.Objective
+	// RedTeamConfig parameterizes the RedTeam search.
+	RedTeamConfig = redteam.Config
+	// Frontier is the searched worst-case frontier artifact (one entry
+	// per protocol × objective), committed as FRONTIER.json.
+	Frontier = redteam.Frontier
+	// FrontierEntry is one protocol × objective row of a Frontier.
+	FrontierEntry = redteam.Entry
 )
 
 // Protocols.
@@ -220,6 +238,29 @@ func RunAttackSweep(f int, seed int64, opts SweepOptions) *AttackReport {
 // AttackSpecs lists the attack table's strategies (default parameters)
 // in column order.
 func AttackSpecs() []AttackSpec { return harness.AttackSpecs() }
+
+// RedTeam runs the adversarial search: for every protocol × objective,
+// a grid sweep over the attack × chaos space, evolutionary refinement
+// seeded with the scripted attacks, and delta-debugging minimization of
+// the worst candidate found. The frontier — including every minimized
+// candidate — depends only on (Config.Seed, Config.F, spaces), never on
+// the worker count. The reference run is committed as FRONTIER.json;
+// see DESIGN.md §1d.
+func RedTeam(cfg RedTeamConfig) *Frontier { return redteam.SearchFrontier(cfg) }
+
+// RedTeamTable runs the adversarial search at fault tolerance f and
+// renders the frontier table (one row per protocol × objective: worst
+// candidate, objective value, minimized reproducer).
+func RedTeamTable(f int, seed int64, opts SweepOptions) *Table {
+	return redteam.SearchFrontier(redteam.Config{F: f, Seed: seed, Workers: opts.Workers}).Table()
+}
+
+// RedTeamObjectives lists the adversarial search objectives in
+// presentation order.
+func RedTeamObjectives() []RedTeamObjective { return redteam.Objectives() }
+
+// ReadFrontier loads a committed frontier artifact (FRONTIER.json).
+func ReadFrontier(path string) (*Frontier, error) { return redteam.ReadFrontier(path) }
 
 // ---------------------------------------------------------------------------
 // Experiment drivers (the paper's table and figures; see EXPERIMENTS.md)
