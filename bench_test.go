@@ -219,6 +219,39 @@ func BenchmarkAttackTable(b *testing.B) {
 	}
 }
 
+// BenchmarkTopologyTable regenerates the WAN graceful-degradation table
+// cell by cell: per (deployment preset, protocol) post-GST
+// view-synchronization latency and W_GST in words with the preset's
+// regional link matrix as the delay model (pre-GST chaos riding on it).
+// The preset/proto path segments give BENCH_sweep.json structured rows,
+// and allocs_per_op puts the topology LinkPolicy's zero-allocation
+// verdict path under the benchjson -baseline regression gate.
+func BenchmarkTopologyTable(b *testing.B) {
+	for _, preset := range harness.WANPresets {
+		preset := preset
+		for _, p := range harness.WANProtocols {
+			p := p
+			b.Run("preset="+preset+"/proto="+string(p), func(b *testing.B) {
+				// Warm arena, as in BenchmarkChaosTable: per-cell cost
+				// with setup amortized away.
+				arena := harness.NewArena()
+				c := harness.WANSyncIn(arena, preset, p, 1, benchSeed)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c = harness.WANSyncIn(arena, preset, p, 1, benchSeed)
+				}
+				b.StopTimer()
+				if !c.Decided {
+					b.Fatalf("%s on %s: no decision after GST", p, preset)
+				}
+				b.ReportMetric(float64(c.SyncLatency)/float64(harness.AttackDelta), "sync_delta")
+				b.ReportMetric(float64(c.WindowWords), "wgst_words")
+			})
+		}
+	}
+}
+
 // BenchmarkLargeNWords regenerates a shortened massive-n scaling cell
 // per (protocol, n): the LargeNWordsTable scenario cut to 30 simulated
 // seconds — long enough for several LP22 epoch boundaries at these

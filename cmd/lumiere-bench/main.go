@@ -11,6 +11,7 @@
 //	lumiere-bench -chaos      # chaos suite only (fault conditions + conformance)
 //	lumiere-bench -attack     # attack suite only (adaptive strategies + word complexity)
 //	lumiere-bench -smr        # SMR suite only (throughput/commit-latency + under-attack tables)
+//	lumiere-bench -wan        # WAN suite only (topology degradation + clock-drift tolerance tables)
 //	lumiere-bench -redteam    # adversarial search only (searched worst-case frontier)
 //	lumiere-bench -redteam -frontier FRONTIER.json   # regenerate the committed frontier artifact
 //	lumiere-bench -n 4096     # massive-n scaling table only, at one system size
@@ -47,6 +48,7 @@ func realMain() int {
 		chaos      = flag.Bool("chaos", false, "run only the chaos suite: fault-condition table + chaos conformance sweep")
 		attack     = flag.Bool("attack", false, "run only the attack suite: adaptive-strategy table + word-complexity tables")
 		smr        = flag.Bool("smr", false, "run only the SMR suite: throughput/commit-latency table + throughput under attack")
+		wan        = flag.Bool("wan", false, "run only the WAN suite: topology graceful-degradation table + clock-drift tolerance table")
 		redteam    = flag.Bool("redteam", false, "run only the adversarial search suite: searched worst-case frontier per protocol × objective")
 		frontier   = flag.String("frontier", "", "with -redteam: write the searched frontier artifact (FRONTIER.json) to this path")
 		largen     = flag.Bool("largen", false, "run only the massive-n scaling table over the default axis (capped by -maxn)")
@@ -137,6 +139,22 @@ func realMain() int {
 	}
 
 	start := time.Now()
+	if *wan {
+		fmt.Printf("WAN suite (seed %d, %d workers)\n\n", *seed, *workers)
+		wanF := 1
+		if *full {
+			wanF = 2
+		}
+		emit("wan_topology", lumiere.TopologyTableOpts(wanF, *seed, opts))
+		drift := lumiere.RunDriftSweep(wanF, lumiere.DriftPPMAxis, *seed, opts)
+		emit("wan_drift", drift.Table())
+		if !drift.InModelClean() {
+			fmt.Fprintln(os.Stderr, "drift sweep NOT clean: an in-model drift magnitude violated Lemma 5.1-5.3")
+			return 1
+		}
+		fmt.Printf("done in %v\n", time.Since(start).Round(time.Second))
+		return 0
+	}
 	if *redteam {
 		fmt.Printf("red-team suite (seed %d, %d workers)\n\n", *seed, *workers)
 		cfg := lumiere.RedTeamConfig{F: 2, Seed: *seed, Workers: *workers}

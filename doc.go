@@ -98,5 +98,31 @@
 // prints; see DESIGN.md §8 and EXPERIMENTS.md "Throughput & commit
 // latency".
 //
+// # WAN deployments: topology, clock drift, stragglers
+//
+// Scenario.Topology replaces the uniform delay base with a regional
+// latency matrix (per-link class delays under the same §2 clamp —
+// classes the clamp would distort are rejected up front, never
+// silently clamped); Scenario.DriftPPM/DriftSkew give each node a
+// drifting hardware clock through which it sees every timer and clock
+// read; Scenario.ProcDelays models slow replicas that ingest messages
+// late (applied after the clamp: node slowness, not network delay).
+// PresetTopology builds the standard presets (single, wan3, hub,
+// degraded):
+//
+//	res := lumiere.Run(lumiere.Scenario{
+//		Protocol: lumiere.ProtoLumiere,
+//		F:        1,
+//		Delta:    lumiere.AttackDelta,
+//		Topology: lumiere.PresetTopology("wan3", 4, lumiere.AttackDelta),
+//		DriftPPM: []int64{200, -200},
+//	})
+//
+// TopologyTable (protocols × presets) and DriftToleranceTable (drift
+// magnitudes in and beyond the Lemma 5.1–5.3 tolerance |ppm|·Γ ≤ Δ·10⁶)
+// render the graceful-degradation tables lumiere-bench -wan prints,
+// and the red-team search covers the same axes. See DESIGN.md §1e and
+// EXPERIMENTS.md "WAN degradation".
+//
 // See examples/ for runnable programs and DESIGN.md for the architecture.
 package lumiere

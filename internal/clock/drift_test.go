@@ -1,0 +1,191 @@
+package clock
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"lumiere/internal/sim"
+	"lumiere/internal/types"
+)
+
+// TestDriftInverseExact pins base as the exact inverse of local: for any
+// local target tl, base(tl) is the earliest base instant whose local
+// image reaches tl.
+func TestDriftInverseExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ppms := []int64{0, 1, -1, 100, -100, 40_000, -40_000, 500_000, -500_000}
+	skews := []time.Duration{0, time.Nanosecond, -time.Nanosecond, 25 * time.Millisecond, -25 * time.Millisecond}
+	for _, ppm := range ppms {
+		for _, skew := range skews {
+			d := NewDrift(sim.New(1), ppm, skew)
+			for i := 0; i < 2000; i++ {
+				tl := types.Time(rng.Int63n(int64(3 * time.Hour)))
+				b := d.base(tl)
+				if d.local(b) < tl {
+					t.Fatalf("ppm=%d skew=%v: local(base(%d))=%d < target", ppm, skew, tl, d.local(b))
+				}
+				if b > 0 && d.local(b-1) >= tl {
+					t.Fatalf("ppm=%d skew=%v: base(%d)=%d not minimal", ppm, skew, tl, b)
+				}
+			}
+		}
+	}
+}
+
+// TestDriftLocalRoundTrip checks local∘base and base∘local at the
+// extremes: TimeInf passes through, and base clamps at 0 when skew puts
+// the target before the runtime's origin.
+func TestDriftLocalRoundTrip(t *testing.T) {
+	d := NewDrift(sim.New(1), 250_000, 10*time.Millisecond)
+	if d.local(types.TimeInf) != types.TimeInf || d.base(types.TimeInf) != types.TimeInf {
+		t.Fatal("TimeInf must pass through untouched")
+	}
+	if got := d.base(0); got != 0 {
+		t.Fatalf("base(0) = %d with positive skew, want clamp at 0", got)
+	}
+}
+
+// TestDriftNow: a clock 10% fast reads 110ms of local time after 100ms
+// of base time, plus its initial skew.
+func TestDriftNow(t *testing.T) {
+	s := sim.New(1)
+	d := NewDrift(s, 100_000, 3*time.Millisecond)
+	s.RunUntil(types.Time(100 * time.Millisecond))
+	want := types.Time(110*time.Millisecond + 3*time.Millisecond)
+	if got := d.Now(); got != want {
+		t.Fatalf("Now() = %d, want %d", got, want)
+	}
+}
+
+// TestDriftAfterFiresEarlyOnFastClock: a timer armed for a local
+// duration on a fast clock fires early in base time — 1s of local time
+// on a +10% clock elapses in ~909ms of base time.
+func TestDriftAfterFiresEarlyOnFastClock(t *testing.T) {
+	s := sim.New(1)
+	d := NewDrift(s, 100_000, 0)
+	var fired types.Time = types.TimeInf
+	d.After(time.Second, func() { fired = s.Now() })
+	s.RunUntil(types.Time(2 * time.Second))
+	if fired == types.TimeInf {
+		t.Fatal("timer never fired")
+	}
+	if d.local(fired) < types.Time(time.Second) {
+		t.Fatalf("fired at local %d, before the 1s local target", d.local(fired))
+	}
+	if fired > types.Time(910*time.Millisecond) {
+		t.Fatalf("fired at base %v, want ≈909ms (early, fast clock)", time.Duration(fired))
+	}
+}
+
+// TestDriftAfterFiresLateOnSlowClock mirrors the fast case: −50% rate
+// means 1s of local time takes 2s of base time.
+func TestDriftAfterFiresLateOnSlowClock(t *testing.T) {
+	s := sim.New(1)
+	d := NewDrift(s, -500_000, 0)
+	var fired types.Time = types.TimeInf
+	d.After(time.Second, func() { fired = s.Now() })
+	s.RunUntil(types.Time(3 * time.Second))
+	if fired == types.TimeInf {
+		t.Fatal("timer never fired")
+	}
+	if fired < types.Time(1999*time.Millisecond) || fired > types.Time(2001*time.Millisecond) {
+		t.Fatalf("fired at base %v, want ≈2s (late, slow clock)", time.Duration(fired))
+	}
+}
+
+// TestDriftZeroTransparent: the zero wrapper is observationally the
+// scheduler itself.
+func TestDriftZeroTransparent(t *testing.T) {
+	s := sim.New(1)
+	d := NewDrift(s, 0, 0)
+	s.RunUntil(12345)
+	if d.Now() != s.Now() {
+		t.Fatalf("zero drift Now() = %d, scheduler %d", d.Now(), s.Now())
+	}
+	var fired types.Time
+	d.After(time.Millisecond, func() { fired = s.Now() })
+	s.RunUntil(types.Time(2 * time.Millisecond))
+	if fired != types.Time(12345+int64(time.Millisecond)) {
+		t.Fatalf("zero drift timer at %d", fired)
+	}
+}
+
+// TestDriftClockAlarm runs a Clock over a drifted runtime: SetAlarm's
+// deadline is in local units, and the alarm must fire exactly when local
+// time crosses it, through the zero-alloc TimerRuntime path.
+func TestDriftClockAlarm(t *testing.T) {
+	s := sim.New(1)
+	d := NewDrift(s, 200_000, 0) // +20%
+	c := New(d, 0)
+	var fired types.Time = types.TimeInf
+	c.SetAlarm(types.Time(600*time.Millisecond), func() { fired = d.Now() })
+	s.RunUntil(types.Time(time.Second))
+	if fired == types.TimeInf {
+		t.Fatal("alarm never fired")
+	}
+	if fired < types.Time(600*time.Millisecond) {
+		t.Fatalf("alarm fired at local %v, before its local deadline", time.Duration(fired))
+	}
+	if fired > types.Time(600*time.Millisecond+time.Microsecond) {
+		t.Fatalf("alarm fired at local %v, long after its 600ms deadline", time.Duration(fired))
+	}
+}
+
+// TestDriftCancel: a cancelled drifted timer never fires.
+func TestDriftCancel(t *testing.T) {
+	s := sim.New(1)
+	d := NewDrift(s, 50_000, 0)
+	fired := false
+	cancel := d.After(10*time.Millisecond, func() { fired = true })
+	cancel()
+	s.RunUntil(types.Time(time.Second))
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+// TestNewDriftPanics: rates beyond ±5·10⁵ ppm are rejected at
+// construction — outside the range where the conversion arithmetic is
+// provably overflow-free and convergent.
+func TestNewDriftPanics(t *testing.T) {
+	for _, ppm := range []int64{500_001, -500_001, 1_000_000, -1_000_000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewDrift(%d ppm) did not panic", ppm)
+				}
+			}()
+			NewDrift(sim.New(1), ppm, 0)
+		}()
+	}
+}
+
+// TestDriftDeterministic: two identical drifted schedules produce
+// identical firing sequences.
+func TestDriftDeterministic(t *testing.T) {
+	run := func() []types.Time {
+		s := sim.New(99)
+		d := NewDrift(s, -123_456, 7*time.Millisecond)
+		var fires []types.Time
+		var arm func()
+		arm = func() {
+			fires = append(fires, d.Now())
+			if len(fires) < 50 {
+				d.After(time.Duration(1+len(fires))*time.Millisecond, arm)
+			}
+		}
+		d.After(time.Millisecond, arm)
+		s.RunUntil(types.Time(time.Hour))
+		return fires
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs diverged: %d vs %d fires", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fire %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

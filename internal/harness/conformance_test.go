@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"lumiere/internal/adversary"
@@ -36,9 +37,9 @@ func conformanceScenarios(count int) []Scenario {
 // SMR prefix consistency).
 func TestConformanceGenerated(t *testing.T) {
 	t.Parallel()
-	count := 36
+	count := 44
 	if testing.Short() {
-		count = 15
+		count = 18
 	}
 	sr := Sweep(conformanceScenarios(count), SweepOptions{KeepSeeds: true})
 	for i := range sr.Cells {
@@ -61,9 +62,9 @@ func TestConformanceGenerated(t *testing.T) {
 // This is also CI's -race chaos-smoke target.
 func TestChaosConformanceSweep(t *testing.T) {
 	t.Parallel()
-	count := 18
+	count := 22
 	if testing.Short() {
-		count = 6
+		count = 8
 	}
 	serial := ChaosSweep(count, conformanceBaseSeed, SweepOptions{Workers: 1})
 	parallel := ChaosSweep(count, conformanceBaseSeed, SweepOptions{})
@@ -141,17 +142,63 @@ func TestGenScenarioDrawsAttacks(t *testing.T) {
 	}
 }
 
+// TestGenScenarioDrawsWANAxes: the generator exercises the WAN axes —
+// topology, drift, stragglers each land on a healthy fraction of draws
+// — and every draw stays in-model: Validate accepts it without
+// UncheckedWAN.
+func TestGenScenarioDrawsWANAxes(t *testing.T) {
+	t.Parallel()
+	topos, drifts, procs := 0, 0, 0
+	for seed := int64(0); seed < 400; seed++ {
+		s := GenScenario(seed)
+		if s.UncheckedWAN {
+			t.Fatalf("seed %d: generator drew UncheckedWAN", seed)
+		}
+		s.Protocol = AllProtocols[seed%int64(len(AllProtocols))]
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: generated scenario invalid: %v", seed, err)
+		}
+		if s.Topology != nil {
+			topos++
+		}
+		if len(s.DriftPPM) > 0 {
+			drifts++
+		}
+		if len(s.ProcDelays) > 0 {
+			procs++
+		}
+	}
+	if topos < 80 || drifts < 80 || procs < 50 {
+		t.Fatalf("WAN axes underdrawn over 400 seeds: topology %d, drift %d, stragglers %d", topos, drifts, procs)
+	}
+}
+
 // TestGenScenarioDeterministic: the generator is a pure function of its
 // seed, and distinct seeds explore distinct scenarios.
 func TestGenScenarioDeterministic(t *testing.T) {
 	t.Parallel()
+	// Scenario carries a *Topology, so %+v alone would print a pointer
+	// address; append the dereferenced topology to get a value key.
+	key := func(s Scenario) string {
+		k := fmt.Sprintf("%+v", s)
+		if s.Topology != nil {
+			k += fmt.Sprintf(" topo=%+v", *s.Topology)
+		}
+		return k
+	}
 	a, b := GenScenario(99), GenScenario(99)
-	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
-		t.Fatalf("GenScenario not deterministic:\n%+v\n%+v", a, b)
+	ka, kb := key(a), key(b)
+	if ak, bk := strings.ReplaceAll(ka, fmt.Sprintf("%p", a.Topology), "T"), strings.ReplaceAll(kb, fmt.Sprintf("%p", b.Topology), "T"); ak != bk {
+		t.Fatalf("GenScenario not deterministic:\n%s\n%s", ak, bk)
 	}
 	distinct := make(map[string]bool)
 	for seed := int64(0); seed < 50; seed++ {
-		distinct[fmt.Sprintf("%+v", GenScenario(seed))] = true
+		s := GenScenario(seed)
+		k := key(s)
+		if s.Topology != nil {
+			k = strings.ReplaceAll(k, fmt.Sprintf("%p", s.Topology), "T")
+		}
+		distinct[k] = true
 	}
 	if len(distinct) < 45 {
 		t.Fatalf("generator collapsed: only %d distinct scenarios of 50 seeds", len(distinct))

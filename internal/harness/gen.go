@@ -24,9 +24,12 @@ import (
 // bounded by Δ, random GST, pre-GST chaos, staggered joins, a coin for
 // running the full SMR stack, link conditions from the chaos axes on a
 // second coin (partition, loss, duplication, reorder jitter, omission
-// budget), and — when the fault budget has headroom — an
+// budget), when the fault budget has headroom an
 // adaptive attack strategy (view-desync, leader-target, gst-straddle or
-// complexity-saturate) on 1..f−f_a strategic processors. The scenario's
+// complexity-saturate) on 1..f−f_a strategic processors, and in-model
+// WAN axes on independent coins: a 2–3-region topology replacing the
+// delay policy, per-node clock drift up to ±10⁴ ppm with skews inside
+// ±Δ/4, and a single millisecond-scale straggler. The scenario's
 // Protocol is left unset so callers can run the same generated
 // adversary against every protocol; invariant checking is enabled.
 //
@@ -190,6 +193,35 @@ func genScenario(seed int64, forceChaos bool) Scenario {
 			s.Attack.K = 1 + rng.Intn(f)
 		}
 	}
+
+	// WAN axes: regional topology, clock drift, stragglers. Drawn last
+	// (after the attack axis) so every pre-existing corpus seed keeps
+	// its earlier draws; values stay in-model (Scenario.Validate's
+	// bounds without UncheckedWAN) so the §2 obligations still bind.
+	if rng.Intn(3) == 0 {
+		s.Topology = &network.Topology{
+			Regions: splitRegions(n, 2+rng.Intn(2)),
+			Intra:   time.Duration(1+rng.Intn(5)) * time.Millisecond,
+			Inter:   time.Duration(10+rng.Intn(25)) * time.Millisecond,
+			Jitter:  time.Duration(rng.Intn(10)) * time.Millisecond,
+		}
+		s.Delay = nil // the topology is the delay model
+	}
+	if rng.Intn(3) == 0 {
+		ppm := make([]int64, n)
+		skew := make([]time.Duration, n)
+		for i := range ppm {
+			// ±10k ppm: in-model for every Γ here (err ≤ Γ/100 ≪ Δ).
+			ppm[i] = int64(rng.Intn(20_001)) - 10_000
+			skew[i] = time.Duration(rng.Intn(int(delta/2))) - delta/4
+		}
+		s.DriftPPM, s.DriftSkew = ppm, skew
+	}
+	if rng.Intn(4) == 0 {
+		pd := make([]time.Duration, n)
+		pd[rng.Intn(n)] = time.Duration(1+rng.Intn(10)) * time.Millisecond
+		s.ProcDelays = pd
+	}
 	return s
 }
 
@@ -218,12 +250,22 @@ func ConformanceReport(res *Result) []string {
 
 	// Liveness after GST. The bound is deliberately loose: after GST a
 	// synchronous system must decide within O(n·Γ) (every protocol here
-	// resynchronizes in at most an epoch's worth of views).
+	// resynchronizes in at most an epoch's worth of views). Long-horizon
+	// runs (the red-team attack cells run 30(f+1)Γ past GST) get the
+	// horizon minus one Γ instead: a worst-case composed adversary —
+	// quorum-sized partition island, GST-straddling strategy, loss — can
+	// legitimately push the first honest decision past a fixed 30s while
+	// still deciding views before the run ends. The deadline only ever
+	// loosens beyond 30s, never tightens below it.
+	deadline := 30 * time.Second
+	if horizon := res.Scenario.Duration - res.Scenario.GST; horizon-GammaOf(res.Scenario.Protocol, res.Scenario.Delta) > deadline {
+		deadline = horizon - GammaOf(res.Scenario.Protocol, res.Scenario.Delta)
+	}
 	d, ok := res.Collector.FirstDecisionAfter(res.GST)
 	if !ok {
 		problems = append(problems, "liveness: no honest-leader decision after GST")
-	} else if lat := d.At.Sub(res.GST); lat > 30*time.Second {
-		problems = append(problems, fmt.Sprintf("liveness: first decision %v after GST", lat))
+	} else if lat := d.At.Sub(res.GST); lat > deadline {
+		problems = append(problems, fmt.Sprintf("liveness: first decision %v after GST (deadline %v)", lat, deadline))
 	}
 
 	// View synchronization: honest final views within a bounded spread.

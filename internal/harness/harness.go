@@ -25,7 +25,6 @@ import (
 	"lumiere/internal/network"
 	"lumiere/internal/pacemaker"
 	"lumiere/internal/replica"
-	"lumiere/internal/sim"
 	"lumiere/internal/statemachine"
 	"lumiere/internal/trace"
 	"lumiere/internal/types"
@@ -98,6 +97,32 @@ type Scenario struct {
 	// OmissionBudget authorizes true post-GST omission. MaxSenders
 	// must be ≤ F: post-GST omission is a processor fault.
 	OmissionBudget network.OmissionBudget
+
+	// Topology selects a geo-distributed deployment: per-link delays
+	// from a regional latency matrix replace the Delay/DeltaActual
+	// uniform base (setting both is a scenario error), regional
+	// partitions compose with Partitions, and per-region processing
+	// delays feed ProcDelays. Validated up front — a latency class the
+	// clamp would distort post-GST is rejected, not silently clamped.
+	Topology *network.Topology
+	// DriftPPM gives node i's clock rate drift in parts per million
+	// (+100 = 0.01% fast); DriftSkew its initial clock offset. Shorter
+	// slices leave the remaining nodes drift-free; nil means perfectly
+	// synchronized hardware clocks. In-model drift keeps a Γ-long local
+	// timer within Δ of true (|ppm|·Γ ≤ Δ·10⁶) and |skew| ≤ Δ;
+	// Validate rejects more unless UncheckedWAN is set.
+	DriftPPM  []int64
+	DriftSkew []time.Duration
+	// ProcDelays is the straggler model: node i ingests every network
+	// message ProcDelays[i] after its clamped delivery time (node
+	// slowness, outside the network model). Topology.ProcDelays is the
+	// regional way to say the same thing; setting both is a scenario
+	// error.
+	ProcDelays []time.Duration
+	// UncheckedWAN disables Validate's in-model drift and straggler
+	// bounds, for deliberate degradation studies (DriftToleranceTable).
+	// Topology latency classes are always validated against Δ.
+	UncheckedWAN bool
 
 	// GST is the global stabilization time (default 0).
 	GST time.Duration
@@ -205,16 +230,132 @@ func (s Scenario) withDefaults() Scenario {
 	return s
 }
 
+// Validate checks the scenario's declarative fields for combinations
+// that cannot mean what they say — a topology latency class the §2
+// clamp would silently distort, partition groups naming processors the
+// scenario does not have, clock drift that puts an honest Γ-long timer
+// more than Δ off true, straggler delays past Δ — and returns a
+// descriptive error instead of producing a silently-wrong table. The
+// harness runs it on every execution (run panics on error, like the
+// config and omission-budget checks); UncheckedWAN waives only the
+// in-model drift/straggler bounds, for deliberate degradation studies.
+func (s Scenario) Validate() error {
+	return s.withDefaults().validate()
+}
+
+// validate implements Validate on a defaults-applied scenario.
+func (s Scenario) validate() error {
+	for gi, group := range s.Partitions {
+		for _, id := range group {
+			if int(id) < 0 || int(id) >= s.N {
+				return fmt.Errorf("partition group %d references processor %d; scenario has n=%d", gi, id, s.N)
+			}
+		}
+	}
+	if s.Topology != nil {
+		if err := s.Topology.Validate(s.N, s.Delta); err != nil {
+			return err
+		}
+		if s.Delay != nil {
+			return fmt.Errorf("scenario sets both Topology and Delay; the topology is the delay model")
+		}
+		if s.ProcDelays != nil && s.Topology.ProcDelays != nil {
+			return fmt.Errorf("scenario sets both ProcDelays and Topology.ProcDelays")
+		}
+	}
+	if len(s.ProcDelays) > s.N {
+		return fmt.Errorf("%d proc delays for n=%d", len(s.ProcDelays), s.N)
+	}
+	for i, d := range s.effectiveProcDelays() {
+		if d < 0 {
+			return fmt.Errorf("negative proc delay %v for processor %d", d, i)
+		}
+		if !s.UncheckedWAN && d > s.Delta {
+			return fmt.Errorf("proc delay %v for processor %d exceeds Δ=%v; set UncheckedWAN for degradation studies", d, i, s.Delta)
+		}
+	}
+	if len(s.DriftPPM) > s.N || len(s.DriftSkew) > s.N {
+		return fmt.Errorf("%d drift rates / %d skews for n=%d", len(s.DriftPPM), len(s.DriftSkew), s.N)
+	}
+	gamma := GammaOf(s.Protocol, s.Delta)
+	if s.GammaOverride > 0 {
+		gamma = s.GammaOverride
+	}
+	for i, ppm := range s.DriftPPM {
+		if ppm < -500_000 || ppm > 500_000 {
+			return fmt.Errorf("drift rate %d ppm for processor %d is outside clock.Drift's ±5·10⁵ hard range", ppm, i)
+		}
+		if s.UncheckedWAN {
+			continue
+		}
+		err := abs64(ppm) * int64(gamma) / 1_000_000
+		if time.Duration(err) > s.Delta {
+			return fmt.Errorf("drift rate %d ppm drifts a Γ=%v timer %v off true, past Δ=%v; set UncheckedWAN for degradation studies",
+				ppm, gamma, time.Duration(err), s.Delta)
+		}
+	}
+	for i, skew := range s.DriftSkew {
+		if !s.UncheckedWAN && (skew > s.Delta || skew < -s.Delta) {
+			return fmt.Errorf("drift skew %v for processor %d exceeds Δ=%v; set UncheckedWAN for degradation studies", skew, i, s.Delta)
+		}
+	}
+	return nil
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// effectiveProcDelays resolves the straggler model to one per-node
+// slice: the scenario's ProcDelays (padded to n) or the topology's
+// regional delays, nil when neither is set.
+func (s Scenario) effectiveProcDelays() []time.Duration {
+	if s.ProcDelays != nil {
+		if len(s.ProcDelays) == s.N {
+			return s.ProcDelays
+		}
+		out := make([]time.Duration, s.N)
+		copy(out, s.ProcDelays)
+		return out
+	}
+	if s.Topology != nil {
+		return s.Topology.NodeProcDelays()
+	}
+	return nil
+}
+
+// driftOf returns node i's drift parameters.
+func (s Scenario) driftOf(i int) (ppm int64, skew time.Duration) {
+	if i < len(s.DriftPPM) {
+		ppm = s.DriftPPM[i]
+	}
+	if i < len(s.DriftSkew) {
+		skew = s.DriftSkew[i]
+	}
+	return ppm, skew
+}
+
 // linkPolicy composes the declarative chaos fields into the link policy
 // the network runs, innermost to outermost: delay base → reorder →
-// duplicate → loss → partition (outermost, so partitioned traffic is
-// dropped before it can be duplicated). Scenario.Link overrides the
+// duplicate → loss → partition → regional isolation (outermost, so
+// partitioned traffic is dropped before it can be duplicated). The
+// delay base is the uniform Delay policy or, when the scenario has a
+// Topology, its compiled regional matrix. Scenario.Link overrides the
 // whole chain.
 func (s Scenario) linkPolicy(cfg types.Config, gst types.Time, delay network.DelayPolicy) network.LinkPolicy {
 	if s.Link != nil {
 		return s.Link
 	}
 	var link network.LinkPolicy = network.DelayLink{P: delay}
+	if s.Topology != nil {
+		link = s.Topology.Policy()
+		if s.PreGSTChaos {
+			link = network.PreGSTChaosLink{GST: gst, Base: link}
+		}
+	}
 	if s.ReorderJitter > 0 {
 		link = adversary.Reordering{Base: link, Jitter: s.ReorderJitter}
 	}
@@ -230,6 +371,15 @@ func (s Scenario) linkPolicy(cfg types.Config, gst types.Time, delay network.Del
 			heal = types.Time(0).Add(s.PartitionHeal)
 		}
 		link = adversary.NewPartition(link, cfg.N, heal, s.Partitions...)
+	}
+	if s.Topology != nil {
+		if groups := s.Topology.IslandGroups(); len(groups) > 0 {
+			heal := gst
+			if s.Topology.IsolateHeal > 0 {
+				heal = types.Time(0).Add(s.Topology.IsolateHeal)
+			}
+			link = adversary.NewPartition(link, cfg.N, heal, groups...)
+		}
 	}
 	return link
 }
@@ -286,6 +436,9 @@ func (a *Arena) run(s Scenario, detach bool) *Result {
 	if err := cfg.Validate(); err != nil {
 		panic(fmt.Sprintf("harness: %v", err))
 	}
+	if err := s.validate(); err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
 	sched := a.scheduler(s.Seed)
 	gst := types.Time(0).Add(s.GST)
 
@@ -316,6 +469,9 @@ func (a *Arena) run(s Scenario, detach bool) *Result {
 	net := a.network(cfg, gst, link)
 	if s.LegacyBroadcast {
 		net.SetPerRecipientBroadcast(true)
+	}
+	if pd := s.effectiveProcDelays(); pd != nil {
+		net.SetProcDelays(pd)
 	}
 	if s.OmissionBudget != (network.OmissionBudget{}) {
 		// The network treats MaxSenders 0 as "no per-sender cap", which
@@ -413,7 +569,15 @@ func (a *Arena) run(s Scenario, detach bool) *Result {
 		}
 		i := i
 		sched.At(startAt, func() {
-			clk := clock.New(sched, offset)
+			// A node with clock drift sees the whole runtime — clock
+			// reads, alarms, protocol timers — through its drifted local
+			// time scale. Drift implements TimerRuntime, so the clock's
+			// allocation-free alarm path survives the wrapping.
+			var rt clock.Runtime = sched
+			if ppm, skew := s.driftOf(i); ppm != 0 || skew != 0 {
+				rt = clock.NewDrift(sched, ppm, skew)
+			}
+			clk := clock.New(rt, offset)
 			clocks[i] = clk
 			// Commit latency is submit → first commit at any honest
 			// replica: only honest replicas report commits.
@@ -421,7 +585,7 @@ func (a *Arena) run(s Scenario, detach bool) *Result {
 			if honest[i] {
 				onCommit = commitHook
 			}
-			pm, engine, g := buildProtocol(s, cfg, ep, sched, clk, suite, corr, tracer, collector, pobs, sms[i], onCommit)
+			pm, engine, g := buildProtocol(s, cfg, ep, rt, clk, suite, corr, tracer, collector, pobs, sms[i], onCommit)
 			gamma = g
 			r.PM = pm
 			r.Core = engine
@@ -660,10 +824,12 @@ func (o *qcObserver) OnQCProduced(qc *msg.QC, at types.Time) {
 }
 
 // buildProtocol constructs the pacemaker + consensus engine pair for one
-// node. pobs receives the pacemaker's lifecycle notifications (view and
-// epoch entries, heavy syncs) — the observation hooks adaptive attack
+// node. rt is the node's runtime view — the scheduler itself, or a
+// clock.Drift wrapper when the node's hardware clock drifts. pobs
+// receives the pacemaker's lifecycle notifications (view and epoch
+// entries, heavy syncs) — the observation hooks adaptive attack
 // strategies read.
-func buildProtocol(s Scenario, cfg types.Config, ep network.Endpoint, sched *sim.Scheduler,
+func buildProtocol(s Scenario, cfg types.Config, ep network.Endpoint, rt clock.Runtime,
 	clk *clock.Clock, suite crypto.Suite, corr adversary.Corruption,
 	tracer *trace.Tracer, collector *metrics.Collector, pobs pacemaker.Observer,
 	sm statemachine.StateMachine, onCommit hotstuff.CommitObserver) (pacemaker.Pacemaker, replica.Engine, time.Duration) {
@@ -675,15 +841,15 @@ func buildProtocol(s Scenario, cfg types.Config, ep network.Endpoint, sched *sim
 	var engine replica.Engine
 	if s.SMR {
 		hcfg := hotstuff.Config{Base: cfg, BatchSize: s.SMRBatchSize, TwoPhase: s.SMRTwoPhase}
-		hs := hotstuff.New(hcfg, ep, sched, suite, leaderFn, onQC, sm, obs, onCommit)
+		hs := hotstuff.New(hcfg, ep, rt, suite, leaderFn, onQC, sm, obs, onCommit)
 		engine = hs
 		if corr.Behavior == adversary.BehaviorEquivocating {
 			engine = adversary.NewEquivocator(hs, ep, cfg)
 		}
 	} else {
-		engine = viewcore.New(cfg, ep, sched, suite, leaderFn, onQC, obs)
+		engine = viewcore.New(cfg, ep, rt, suite, leaderFn, onQC, obs)
 	}
-	driver := adversary.WrapDriver(engine, corr.Behavior, corr.Lag, sched)
+	driver := adversary.WrapDriver(engine, corr.Behavior, corr.Lag, rt)
 
 	var gamma time.Duration
 	switch s.Protocol {
@@ -701,27 +867,27 @@ func buildProtocol(s Scenario, cfg types.Config, ep network.Endpoint, sched *sim
 		if s.Protocol == ProtoBasic {
 			ccfg.Variant = core.VariantBasic
 		}
-		p := core.New(ccfg, ep, sched, clk, suite, driver, pobs, tracer)
+		p := core.New(ccfg, ep, rt, clk, suite, driver, pobs, tracer)
 		gamma = p.Gamma()
 		pm = p
 	case ProtoLP22:
-		p := lp22.New(lp22.Config{Base: cfg, GammaOverride: s.GammaOverride}, ep, sched, clk, suite, driver, pobs, tracer)
+		p := lp22.New(lp22.Config{Base: cfg, GammaOverride: s.GammaOverride}, ep, rt, clk, suite, driver, pobs, tracer)
 		gamma = p.Gamma()
 		pm = p
 	case ProtoRareSync:
-		p := raresync.New(raresync.Config{Base: cfg, GammaOverride: s.GammaOverride}, ep, sched, clk, suite, driver, pobs, tracer)
+		p := raresync.New(raresync.Config{Base: cfg, GammaOverride: s.GammaOverride}, ep, rt, clk, suite, driver, pobs, tracer)
 		gamma = p.Gamma()
 		pm = p
 	case ProtoFever:
-		p := fever.New(fever.Config{Base: cfg, GammaOverride: s.GammaOverride}, ep, sched, clk, suite, driver, pobs, tracer)
+		p := fever.New(fever.Config{Base: cfg, GammaOverride: s.GammaOverride}, ep, rt, clk, suite, driver, pobs, tracer)
 		gamma = p.Gamma()
 		pm = p
 	case ProtoCogsworth:
-		p := cogsworth.New(cogsworth.Config{Base: cfg}, ep, sched, suite, driver, pobs, tracer)
+		p := cogsworth.New(cogsworth.Config{Base: cfg}, ep, rt, suite, driver, pobs, tracer)
 		gamma = time.Duration(cfg.X+1) * cfg.Delta
 		pm = p
 	case ProtoNK20:
-		p := nk20.New(nk20.Config{Base: cfg}, ep, sched, suite, driver, pobs, tracer)
+		p := nk20.New(nk20.Config{Base: cfg}, ep, rt, suite, driver, pobs, tracer)
 		gamma = time.Duration(cfg.X+1) * cfg.Delta
 		pm = p
 	default:

@@ -1,6 +1,9 @@
 package hotstuff
 
 import (
+	"bytes"
+	"sort"
+
 	"lumiere/internal/clock"
 	"lumiere/internal/crypto"
 	"lumiere/internal/msg"
@@ -494,14 +497,18 @@ func (c *Core) execChain(b0 *Block) {
 }
 
 // retryPending re-attempts deferred commit checks and executions after a
-// new block arrives.
+// new block arrives. Pending blocks are visited in (view, hash) order,
+// never map order: a retry can broadcast a fetch for a missing ancestor,
+// and letting Go's randomized map iteration decide whether that message
+// is sent before or after lastExec advances would fork the run's RNG
+// stream — the same seed would produce different tables run to run.
 func (c *Core) retryPending() {
-	for _, b := range c.pendingCommit {
+	for _, b := range sortedPending(c.pendingCommit) {
 		if b.View > c.lastExec {
 			c.tryCommit(b)
 		}
 	}
-	for _, b := range c.pendingExec {
+	for _, b := range sortedPending(c.pendingExec) {
 		if b.View > c.lastExec {
 			c.execChain(b)
 		}
@@ -516,6 +523,33 @@ func (c *Core) retryPending() {
 			delete(c.pendingExec, h)
 		}
 	}
+}
+
+// sortedPending snapshots a pending-block map in (view, hash) order so
+// retry processing is independent of map iteration order.
+func sortedPending(m map[Hash]*Block) []*Block {
+	if len(m) == 0 {
+		return nil
+	}
+	type entry struct {
+		h Hash
+		b *Block
+	}
+	es := make([]entry, 0, len(m))
+	for h, b := range m {
+		es = append(es, entry{h, b})
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].b.View != es[j].b.View {
+			return es[i].b.View < es[j].b.View
+		}
+		return bytes.Compare(es[i].h[:], es[j].h[:]) < 0
+	})
+	out := make([]*Block, len(es))
+	for i, e := range es {
+		out[i] = e.b
+	}
+	return out
 }
 
 func (c *Core) removeFromPool(id uint64) {

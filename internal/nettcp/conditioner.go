@@ -27,6 +27,9 @@ import (
 //
 // Churn is the down state (SetDown): while down the node neither sends
 // nor receives, crash-recovery omission charged to the node itself.
+// Slow replicas (SetProcDelays) add a per-recipient ingestion delay on
+// top of the clamped release — the WAN straggler model, matching the
+// simulator's post-clamp processing delays.
 //
 // A Conditioner belongs to one Transport. Its rng is guarded by the
 // conditioner mutex, so verdicts are safe from concurrent senders;
@@ -42,6 +45,7 @@ type Conditioner struct {
 	mu          sync.Mutex
 	rng         *rand.Rand
 	down        bool
+	proc        []time.Duration
 	omitted     int64
 	omittedFrom map[types.NodeID]bool
 	timers      map[*time.Timer]struct{}
@@ -73,6 +77,25 @@ func (c *Conditioner) SetDown(down bool) {
 	c.mu.Lock()
 	c.down = down
 	c.mu.Unlock()
+}
+
+// SetProcDelays installs per-recipient processing delays (indexed by
+// NodeID; missing entries are zero), mirroring the simulator's slow-
+// replica model: the delay is added AFTER the §2 clamp, because node
+// slowness is outside the network model — the adversary's delay is
+// bounded by max(GST, t)+Δ, the straggler's ingestion lag rides on top.
+func (c *Conditioner) SetProcDelays(proc []time.Duration) {
+	c.mu.Lock()
+	c.proc = append([]time.Duration(nil), proc...)
+	c.mu.Unlock()
+}
+
+// procDelay returns the recipient's processing delay; callers hold c.mu.
+func (c *Conditioner) procDelay(to types.NodeID) time.Duration {
+	if int(to) < len(c.proc) {
+		return c.proc[to]
+	}
+	return 0
 }
 
 // Omitted returns the number of true post-GST omissions granted against
@@ -117,6 +140,9 @@ func (c *Conditioner) apply(t *Transport, p *peer, to types.NodeID, env envelope
 		p.condDrops.Add(1)
 		return
 	}
+	// The recipient's processing delay rides on top of every release,
+	// clamped or not (the straggler model; see SetProcDelays).
+	proc := c.procDelay(to)
 	var v network.Verdict
 	if c.link != nil {
 		v = c.link.Link(t.self, to, env.Msg, at, c.rng)
@@ -131,7 +157,7 @@ func (c *Conditioner) apply(t *Transport, p *peer, to types.NodeID, env envelope
 		// Pre-GST "loss" (or an unfunded post-GST drop) degrades to the
 		// worst release the model permits: the clamp bound.
 		p.delayed.Add(1)
-		c.release(t, p, env, bound.Sub(at))
+		c.release(t, p, env, bound.Sub(at)+proc)
 		return
 	}
 	c.mu.Unlock()
@@ -140,7 +166,7 @@ func (c *Conditioner) apply(t *Transport, p *peer, to types.NodeID, env envelope
 		delay = 0
 	}
 	release := types.MinTime(at.Add(delay), bound)
-	if d := release.Sub(at); d > 0 {
+	if d := release.Sub(at) + proc; d > 0 {
 		p.delayed.Add(1)
 		c.release(t, p, env, d)
 	} else {
@@ -153,7 +179,7 @@ func (c *Conditioner) apply(t *Transport, p *peer, to types.NodeID, env envelope
 		}
 		p.duplicates.Add(1)
 		dupRelease := types.MinTime(at.Add(dupDelay), bound)
-		if d := dupRelease.Sub(at); d > 0 {
+		if d := dupRelease.Sub(at) + proc; d > 0 {
 			c.release(t, p, env, d)
 		} else {
 			t.enqueue(p, env)

@@ -133,6 +133,54 @@ func TestChaosSocketDuplication(t *testing.T) {
 	}
 }
 
+// TestChaosSocketStraggler checks the slow-replica model at the socket
+// layer: a per-recipient processing delay shifts the release past the
+// delay even on an otherwise unconditioned link, mirroring the
+// simulator's post-clamp straggler semantics.
+func TestChaosSocketStraggler(t *testing.T) {
+	const proc = 400 * time.Millisecond
+	a, _, rec, now := condPair(t, func(now func() types.Time) *Conditioner {
+		cond := NewConditioner(nil, 0, 50*time.Millisecond, network.OmissionBudget{}, now, 1)
+		cond.SetProcDelays([]time.Duration{0, proc})
+		return cond
+	})
+	a.Send(1, &msg.ViewMsg{V: 1})
+	time.Sleep(proc / 2)
+	if rec.count() != 0 {
+		t.Fatal("straggler message delivered before its processing delay")
+	}
+	waitFor(t, 10*time.Second, "straggler release", func() bool { return rec.count() == 1 })
+	if got := now(); got < types.Time(proc) {
+		t.Fatalf("delivered at %v, before the %v processing delay", got, proc)
+	}
+	if got := a.Stats().Peers[1].Delayed; got != 1 {
+		t.Fatalf("delayed = %d, want 1", got)
+	}
+}
+
+// TestChaosSocketTopology checks that a regional topology compiled with
+// Topology.Policy conditions real socket traffic: the inter-region
+// latency class holds up delivery between regions.
+func TestChaosSocketTopology(t *testing.T) {
+	const inter = 400 * time.Millisecond
+	topo := &network.Topology{Regions: []int{1, 1}, Intra: time.Millisecond, Inter: inter}
+	if err := topo.Validate(2, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	a, _, rec, now := condPair(t, func(now func() types.Time) *Conditioner {
+		return NewConditioner(topo.Policy(), 0, time.Second, network.OmissionBudget{}, now, 1)
+	})
+	a.Send(1, &msg.ViewMsg{V: 1})
+	time.Sleep(inter / 2)
+	if rec.count() != 0 {
+		t.Fatal("inter-region message arrived before its latency class")
+	}
+	waitFor(t, 10*time.Second, "inter-region delivery", func() bool { return rec.count() == 1 })
+	if got := now(); got < types.Time(inter) {
+		t.Fatalf("delivered at %v, before the %v inter-region class", got, inter)
+	}
+}
+
 // TestChaosSocketPartition checks the partition primitive severs the
 // cut links at the socket layer until heal and restores them after.
 func TestChaosSocketPartition(t *testing.T) {

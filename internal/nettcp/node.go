@@ -66,6 +66,14 @@ type NodeConfig struct {
 	// the node neither sends nor receives (state is kept, like the
 	// simulator's BehaviorChurn).
 	Churn []adversary.Downtime
+	// ProcDelays, when set, are per-recipient processing delays indexed
+	// by NodeID (missing entries are zero): every envelope this node
+	// sends to processor i is released ProcDelays[i] after its clamped
+	// release time — the WAN slow-replica model. Give every node of a
+	// cluster the same slice to emulate stragglers; use
+	// network.Topology.NodeProcDelays to derive it from a regional
+	// topology. Applied after the §2 clamp, like the simulator's.
+	ProcDelays []time.Duration
 }
 
 // Node is a live TCP replica running Lumiere.
@@ -112,12 +120,14 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	rep := replica.New(cfg.ID, nil, nil)
 	n.rep = rep
 	topts := []Option{WithObserver(n.collector, n.wall.Now)}
-	if cfg.Link != nil || len(cfg.Churn) > 0 || cfg.OmissionBudget != (network.OmissionBudget{}) {
+	if cfg.Link != nil || len(cfg.Churn) > 0 || len(cfg.ProcDelays) > 0 ||
+		cfg.OmissionBudget != (network.OmissionBudget{}) {
 		chaosSeed := cfg.ChaosSeed
 		if chaosSeed == 0 {
 			chaosSeed = cfg.Seed + int64(cfg.ID)
 		}
 		n.cond = NewConditioner(cfg.Link, cfg.GST, cfg.Base.Delta, cfg.OmissionBudget, n.wall.Now, chaosSeed)
+		n.cond.SetProcDelays(cfg.ProcDelays)
 		topts = append(topts, WithConditioner(n.cond))
 	}
 	n.transport = New(cfg.ID, cfg.Addrs, &n.mu, rep, topts...)

@@ -239,6 +239,11 @@ type Net struct {
 	omittedFrom []bool // senders already charged against MaxSenders
 	omitSenders int
 
+	// procDelay is the per-recipient straggler model: node i ingests
+	// every network message procDelay[i] after its clamped delivery
+	// time. Nil means no stragglers. See SetProcDelays.
+	procDelay []time.Duration
+
 	// perRecipient forces broadcast back onto the one-heap-event-per-
 	// recipient path instead of multicast events. The two are
 	// observationally identical (the equivalence suite diffs whole
@@ -320,6 +325,21 @@ func (n *Net) Reset(cfg types.Config, gst types.Time, link LinkPolicy) {
 	n.omitted = 0
 	n.omitSenders = 0
 	n.perRecipient = false
+	n.procDelay = nil
+}
+
+// SetProcDelays installs the straggler model: node i ingests every
+// network message procDelay[i] after its clamped delivery time (zero =
+// a fast node, the default). The delay models the node's own processing
+// lag, not the adversary's network — it is applied after the §2 clamp
+// (and so may push an ingestion past GST+Δ without violating the
+// model), and self-deliveries, which never cross the network, stay
+// instantaneous. Pass nil to clear; Reset also clears it.
+func (n *Net) SetProcDelays(d []time.Duration) {
+	if d != nil && len(d) != n.cfg.N {
+		panic(fmt.Sprintf("network: %d proc delays for n=%d", len(d), n.cfg.N))
+	}
+	n.procDelay = d
 }
 
 // SetPerRecipientBroadcast toggles the legacy broadcast representation:
@@ -472,6 +492,10 @@ type delivery struct {
 // post-GST under the omission budget.
 func (n *Net) resolve(now types.Time, from, to types.NodeID, m msg.Message) delivery {
 	n.observeSend(from, to, m, now)
+	var proc time.Duration
+	if n.procDelay != nil {
+		proc = n.procDelay[to] // straggler lag, applied outside the clamp
+	}
 	v := n.link.Link(from, to, m, now, n.sched.Rand())
 	if v.Drop {
 		if now >= n.gst && n.allowOmission(from) {
@@ -479,11 +503,11 @@ func (n *Net) resolve(now types.Time, from, to types.NodeID, m msg.Message) deli
 		}
 		// Pre-GST "loss" (or an unfunded post-GST drop) degrades to
 		// the worst delay the model permits: delivery at the bound.
-		return delivery{at: types.MaxTime(n.gst, now).Add(n.cfg.Delta), copies: 1}
+		return delivery{at: types.MaxTime(n.gst, now).Add(n.cfg.Delta).Add(proc), copies: 1}
 	}
-	d := delivery{at: n.clampDelivery(now, v.Delay), copies: 1}
+	d := delivery{at: n.clampDelivery(now, v.Delay).Add(proc), copies: 1}
 	if v.Dup {
-		d.dupAt = n.clampDelivery(now, v.DupDelay)
+		d.dupAt = n.clampDelivery(now, v.DupDelay).Add(proc)
 		d.copies = 2
 	}
 	return d

@@ -82,6 +82,34 @@ func TestFrontierAtLeastScripted(t *testing.T) {
 	}
 }
 
+// TestFrontierWANCoverage pins the WAN arm of the committed frontier:
+// for every protocol, at least one frontier entry exercises a WAN axis
+// (topology preset, clock drift or a straggler). The search space
+// crosses every candidate with the WAN deployments, and a worst case
+// that ignores all of them would mean the WAN axes cost nothing — a
+// sign the axes are not wired into the materialized scenarios.
+func TestFrontierWANCoverage(t *testing.T) {
+	fr, err := ReadFrontier(frontierPath)
+	if err != nil {
+		t.Fatalf("read committed frontier: %v", err)
+	}
+	wan := func(c Candidate) bool {
+		return c.Topology != "" || c.DriftPPM > 0 || c.Straggler > 0
+	}
+	covered := make(map[string]bool)
+	for _, e := range fr.Entries {
+		if wan(e.Candidate) {
+			covered[string(e.Protocol)] = true
+		}
+	}
+	for _, e := range fr.Entries {
+		if !covered[string(e.Protocol)] {
+			t.Errorf("protocol %s: no frontier entry on any WAN axis", e.Protocol)
+			covered[string(e.Protocol)] = true // report once
+		}
+	}
+}
+
 // TestFrontierSearchDeterminism pins the acceptance property end to
 // end: the full search — grid, evolution, minimization, serialization —
 // over a small space is byte-identical at workers 1 vs 4.

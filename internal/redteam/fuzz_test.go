@@ -16,20 +16,26 @@ import (
 // processors decide after GST within the §2 synchronous bound, and the
 // network grants no true post-GST omission (the §2 clamp: without an
 // omission budget every post-GST drop degrades to a Δ-late delivery).
+// The WAN axes ride along: any fuzzed topology preset, drift rate and
+// straggler legalize into in-model values and must keep conformance.
 func FuzzSearchCandidate(f *testing.F) {
-	f.Add(int64(1), uint8(0), uint8(1), uint8(1), uint16(1000), uint16(2000), uint8(0), uint8(0), uint8(0), uint16(0))
-	f.Add(int64(2), uint8(1), uint8(2), uint8(2), uint16(50), uint16(500), uint8(30), uint8(3), uint8(1), uint16(3000))
-	f.Add(int64(3), uint8(2), uint8(1), uint8(1), uint16(250), uint16(0), uint8(90), uint8(6), uint8(2), uint16(9999))
-	f.Add(int64(4), uint8(3), uint8(2), uint8(3), uint16(50), uint16(2000), uint8(10), uint8(0), uint8(0), uint16(0))
-	f.Add(int64(5), uint8(4), uint8(9), uint8(9), uint16(60000), uint16(60000), uint8(255), uint8(255), uint8(255), uint16(60000))
+	f.Add(int64(1), uint8(0), uint8(1), uint8(1), uint16(1000), uint16(2000), uint8(0), uint8(0), uint8(0), uint16(0), uint8(0), uint16(0), uint16(0))
+	f.Add(int64(2), uint8(1), uint8(2), uint8(2), uint16(50), uint16(500), uint8(30), uint8(3), uint8(1), uint16(3000), uint8(1), uint16(100), uint16(10))
+	f.Add(int64(3), uint8(2), uint8(1), uint8(1), uint16(250), uint16(0), uint8(90), uint8(6), uint8(2), uint16(9999), uint8(2), uint16(20000), uint16(0))
+	f.Add(int64(4), uint8(3), uint8(2), uint8(3), uint16(50), uint16(2000), uint8(10), uint8(0), uint8(0), uint16(0), uint8(4), uint16(0), uint16(50))
+	f.Add(int64(5), uint8(4), uint8(9), uint8(9), uint16(60000), uint16(60000), uint8(255), uint8(255), uint8(255), uint16(60000), uint8(255), uint16(60000), uint16(60000))
 
 	protos := harness.AllProtocols
 	names := adversary.AttackNames()
-	f.Fuzz(func(t *testing.T, seed int64, stratB, nodesB, kB uint8, periodMs, gstMs uint16, lossB, psB, churnB uint8, healMs uint16) {
+	f.Fuzz(func(t *testing.T, seed int64, stratB, nodesB, kB uint8, periodMs, gstMs uint16, lossB, psB, churnB uint8, healMs uint16, topoB uint8, driftPPM, slowMs uint16) {
 		ft := 1 + int(nodesB)%2 // f ∈ {1, 2}
 		strat := ""
 		if int(stratB)%(len(names)+1) < len(names) {
 			strat = names[int(stratB)%(len(names)+1)]
+		}
+		topo := ""
+		if int(topoB)%(len(harness.WANPresets)+1) < len(harness.WANPresets) {
+			topo = harness.WANPresets[int(topoB)%(len(harness.WANPresets)+1)]
 		}
 		c := Candidate{
 			Strategy:      strat,
@@ -41,6 +47,9 @@ func FuzzSearchCandidate(f *testing.F) {
 			PartitionSize: int(psB),
 			PartitionHeal: time.Duration(healMs) * time.Millisecond,
 			ChurnNodes:    int(churnB),
+			Topology:      topo,
+			DriftPPM:      int64(driftPPM),
+			Straggler:     time.Duration(slowMs) * time.Millisecond,
 		}.Legalize(ft)
 		p := protos[int(uint64(seed)%uint64(len(protos)))]
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"lumiere/internal/adversary"
+	"lumiere/internal/harness"
 )
 
 // This file implements the delta-debugging minimizer: given a worst-case
@@ -51,6 +52,15 @@ func shrinks(c Candidate) []Candidate {
 	if c.ChurnNodes > 0 {
 		add(func(d *Candidate) { d.ChurnNodes, d.ChurnDown, d.ChurnPeriod = 0, 0, 0 })
 	}
+	if c.Topology != "" {
+		add(func(d *Candidate) { d.Topology = "" })
+	}
+	if c.DriftPPM > 0 {
+		add(func(d *Candidate) { d.DriftPPM = 0 })
+	}
+	if c.Straggler > 0 {
+		add(func(d *Candidate) { d.Straggler = 0 })
+	}
 	// Fewer processors, smaller islands, shorter horizons.
 	if c.Nodes > 1 {
 		add(func(d *Candidate) { d.Nodes-- })
@@ -86,6 +96,14 @@ func shrinks(c Candidate) []Candidate {
 	}
 	if c.ReorderJitter > minQuantum {
 		add(func(d *Candidate) { d.ReorderJitter = halveFloor(d.ReorderJitter) })
+	}
+	if c.Straggler > minQuantum {
+		add(func(d *Candidate) { d.Straggler = halveZero(d.Straggler) })
+	}
+	// Halved drift, zeroing below 100 ppm (hardware-grade drift does not
+	// move any objective).
+	if c.DriftPPM >= 200 {
+		add(func(d *Candidate) { d.DriftPPM = d.DriftPPM / 2 })
 	}
 	// Halved rates, zeroing below 5%.
 	if c.Loss > 0 {
@@ -161,11 +179,16 @@ func axisVector(c Candidate) []float64 {
 	if c.Strategy != "" {
 		strat = float64(1 + indexOf(adversary.AttackNames(), c.Strategy))
 	}
+	topo := 0.0
+	if c.Topology != "" {
+		topo = float64(1 + indexOf(harness.WANPresets, c.Topology))
+	}
 	return []float64{
 		strat, float64(c.Nodes), float64(c.K), float64(c.Period),
 		float64(c.GST), c.Loss, float64(c.LossUntil), c.Duplication,
 		float64(c.ReorderJitter), float64(c.PartitionSize), float64(c.PartitionHeal),
 		float64(c.ChurnNodes), float64(c.ChurnDown), float64(c.ChurnPeriod),
+		topo, float64(c.DriftPPM), float64(c.Straggler),
 	}
 }
 

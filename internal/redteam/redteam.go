@@ -68,17 +68,30 @@ type Candidate struct {
 	ChurnNodes  int           `json:"churn_nodes,omitempty"`
 	ChurnDown   time.Duration `json:"churn_down,omitempty"`
 	ChurnPeriod time.Duration `json:"churn_period,omitempty"`
+
+	// The WAN axes (PR 10). Topology selects a deployment preset
+	// (harness.WANPresets; empty = the uniform fast network). DriftPPM
+	// gives every processor a drifting hardware clock: ±DriftPPM
+	// alternating by processor parity (worst-case pairwise rate spread
+	// 2·DriftPPM). Straggler adds a fixed processing delay to one
+	// processor — the first ID above the churned and partitioned ranges.
+	// Legalize keeps all three in-model (Scenario.Validate holds without
+	// UncheckedWAN for every protocol).
+	Topology  string        `json:"topology,omitempty"`
+	DriftPPM  int64         `json:"drift_ppm,omitempty"`
+	Straggler time.Duration `json:"straggler,omitempty"`
 }
 
 // Key returns the candidate's canonical identity: an injective encoding
 // of every axis. Equal keys mean equal candidates; the evaluation seed
 // and the search caches derive from it.
 func (c Candidate) Key() string {
-	return fmt.Sprintf("s=%s n=%d k=%d per=%d gst=%d loss=%g lu=%d dup=%g rj=%d ps=%d ph=%d cn=%d cd=%d cp=%d",
+	return fmt.Sprintf("s=%s n=%d k=%d per=%d gst=%d loss=%g lu=%d dup=%g rj=%d ps=%d ph=%d cn=%d cd=%d cp=%d topo=%s drift=%d slow=%d",
 		c.Strategy, c.Nodes, c.K, int64(c.Period), int64(c.GST),
 		c.Loss, int64(c.LossUntil), c.Duplication, int64(c.ReorderJitter),
 		c.PartitionSize, int64(c.PartitionHeal),
-		c.ChurnNodes, int64(c.ChurnDown), int64(c.ChurnPeriod))
+		c.ChurnNodes, int64(c.ChurnDown), int64(c.ChurnPeriod),
+		c.Topology, c.DriftPPM, int64(c.Straggler))
 }
 
 // String renders the candidate compactly for tables and logs.
@@ -121,6 +134,15 @@ func (c Candidate) String() string {
 	}
 	if c.ChurnNodes > 0 {
 		parts = append(parts, fmt.Sprintf("churn=%d×%s/%s", c.ChurnNodes, c.ChurnDown, c.ChurnPeriod))
+	}
+	if c.Topology != "" {
+		parts = append(parts, "topo="+c.Topology)
+	}
+	if c.DriftPPM > 0 {
+		parts = append(parts, fmt.Sprintf("drift=±%dppm", c.DriftPPM))
+	}
+	if c.Straggler > 0 {
+		parts = append(parts, fmt.Sprintf("slow=%s", c.Straggler))
 	}
 	return strings.Join(parts, " ")
 }
@@ -198,8 +220,39 @@ func (c Candidate) Legalize(f int) Candidate {
 		c.ChurnDown = clampDur(c.ChurnDown, time.Millisecond, 10*time.Second)
 		c.ChurnPeriod = clampDur(c.ChurnPeriod, time.Millisecond, 30*time.Second)
 	}
+	// The WAN axes: an unknown preset drops the topology; drift and the
+	// straggler clamp to in-model bounds so a legalized candidate always
+	// validates without UncheckedWAN. A preset that already carries
+	// per-region proc delays absorbs the straggler axis — otherwise two
+	// candidates with distinct keys would materialize identically.
+	known = false
+	for _, name := range harness.WANPresets {
+		if c.Topology == name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		c.Topology = ""
+	}
+	if c.DriftPPM < 0 {
+		c.DriftPPM = 0
+	}
+	if c.DriftPPM > maxDriftPPM {
+		c.DriftPPM = maxDriftPPM
+	}
+	c.Straggler = clampDur(c.Straggler, 0, harness.AttackDelta)
+	if c.Topology != "" && len(harness.PresetTopology(c.Topology, n, harness.AttackDelta).ProcDelays) > 0 {
+		c.Straggler = 0
+	}
 	return c
 }
+
+// maxDriftPPM bounds the searched drift rate. Validation requires
+// |ppm|·Γ ≤ Δ·10⁶; the largest Γ budget here is lumiere's 10Δ, so
+// ±20 000 ppm accumulates at most Δ/5 of skew over any protocol's Γ
+// and every legalized candidate stays in-model.
+const maxDriftPPM = 20_000
 
 func clampInt(v, lo, hi int) int {
 	if v < lo {
@@ -311,6 +364,33 @@ func (c Candidate) Scenario(p harness.Protocol, f int, obj Objective, seed int64
 			island[i] = types.NodeID(c.ChurnNodes + i)
 		}
 		s.Partitions = [][]types.NodeID{island}
+	}
+	n := 3*f + 1
+	if c.Topology != "" {
+		// The topology replaces the fast uniform network (DeltaActual is
+		// ignored once a topology is set).
+		s.Topology = harness.PresetTopology(c.Topology, n, delta)
+	}
+	if c.DriftPPM > 0 {
+		// Worst-case pairwise spread: rates alternate ±ppm by parity.
+		s.DriftPPM = make([]int64, n)
+		for i := range s.DriftPPM {
+			if i%2 == 0 {
+				s.DriftPPM[i] = c.DriftPPM
+			} else {
+				s.DriftPPM[i] = -c.DriftPPM
+			}
+		}
+	}
+	if c.Straggler > 0 {
+		// The straggler is the first honest ID above the churned and
+		// partitioned ranges, clamped to stay a valid processor.
+		slow := c.ChurnNodes + c.PartitionSize
+		if slow > n-1 {
+			slow = n - 1
+		}
+		s.ProcDelays = make([]time.Duration, slow+1)
+		s.ProcDelays[slow] = c.Straggler
 	}
 	if obj == ObjP99Commit {
 		s.Duration = c.GST + p99Warmup + p99Window

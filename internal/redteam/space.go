@@ -40,6 +40,21 @@ type Space struct {
 	ChurnNodes   []int
 	ChurnDowns   []time.Duration
 	ChurnPeriods []time.Duration
+	// WANs is the deployment axis: topology preset, clock drift and
+	// straggler are one joint choice list rather than three crossed axes,
+	// keeping the grid growth linear in the number of deployments.
+	WANs []WAN
+}
+
+// WAN is one deployment choice of the WANs axis: a topology preset
+// (harness.WANPresets or empty), a ± clock-drift rate and a straggler
+// processing delay. The zero WAN is the uniform fast network, so spaces
+// listing it keep every topology-free candidate (ScriptedCandidates
+// stay grid members).
+type WAN struct {
+	Topology  string
+	DriftPPM  int64
+	Straggler time.Duration
 }
 
 // orInts returns xs, or the pinned-zero singleton when empty.
@@ -60,6 +75,13 @@ func orDurs(xs []time.Duration) []time.Duration {
 func orFloats(xs []float64) []float64 {
 	if len(xs) == 0 {
 		return []float64{0}
+	}
+	return xs
+}
+
+func orWANs(xs []WAN) []WAN {
+	if len(xs) == 0 {
+		return []WAN{{}}
 	}
 	return xs
 }
@@ -134,12 +156,15 @@ func (sp Space) chaosCross(out []Candidate, base Candidate) []Candidate {
 								}
 								for _, cd := range cds {
 									for _, cp := range cps {
-										c := base
-										c.Loss, c.LossUntil = loss, lu
-										c.Duplication, c.ReorderJitter = dup, rj
-										c.PartitionSize, c.PartitionHeal = ps, ph
-										c.ChurnNodes, c.ChurnDown, c.ChurnPeriod = cn, cd, cp
-										out = append(out, c.Legalize(sp.F))
+										for _, w := range orWANs(sp.WANs) {
+											c := base
+											c.Loss, c.LossUntil = loss, lu
+											c.Duplication, c.ReorderJitter = dup, rj
+											c.PartitionSize, c.PartitionHeal = ps, ph
+											c.ChurnNodes, c.ChurnDown, c.ChurnPeriod = cn, cd, cp
+											c.Topology, c.DriftPPM, c.Straggler = w.Topology, w.DriftPPM, w.Straggler
+											out = append(out, c.Legalize(sp.F))
+										}
 									}
 								}
 							}
@@ -217,6 +242,12 @@ func (sp Space) Mutate(c Candidate, rng *rand.Rand) Candidate {
 	if len(sp.ChurnPeriods) > 1 {
 		ops = append(ops, func(d *Candidate) { d.ChurnPeriod = sp.ChurnPeriods[rng.Intn(len(sp.ChurnPeriods))] })
 	}
+	if len(sp.WANs) > 1 {
+		ops = append(ops, func(d *Candidate) {
+			w := sp.WANs[rng.Intn(len(sp.WANs))]
+			d.Topology, d.DriftPPM, d.Straggler = w.Topology, w.DriftPPM, w.Straggler
+		})
+	}
 	if len(ops) == 0 {
 		return c.Legalize(sp.F)
 	}
@@ -226,10 +257,12 @@ func (sp Space) Mutate(c Candidate, rng *rand.Rand) Candidate {
 
 // DefaultSpace is the reference search space at fault tolerance f: every
 // strategy (plus chaos-only), small and maximal strategy-node counts,
-// three silence/spam periods, two GST placements, and loss, partition
-// and churn compositions. It contains every ScriptedCandidates point.
-// Its grid stays in the hundreds of cells per protocol — small enough
-// that a full-objective search runs in seconds on the sweep engine.
+// three silence/spam periods, two GST placements, loss, partition and
+// churn compositions, and four WAN deployments (uniform, wan3, a
+// drifting hub, and a drifting straggler on the fast network). It
+// contains every ScriptedCandidates point (the zero WAN choice). Its
+// grid stays in the low thousands of cells per protocol — small enough
+// that a full-objective search runs in minutes on the sweep engine.
 func DefaultSpace(f int) Space {
 	d := harness.AttackDelta
 	return Space{
@@ -245,13 +278,20 @@ func DefaultSpace(f int) Space {
 		ChurnNodes:     []int{0, 1},
 		ChurnDowns:     []time.Duration{10 * d},
 		ChurnPeriods:   []time.Duration{2 * time.Second},
+		WANs: []WAN{
+			{},
+			{Topology: "wan3"},
+			{Topology: "hub", DriftPPM: 10_000},
+			{DriftPPM: maxDriftPPM, Straggler: d},
+		},
 	}
 }
 
 // SlimSpace is the reduced space the p99-commit objective searches: SMR
 // cells cost an order of magnitude more wall-clock than plain sync
-// cells, so the workload objective crosses strategies with loss only.
-// It still contains every ScriptedCandidates point.
+// cells, so the workload objective crosses strategies with loss and a
+// single WAN coin (the degraded preset — slow inter-region links plus a
+// slow region). It still contains every ScriptedCandidates point.
 func SlimSpace(f int) Space {
 	d := harness.AttackDelta
 	return Space{
@@ -262,12 +302,13 @@ func SlimSpace(f int) Space {
 		Periods:    []time.Duration{d, 20 * d},
 		GSTs:       []time.Duration{2 * time.Second},
 		Losses:     []float64{0, 0.3},
+		WANs:       []WAN{{}, {Topology: "degraded"}},
 	}
 }
 
 // SmokeSpace is the tiny space the CI smoke job, the determinism suite
 // and BenchmarkRedTeamGrid grid over: every strategy at one node with
-// one parameter choice, crossed with a loss coin.
+// one parameter choice, crossed with a loss coin and a WAN coin.
 func SmokeSpace(f int) Space {
 	d := harness.AttackDelta
 	return Space{
@@ -278,6 +319,7 @@ func SmokeSpace(f int) Space {
 		Periods:    []time.Duration{20 * d},
 		GSTs:       []time.Duration{time.Second},
 		Losses:     []float64{0, 0.25},
+		WANs:       []WAN{{}, {Topology: "wan3", DriftPPM: 10_000}},
 	}
 }
 

@@ -58,6 +58,21 @@ type (
 	// LinkPolicy is the adversary's full per-message control: delay,
 	// drop, duplicate — clamped to the §2 model by the network.
 	LinkPolicy = network.LinkPolicy
+	// Topology is a regional WAN link matrix (Scenario.Topology): nodes
+	// grouped into regions, one latency class per region pair, optional
+	// per-region processing delays. Compiles to a zero-allocation
+	// LinkPolicy under the §2 clamp.
+	Topology = network.Topology
+	// WANCell is one protocol × WAN-preset cell of a WAN degradation
+	// sweep.
+	WANCell = harness.WANCell
+	// WANReport aggregates a WAN degradation sweep.
+	WANReport = harness.WANReport
+	// DriftCell is one protocol × drift-magnitude cell of a clock-drift
+	// tolerance sweep.
+	DriftCell = harness.DriftCell
+	// DriftReport aggregates a clock-drift tolerance sweep.
+	DriftReport = harness.DriftReport
 	// OmissionBudget authorizes true post-GST message omission
 	// (Scenario.OmissionBudget); MaxSenders must be ≤ f.
 	OmissionBudget = network.OmissionBudget
@@ -238,6 +253,66 @@ func RunAttackSweep(f int, seed int64, opts SweepOptions) *AttackReport {
 // AttackSpecs lists the attack table's strategies (default parameters)
 // in column order.
 func AttackSpecs() []AttackSpec { return harness.AttackSpecs() }
+
+// AttackDelta is the Δ every attack, red-team and WAN table runs
+// under (50ms): large enough that sub-Δ timing structure is visible,
+// small enough that long adversarial horizons stay cheap to simulate.
+const AttackDelta = harness.AttackDelta
+
+// WANPresets lists the named WAN deployment topologies in table order
+// (see PresetTopology).
+var WANPresets = harness.WANPresets
+
+// PresetTopology builds a named WAN deployment topology for n nodes
+// under Δ = delta: "single" (one region), "wan3" (three regions),
+// "hub" (hub region + satellites), "degraded" (wan3 plus a slow last
+// region). Panics on an unknown name; WANPresets lists the valid ones.
+func PresetTopology(name string, n int, delta time.Duration) *Topology {
+	return harness.PresetTopology(name, n, delta)
+}
+
+// RunWANSweep runs every WAN protocol over the deployment presets —
+// sync latency and honest words per cell, plus a p99 commit column
+// from an SMR run — and returns the raw cells. The report depends only
+// on (f, seed), never on the worker count.
+func RunWANSweep(f int, seed int64, opts SweepOptions) *WANReport {
+	return harness.WANSweep(f, seed, opts)
+}
+
+// TopologyTable renders the WAN graceful-degradation table: one row
+// per deployment preset (single region → degraded WAN), columns per
+// protocol with post-GST sync latency, honest words, and p99 commit
+// latency. Byte-identical at every worker count.
+func TopologyTable(f int, seed int64) *Table { return harness.TopologyTable(f, seed) }
+
+// TopologyTableOpts is TopologyTable with explicit sweep options.
+func TopologyTableOpts(f int, seed int64, opts SweepOptions) *Table {
+	return harness.TopologyTableOpts(f, seed, opts)
+}
+
+// DriftPPMAxis is the default drift-magnitude axis of the tolerance
+// table, from perfect clocks to 50% rate error.
+var DriftPPMAxis = harness.DriftPPMAxis
+
+// RunDriftSweep sweeps per-node clock-drift magnitudes (±ppm,
+// alternating sign by node parity — the worst pairwise spread) and
+// checks each cell against the paper's Lemma 5.1–5.3 obligations,
+// marking whether the magnitude is within the model's timing budget.
+func RunDriftSweep(f int, ppms []int64, seed int64, opts SweepOptions) *DriftReport {
+	return harness.DriftSweep(f, ppms, seed, opts)
+}
+
+// DriftToleranceTable renders the clock-drift tolerance table: one row
+// per drift magnitude, in-model cells asserted violation-free and
+// beyond-tolerance cells reported as a degradation regression table.
+// Byte-identical at every worker count.
+func DriftToleranceTable(f int, seed int64) *Table { return harness.DriftToleranceTable(f, seed) }
+
+// DriftToleranceTableOpts is DriftToleranceTable with explicit sweep
+// options.
+func DriftToleranceTableOpts(f int, seed int64, opts SweepOptions) *Table {
+	return harness.DriftToleranceTableOpts(f, seed, opts)
+}
 
 // RedTeam runs the adversarial search: for every protocol × objective,
 // a grid sweep over the attack × chaos space, evolutionary refinement
